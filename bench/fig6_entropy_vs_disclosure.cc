@@ -1,0 +1,139 @@
+// Regenerates Figure 6: minimum worst-case disclosure vs. minimum bucket
+// entropy, across all 72 tables of the Adult generalization lattice, for
+// k = 1, 3, 5, 7, 9, 11 implications.
+//
+//   $ ./fig6_entropy_vs_disclosure
+//   $ ./fig6_entropy_vs_disclosure --per_table   # raw 72-table sweep too
+//
+// Expected shape (paper, Figure 6): for each k, disclosure decreases as the
+// minimum entropy h grows (higher-entropy buckets are harder to attack),
+// and larger k shifts the whole curve upward.
+
+#include <cstdio>
+#include <string>
+
+#include "cksafe/adult/adult.h"
+#include "cksafe/experiments/figures.h"
+#include "cksafe/util/flags.h"
+#include "cksafe/util/string_util.h"
+#include "cksafe/util/text_table.h"
+
+using namespace cksafe;
+
+int main(int argc, char** argv) {
+  int64_t rows = static_cast<int64_t>(kAdultTupleCount);
+  int64_t seed = 20070419;
+  bool per_table = false;
+  std::string adult_csv;
+
+  FlagParser flags;
+  flags.AddInt64("rows", &rows, "synthetic Adult rows");
+  flags.AddInt64("seed", &seed, "generator seed");
+  flags.AddBool("per_table", &per_table, "also dump the raw 72-table sweep");
+  flags.AddString("adult_csv", &adult_csv, "path to the real UCI adult.data");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+
+  Table table = [&] {
+    if (!adult_csv.empty()) {
+      auto loaded = LoadAdultCsv(adult_csv);
+      CKSAFE_CHECK(loaded.ok()) << loaded.status().ToString();
+      return *std::move(loaded);
+    }
+    return GenerateSyntheticAdult(static_cast<size_t>(rows),
+                                  static_cast<uint64_t>(seed));
+  }();
+  auto qis = AdultQuasiIdentifiers();
+  CKSAFE_CHECK(qis.ok());
+
+  auto result = RunFigure6(table, *qis, kAdultOccupationColumn);
+  CKSAFE_CHECK(result.ok()) << result.status().ToString();
+
+  std::printf("Figure 6 — min worst-case disclosure vs. min bucket entropy "
+              "(nats)\n");
+  std::printf("table: %zu tuples; %zu lattice nodes evaluated; series "
+              "k = 1,3,5,7,9,11\n\n",
+              table.num_rows(), result->tables.size());
+
+  if (per_table) {
+    TextTable sweep;
+    sweep.SetHeader({"node (Age,Mar,Race,Gen)", "buckets", "min entropy",
+                     "w(T,1)", "w(T,3)", "w(T,5)", "w(T,7)", "w(T,9)",
+                     "w(T,11)"});
+    for (const Fig6TableResult& t : result->tables) {
+      std::vector<std::string> row = {
+          StrFormat("[%d,%d,%d,%d]", t.node[0], t.node[1], t.node[2],
+                    t.node[3]),
+          std::to_string(t.num_buckets),
+          TextTable::FormatDouble(t.min_entropy_nats)};
+      for (double d : t.disclosure) row.push_back(TextTable::FormatDouble(d));
+      sweep.AddRow(std::move(row));
+    }
+    std::printf("%s\n", sweep.Render().c_str());
+  }
+
+  // Aggregated series: one row per distinct entropy value, min disclosure
+  // among the tables attaining it (the plotted curves).
+  TextTable series;
+  series.SetHeader({"min entropy", "k=1", "k=3", "k=5", "k=7", "k=9",
+                    "k=11"});
+  const auto base = AggregateFig6Series(*result, 0);
+  std::vector<std::vector<Fig6SeriesPoint>> all_series;
+  for (size_t i = 0; i < result->ks.size(); ++i) {
+    all_series.push_back(AggregateFig6Series(*result, i));
+  }
+  for (size_t point = 0; point < base.size(); ++point) {
+    std::vector<std::string> row = {
+        TextTable::FormatDouble(base[point].entropy)};
+    for (const auto& s : all_series) {
+      row.push_back(TextTable::FormatDouble(s[point].min_disclosure));
+    }
+    series.AddRow(std::move(row));
+  }
+  std::printf("%s", series.Render().c_str());
+
+  // The paper: "We plotted an analogous graph (which we do not show here)
+  // for negation statements and observed very similar behavior." Here it is.
+  TextTable neg_series;
+  neg_series.SetHeader({"min entropy", "k=1", "k=3", "k=5", "k=7", "k=9",
+                        "k=11", "(negated-atom adversary)"});
+  std::vector<std::vector<Fig6SeriesPoint>> neg_all;
+  for (size_t i = 0; i < result->ks.size(); ++i) {
+    neg_all.push_back(AggregateFig6Series(*result, i, 1e-6,
+                                          /*use_negation=*/true));
+  }
+  for (size_t point = 0; point < base.size(); ++point) {
+    std::vector<std::string> row = {
+        TextTable::FormatDouble(neg_all[0][point].entropy)};
+    for (const auto& s : neg_all) {
+      row.push_back(TextTable::FormatDouble(s[point].min_disclosure));
+    }
+    row.push_back("");
+    neg_series.AddRow(std::move(row));
+  }
+  std::printf("\nFigure 6 analog for negation statements (not shown in the "
+              "paper):\n%s",
+              neg_series.Render().c_str());
+
+  // Shape checks mirroring the paper's observations.
+  bool k_ordered = true;
+  for (size_t point = 0; point < base.size(); ++point) {
+    for (size_t i = 1; i < all_series.size(); ++i) {
+      if (all_series[i][point].min_disclosure + 1e-12 <
+          all_series[i - 1][point].min_disclosure) {
+        k_ordered = false;
+      }
+    }
+  }
+  const double low_h = all_series[0].front().min_disclosure;
+  const double high_h = all_series[0].back().min_disclosure;
+  std::printf("\nlarger k gives pointwise larger disclosure: %s\n",
+              k_ordered ? "yes" : "NO (unexpected)");
+  std::printf("k=1 disclosure falls from %.4f (lowest h) to %.4f "
+              "(highest h): %s\n",
+              low_h, high_h, high_h <= low_h ? "yes" : "NO (unexpected)");
+  return 0;
+}

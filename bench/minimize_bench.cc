@@ -1,0 +1,182 @@
+// Performance benchmarks for the paper's core algorithms (experiment E4 in
+// DESIGN.md): MINIMIZE1's O(k^3) table construction, MINIMIZE2's O(|B| k^2)
+// sweep, the effect of histogram deduplication (DisclosureCache), and the
+// incremental re-computation the paper describes in Section 3.3.3.
+
+#include <benchmark/benchmark.h>
+
+#include "cksafe/adult/adult.h"
+#include "cksafe/anon/bucketization.h"
+#include "cksafe/core/disclosure.h"
+#include "cksafe/util/random.h"
+
+namespace cksafe {
+namespace {
+
+// Zipf-ish descending histogram over `d` values summing to ~n.
+std::vector<uint32_t> ZipfCounts(size_t d, uint32_t n) {
+  std::vector<uint32_t> counts(d);
+  double h = 0;
+  for (size_t i = 1; i <= d; ++i) h += 1.0 / i;
+  for (size_t i = 0; i < d; ++i) {
+    counts[i] = std::max<uint32_t>(
+        1, static_cast<uint32_t>(n / (h * (i + 1))));
+  }
+  return counts;
+}
+
+// A bucketization with `num_buckets` random buckets over a 14-value domain
+// (no Table needed: members are synthetic dense ids).
+Bucketization RandomBucketization(size_t num_buckets, uint64_t seed,
+                                  uint32_t max_bucket_size = 24) {
+  constexpr size_t kDomain = 14;
+  Rng rng(seed);
+  Bucketization b(kDomain);
+  PersonId next = 0;
+  for (size_t i = 0; i < num_buckets; ++i) {
+    Bucket bucket;
+    bucket.histogram.assign(kDomain, 0);
+    const uint32_t size = 2 + static_cast<uint32_t>(rng.NextBelow(max_bucket_size));
+    for (uint32_t t = 0; t < size; ++t) {
+      ++bucket.histogram[rng.NextBelow(kDomain)];
+      bucket.members.push_back(next++);
+    }
+    CKSAFE_CHECK(b.AddBucket(std::move(bucket)).ok());
+  }
+  return b;
+}
+
+// --- MINIMIZE1: table construction is O(k^3) per distinct histogram ---
+
+void BM_Minimize1Construction(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const std::vector<uint32_t> counts = ZipfCounts(14, 1000);
+  for (auto _ : state) {
+    Minimize1Table table(counts, k);
+    benchmark::DoNotOptimize(table.MinProbability(k));
+  }
+  state.SetComplexityN(static_cast<int64_t>(k));
+}
+BENCHMARK(BM_Minimize1Construction)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Complexity(benchmark::oNCubed);
+
+// --- MINIMIZE2: O(|B| k^2) after MINIMIZE1 memoization ---
+
+void BM_MaxDisclosure(benchmark::State& state) {
+  const size_t num_buckets = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  const Bucketization b = RandomBucketization(num_buckets, 42);
+  for (auto _ : state) {
+    // Fresh cache each iteration: the cost being measured includes the
+    // per-histogram MINIMIZE1 work.
+    DisclosureAnalyzer analyzer(b);
+    benchmark::DoNotOptimize(analyzer.MaxDisclosureImplications(k).disclosure);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(num_buckets));
+}
+BENCHMARK(BM_MaxDisclosure)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({100, 3})
+    ->Args({100, 13})
+    ->Args({1000, 3})
+    ->Args({1000, 13})
+    ->Args({10000, 3})
+    ->Args({10000, 13});
+
+// --- Ablation: shared DisclosureCache (histogram dedup) vs cold ---
+
+void BM_CacheAblation(benchmark::State& state) {
+  const bool warm = state.range(0) == 1;
+  const Bucketization b = RandomBucketization(5000, 7);
+  DisclosureCache shared;
+  if (warm) {
+    DisclosureAnalyzer(b, &shared).MaxDisclosureImplications(13);
+  }
+  for (auto _ : state) {
+    if (warm) {
+      DisclosureAnalyzer analyzer(b, &shared);
+      benchmark::DoNotOptimize(
+          analyzer.MaxDisclosureImplications(13).disclosure);
+    } else {
+      DisclosureAnalyzer analyzer(b);  // private cold cache
+      benchmark::DoNotOptimize(
+          analyzer.MaxDisclosureImplications(13).disclosure);
+    }
+  }
+  state.SetLabel(warm ? "warm shared cache" : "cold cache");
+}
+BENCHMARK(BM_CacheAblation)->Unit(benchmark::kMillisecond)->Arg(0)->Arg(1);
+
+// --- Incremental re-computation (paper §3.3.3): B* = B + x new buckets ---
+
+void BM_IncrementalRecompute(benchmark::State& state) {
+  const bool incremental = state.range(0) == 1;
+  const size_t x = 64;  // new buckets
+  const Bucketization base = RandomBucketization(4000, 11);
+  const Bucketization star = RandomBucketization(4000 + x, 11);
+  DisclosureCache cache;
+  DisclosureAnalyzer(base, &cache).MaxDisclosureImplications(13);
+  for (auto _ : state) {
+    if (incremental) {
+      // Reuse the memoized MINIMIZE1 tables: cost O(|B*| k + x k^3).
+      DisclosureAnalyzer analyzer(star, &cache);
+      benchmark::DoNotOptimize(
+          analyzer.MaxDisclosureImplications(13).disclosure);
+    } else {
+      DisclosureAnalyzer analyzer(star);
+      benchmark::DoNotOptimize(
+          analyzer.MaxDisclosureImplications(13).disclosure);
+    }
+  }
+  state.SetLabel(incremental ? "reuse MINIMIZE1 memo" : "from scratch");
+}
+BENCHMARK(BM_IncrementalRecompute)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(0)
+    ->Arg(1);
+
+// --- The negation adversary is much cheaper (closed form per bucket) ---
+
+void BM_NegationDisclosure(benchmark::State& state) {
+  const Bucketization b =
+      RandomBucketization(static_cast<size_t>(state.range(0)), 13);
+  DisclosureAnalyzer analyzer(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.MaxDisclosureNegations(13).disclosure);
+  }
+}
+BENCHMARK(BM_NegationDisclosure)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1000)
+    ->Arg(10000);
+
+// --- End-to-end: the Figure 5 table on the full-size Adult workload ---
+
+void BM_AdultFig5Curve(benchmark::State& state) {
+  static const Table* table =
+      new Table(GenerateSyntheticAdult(kAdultTupleCount, 20070419));
+  static const auto* qis = [] {
+    auto q = AdultQuasiIdentifiers();
+    CKSAFE_CHECK(q.ok());
+    return new std::vector<QuasiIdentifier>(*std::move(q));
+  }();
+  auto b = BucketizeAtNode(*table, *qis, AdultFigure5Node(),
+                           kAdultOccupationColumn);
+  CKSAFE_CHECK(b.ok());
+  for (auto _ : state) {
+    DisclosureAnalyzer analyzer(*b);
+    benchmark::DoNotOptimize(analyzer.ImplicationCurve(13));
+  }
+}
+BENCHMARK(BM_AdultFig5Curve)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cksafe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,420 @@
+// cksafe_cli — command-line front end for the whole library.
+//
+//   cksafe_cli analyze  [data flags] --node=... [--max_k --c --k]
+//   cksafe_cli publish  [data flags] --c --k [--objective --out --out_qit --out_st]
+//   cksafe_cli audit    [data flags] --node=... --knowledge=FILE [--approx]
+//   cksafe_cli fig5     [--rows --seed --adult_csv --max_k]
+//   cksafe_cli fig6     [--rows --seed --adult_csv]
+//
+// Data flags (analyze / publish / audit):
+//   --adult              use the built-in synthetic Adult workload
+//   --rows, --seed       synthetic Adult size / seed
+//   --adult_csv=PATH     the genuine UCI adult.data
+//   --input=PATH         any CSV (header row; schema inferred) with
+//   --sensitive=NAME       the sensitive column and
+//   --qi=A,B,C             comma-separated quasi-identifier columns
+//                          (default ladders: doubling intervals /
+//                           suppression; see MakeDefaultHierarchy)
+//   --node=3,2,1,1       generalization levels (default: all zeros)
+//
+// Examples:
+//   cksafe_cli analyze --adult --rows=10000 --node=3,2,1,1 --max_k=13
+//   cksafe_cli publish --adult --c=0.6 --k=3 --out=/tmp/release.csv
+//   cksafe_cli analyze --input=patients.csv --sensitive=Disease --qi=Age,Sex,Zip
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cksafe/adult/adult.h"
+#include "cksafe/anon/diversity.h"
+#include "cksafe/anon/release.h"
+#include "cksafe/core/disclosure.h"
+#include "cksafe/data/csv_table.h"
+#include "cksafe/exact/exact_engine.h"
+#include "cksafe/exact/sampler.h"
+#include "cksafe/experiments/figures.h"
+#include "cksafe/knowledge/parser.h"
+#include "cksafe/search/publisher.h"
+#include "cksafe/util/flags.h"
+#include "cksafe/util/string_util.h"
+#include "cksafe/util/text_table.h"
+
+namespace cksafe {
+namespace {
+
+struct CliConfig {
+  // Data source.
+  bool adult = false;
+  int64_t rows = 10000;
+  int64_t seed = 20070419;
+  std::string adult_csv;
+  std::string input;
+  std::string sensitive;
+  std::string qi;  // comma-separated
+  std::string node;
+  // Analysis.
+  int64_t max_k = 6;
+  double c = 0.7;
+  int64_t k = 3;
+  std::string objective = "discernibility";
+  // Publishing outputs.
+  std::string out;
+  std::string out_qit;
+  std::string out_st;
+  // Audit.
+  std::string knowledge;
+  bool approx = false;
+};
+
+struct LoadedData {
+  Table table;
+  std::vector<QuasiIdentifier> qis;
+  size_t sensitive_column;
+};
+
+StatusOr<LoadedData> LoadData(const CliConfig& config) {
+  if (config.adult || !config.adult_csv.empty()) {
+    Table table = [&] {
+      if (!config.adult_csv.empty()) {
+        auto loaded = LoadAdultCsv(config.adult_csv);
+        CKSAFE_CHECK(loaded.ok()) << loaded.status().ToString();
+        return *std::move(loaded);
+      }
+      return GenerateSyntheticAdult(static_cast<size_t>(config.rows),
+                                    static_cast<uint64_t>(config.seed));
+    }();
+    CKSAFE_ASSIGN_OR_RETURN(std::vector<QuasiIdentifier> qis,
+                            AdultQuasiIdentifiers());
+    return LoadedData{std::move(table), std::move(qis),
+                      kAdultOccupationColumn};
+  }
+  if (config.input.empty()) {
+    return Status::InvalidArgument(
+        "need a data source: --adult, --adult_csv=... or --input=...");
+  }
+  CKSAFE_ASSIGN_OR_RETURN(Table table, TableFromCsv(config.input));
+  if (config.sensitive.empty()) {
+    return Status::InvalidArgument("--input requires --sensitive=<column>");
+  }
+  CKSAFE_ASSIGN_OR_RETURN(size_t sensitive_column,
+                          table.schema().IndexOf(config.sensitive));
+  if (config.qi.empty()) {
+    return Status::InvalidArgument("--input requires --qi=<col,col,...>");
+  }
+  std::vector<QuasiIdentifier> qis;
+  for (const std::string& raw : Split(config.qi, ',')) {
+    const std::string name(Trim(raw));
+    CKSAFE_ASSIGN_OR_RETURN(size_t column, table.schema().IndexOf(name));
+    if (column == sensitive_column) {
+      return Status::InvalidArgument(
+          "sensitive column cannot be a quasi-identifier: " + name);
+    }
+    qis.push_back(QuasiIdentifier{
+        column, MakeDefaultHierarchy(table.schema().attribute(column))});
+  }
+  return LoadedData{std::move(table), std::move(qis), sensitive_column};
+}
+
+StatusOr<LatticeNode> ParseNode(const std::string& spec,
+                                const std::vector<QuasiIdentifier>& qis) {
+  LatticeNode node(qis.size(), 0);
+  if (spec.empty()) return node;
+  const std::vector<std::string> parts = Split(spec, ',');
+  if (parts.size() != qis.size()) {
+    return Status::InvalidArgument(
+        StrFormat("--node has %zu levels but there are %zu quasi-identifiers",
+                  parts.size(), qis.size()));
+  }
+  for (size_t i = 0; i < parts.size(); ++i) {
+    CKSAFE_ASSIGN_OR_RETURN(int64_t level, ParseInt64(parts[i]));
+    if (level < 0 ||
+        static_cast<size_t>(level) >= qis[i].hierarchy->num_levels()) {
+      return Status::OutOfRange(StrFormat(
+          "level %lld out of range for quasi-identifier %zu (max %zu)",
+          static_cast<long long>(level), i,
+          qis[i].hierarchy->num_levels() - 1));
+    }
+    node[i] = static_cast<int>(level);
+  }
+  return node;
+}
+
+Status RunAnalyze(const CliConfig& config) {
+  CKSAFE_ASSIGN_OR_RETURN(LoadedData data, LoadData(config));
+  CKSAFE_ASSIGN_OR_RETURN(LatticeNode node, ParseNode(config.node, data.qis));
+  CKSAFE_ASSIGN_OR_RETURN(
+      Bucketization bucketization,
+      BucketizeAtNode(data.table, data.qis, node, data.sensitive_column));
+
+  std::printf("table: %zu rows; node: [", data.table.num_rows());
+  for (size_t i = 0; i < node.size(); ++i) {
+    std::printf("%s%d", i ? "," : "", node[i]);
+  }
+  std::printf("]; buckets: %zu; min bucket size: %u (k-anonymity)\n",
+              bucketization.num_buckets(), bucketization.MinBucketSize());
+  std::printf("min bucket entropy: %.4f nats (entropy l-diversity l=%.2f); "
+              "distinct l-diversity: %u\n",
+              bucketization.MinBucketEntropyNats(),
+              MaxEntropyL(bucketization), MaxDistinctL(bucketization));
+
+  DisclosureAnalyzer analyzer(bucketization);
+  KnowledgePrinter printer(data.table, data.sensitive_column);
+  TextTable curve;
+  curve.SetHeader({"k", "implication", "negation"});
+  const std::vector<double> imp =
+      analyzer.ImplicationCurve(static_cast<size_t>(config.max_k));
+  const std::vector<double> neg =
+      analyzer.NegationCurve(static_cast<size_t>(config.max_k));
+  for (size_t k = 0; k < imp.size(); ++k) {
+    curve.AddRow({std::to_string(k), TextTable::FormatDouble(imp[k]),
+                  TextTable::FormatDouble(neg[k])});
+  }
+  std::printf("\nworst-case disclosure vs. attacker power:\n%s",
+              curve.Render().c_str());
+
+  const WorstCaseDisclosure worst =
+      analyzer.MaxDisclosureImplications(static_cast<size_t>(config.k));
+  std::printf("\n(c=%.2f, k=%lld)-safe: %s  (max disclosure %.4f)\n", config.c,
+              static_cast<long long>(config.k),
+              worst.disclosure < config.c ? "YES" : "NO", worst.disclosure);
+  if (!worst.antecedents.empty()) {
+    std::printf("worst-case knowledge: %s\n",
+                printer.FormulaToString(worst.ToFormula()).c_str());
+  }
+
+  // Per-bucket vulnerability at the configured k: which groups carry the
+  // residual risk.
+  const std::vector<double> per_bucket =
+      analyzer.PerBucketDisclosure(static_cast<size_t>(config.k));
+  std::vector<size_t> order(per_bucket.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return per_bucket[a] > per_bucket[b];
+  });
+  TextTable vulnerable;
+  vulnerable.SetHeader({"bucket", "quasi-identifiers", "n", "worst-case"});
+  for (size_t i = 0; i < order.size() && i < 10; ++i) {
+    const Bucket& bucket = bucketization.bucket(order[i]);
+    vulnerable.AddRow({std::to_string(order[i]), bucket.qi_label,
+                       std::to_string(bucket.size()),
+                       TextTable::FormatDouble(per_bucket[order[i]])});
+  }
+  std::printf("\nmost vulnerable buckets at k=%lld:\n%s",
+              static_cast<long long>(config.k), vulnerable.Render().c_str());
+  return Status::OK();
+}
+
+Status RunPublish(const CliConfig& config) {
+  CKSAFE_ASSIGN_OR_RETURN(LoadedData data, LoadData(config));
+
+  PublisherOptions options;
+  options.c = config.c;
+  options.k = static_cast<size_t>(config.k);
+  options.seed = static_cast<uint64_t>(config.seed);
+  if (config.objective == "discernibility") {
+    options.objective = UtilityObjective::kDiscernibility;
+  } else if (config.objective == "avg_class_size") {
+    options.objective = UtilityObjective::kAvgClassSize;
+  } else if (config.objective == "height") {
+    options.objective = UtilityObjective::kHeight;
+  } else if (config.objective == "loss") {
+    options.objective = UtilityObjective::kLoss;
+  } else {
+    return Status::InvalidArgument("unknown --objective " + config.objective);
+  }
+
+  Publisher publisher(options);
+  CKSAFE_ASSIGN_OR_RETURN(
+      PublishedRelease release,
+      publisher.Publish(data.table, data.qis, data.sensitive_column));
+  std::printf("%s", Publisher::Summary(release, data.table,
+                                       data.sensitive_column)
+                        .c_str());
+
+  if (!config.out.empty()) {
+    CKSAFE_ASSIGN_OR_RETURN(
+        GeneralizedRelease generalized,
+        BuildGeneralizedRelease(data.table, data.qis, release.node,
+                                data.sensitive_column, options.seed));
+    CKSAFE_RETURN_IF_ERROR(generalized.WriteCsv(config.out));
+    std::printf("wrote generalized release: %s (%zu rows)\n",
+                config.out.c_str(), generalized.rows.size());
+  }
+  if (!config.out_qit.empty() && !config.out_st.empty()) {
+    CKSAFE_ASSIGN_OR_RETURN(
+        AnatomyRelease anatomy,
+        BuildAnatomyRelease(data.table, data.qis, release.bucketization,
+                            data.sensitive_column));
+    CKSAFE_RETURN_IF_ERROR(anatomy.WriteCsv(config.out_qit, config.out_st));
+    std::printf("wrote Anatomy release: %s + %s\n", config.out_qit.c_str(),
+                config.out_st.c_str());
+  }
+  return Status::OK();
+}
+
+Status RunAudit(const CliConfig& config) {
+  CKSAFE_ASSIGN_OR_RETURN(LoadedData data, LoadData(config));
+  CKSAFE_ASSIGN_OR_RETURN(LatticeNode node, ParseNode(config.node, data.qis));
+  CKSAFE_ASSIGN_OR_RETURN(
+      Bucketization bucketization,
+      BucketizeAtNode(data.table, data.qis, node, data.sensitive_column));
+
+  if (config.knowledge.empty()) {
+    return Status::InvalidArgument("audit requires --knowledge=FILE");
+  }
+  std::ifstream in(config.knowledge);
+  if (!in) return Status::IOError("cannot read " + config.knowledge);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  KnowledgeParser parser(data.table, data.sensitive_column);
+  CKSAFE_ASSIGN_OR_RETURN(KnowledgeFormula phi,
+                          parser.ParseFormula(buffer.str()));
+  KnowledgePrinter printer(data.table, data.sensitive_column);
+  std::printf("attacker knowledge (k=%zu): %s\n", phi.k(),
+              printer.FormulaToString(phi).c_str());
+
+  bool approx = config.approx;
+  auto engine = ExactEngine::Create(bucketization);
+  if (!approx && !engine.ok()) {
+    std::printf("exact engine unavailable (%s); using Monte Carlo\n",
+                engine.status().ToString().c_str());
+    approx = true;
+  }
+  double risk = 0.0;
+  Atom target;
+  if (!approx) {
+    if (!engine->IsConsistent(phi)) {
+      std::printf("knowledge is inconsistent with the release\n");
+      return Status::OK();
+    }
+    CKSAFE_ASSIGN_OR_RETURN(ExactDisclosure result,
+                            engine->DisclosureRisk(phi));
+    risk = result.disclosure;
+    target = result.target;
+  } else {
+    SamplerOptions sampler_options;
+    sampler_options.seed = static_cast<uint64_t>(config.seed);
+    MonteCarloEngine sampler(bucketization, sampler_options);
+    CKSAFE_ASSIGN_OR_RETURN(PosteriorEstimate posterior,
+                            sampler.EstimatePosteriors(phi));
+    risk = posterior.MaxDisclosure(&target);
+    std::printf("(Monte Carlo: %llu accepted of %llu samples)\n",
+                static_cast<unsigned long long>(posterior.accepted),
+                static_cast<unsigned long long>(posterior.samples));
+  }
+  DisclosureAnalyzer analyzer(bucketization);
+  const double bound = analyzer.MaxDisclosureImplications(phi.k()).disclosure;
+  std::printf("disclosure risk of this formula: %.4f (%s)%s\n", risk,
+              printer.AtomToString(target).c_str(),
+              approx ? " [estimated]" : "");
+  std::printf("certified worst case at k=%zu:   %.4f\n", phi.k(), bound);
+  return Status::OK();
+}
+
+Status RunFig5(const CliConfig& config) {
+  CliConfig adult_config = config;
+  adult_config.adult = true;
+  CKSAFE_ASSIGN_OR_RETURN(LoadedData data, LoadData(adult_config));
+  CKSAFE_ASSIGN_OR_RETURN(
+      Fig5Result result,
+      RunFigure5(data.table, data.qis, AdultFigure5Node(),
+                 data.sensitive_column, static_cast<size_t>(config.max_k)));
+  TextTable out;
+  out.SetHeader({"k", "implication", "negation"});
+  for (const Fig5Row& row : result.rows) {
+    out.AddRow({std::to_string(row.k), TextTable::FormatDouble(row.implication),
+                TextTable::FormatDouble(row.negation)});
+  }
+  std::printf("%s", out.Render().c_str());
+  return Status::OK();
+}
+
+Status RunFig6(const CliConfig& config) {
+  CliConfig adult_config = config;
+  adult_config.adult = true;
+  CKSAFE_ASSIGN_OR_RETURN(LoadedData data, LoadData(adult_config));
+  CKSAFE_ASSIGN_OR_RETURN(
+      Fig6Result result,
+      RunFigure6(data.table, data.qis, data.sensitive_column));
+  TextTable out;
+  out.SetHeader({"min entropy", "k=1", "k=3", "k=5", "k=7", "k=9", "k=11"});
+  const auto base = AggregateFig6Series(result, 0);
+  std::vector<std::vector<Fig6SeriesPoint>> series;
+  for (size_t i = 0; i < result.ks.size(); ++i) {
+    series.push_back(AggregateFig6Series(result, i));
+  }
+  for (size_t p = 0; p < base.size(); ++p) {
+    std::vector<std::string> row = {TextTable::FormatDouble(base[p].entropy)};
+    for (const auto& s : series) {
+      row.push_back(TextTable::FormatDouble(s[p].min_disclosure));
+    }
+    out.AddRow(std::move(row));
+  }
+  std::printf("%s", out.Render().c_str());
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  CliConfig config;
+  FlagParser flags;
+  flags.AddBool("adult", &config.adult, "use the synthetic Adult workload");
+  flags.AddInt64("rows", &config.rows, "synthetic Adult rows");
+  flags.AddInt64("seed", &config.seed, "generator / permutation seed");
+  flags.AddString("adult_csv", &config.adult_csv, "real UCI adult.data path");
+  flags.AddString("input", &config.input, "arbitrary CSV dataset");
+  flags.AddString("sensitive", &config.sensitive, "sensitive column name");
+  flags.AddString("qi", &config.qi, "comma-separated quasi-identifier names");
+  flags.AddString("node", &config.node, "generalization levels, e.g. 3,2,1,1");
+  flags.AddInt64("max_k", &config.max_k, "largest attacker power for curves");
+  flags.AddDouble("c", &config.c, "(c,k)-safety threshold");
+  flags.AddInt64("k", &config.k, "attacker power for safety checks");
+  flags.AddString("objective", &config.objective,
+                  "discernibility | avg_class_size | height | loss");
+  flags.AddString("out", &config.out, "generalized release CSV path");
+  flags.AddString("out_qit", &config.out_qit, "Anatomy QI table CSV path");
+  flags.AddString("out_st", &config.out_st, "Anatomy sensitive table CSV path");
+  flags.AddString("knowledge", &config.knowledge, "attacker formula file");
+  flags.AddBool("approx", &config.approx, "force Monte Carlo audit");
+
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage("cksafe_cli <command>").c_str());
+    return 1;
+  }
+  if (flags.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: cksafe_cli <analyze|publish|audit|fig5|fig6> "
+                 "[flags]\n%s",
+                 flags.Usage("cksafe_cli <command>").c_str());
+    return 1;
+  }
+  const std::string& command = flags.positional()[0];
+  Status st;
+  if (command == "analyze") {
+    st = RunAnalyze(config);
+  } else if (command == "publish") {
+    st = RunPublish(config);
+  } else if (command == "audit") {
+    st = RunAudit(config);
+  } else if (command == "fig5") {
+    st = RunFig5(config);
+  } else if (command == "fig6") {
+    st = RunFig6(config);
+  } else {
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return 1;
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cksafe
+
+int main(int argc, char** argv) { return cksafe::Main(argc, argv); }

@@ -1,0 +1,43 @@
+// Baseline privacy criteria: k-anonymity and the ℓ-diversity family.
+//
+// These are the criteria the paper positions (c,k)-safety against
+// (Sections 1 and 5). k-anonymity constrains only bucket sizes; the
+// ℓ-diversity variants constrain the within-bucket sensitive distribution
+// against negated-atom background knowledge.
+
+#ifndef CKSAFE_ANON_DIVERSITY_H_
+#define CKSAFE_ANON_DIVERSITY_H_
+
+#include <cstdint>
+
+#include "cksafe/anon/bucketization.h"
+
+namespace cksafe {
+
+/// True iff every bucket has at least k members (Samarati & Sweeney).
+bool IsKAnonymous(const Bucketization& b, uint32_t k);
+
+/// Largest k for which the bucketization is k-anonymous.
+uint32_t MaxAnonymityK(const Bucketization& b);
+
+/// True iff every bucket contains at least l distinct sensitive values.
+bool IsDistinctLDiverse(const Bucketization& b, uint32_t l);
+
+/// Largest l for which distinct ℓ-diversity holds.
+uint32_t MaxDistinctL(const Bucketization& b);
+
+/// True iff every bucket's sensitive entropy is >= log(l) (entropy
+/// ℓ-diversity, Machanavajjhala et al. 2006). l may be fractional.
+bool IsEntropyLDiverse(const Bucketization& b, double l);
+
+/// Largest (fractional) l for which entropy ℓ-diversity holds:
+/// exp(min bucket entropy in nats).
+double MaxEntropyL(const Bucketization& b);
+
+/// Recursive (c,l)-diversity: in every bucket, with counts sorted
+/// descending r_1 >= r_2 >= ..., require r_1 < c * (r_l + r_{l+1} + ...).
+bool IsRecursiveCLDiverse(const Bucketization& b, double c, uint32_t l);
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_ANON_DIVERSITY_H_

@@ -1,0 +1,79 @@
+// Concrete publishable artifacts for a chosen sanitization (Section 2.1).
+//
+// The paper analyzes disclosure on the abstract bucketization; an actual
+// data publisher has to hand a file to consumers. Two standard formats are
+// provided:
+//
+//  * Full-domain generalization (Samarati/Sweeney; the paper's Figure 2):
+//    one table whose quasi-identifier cells are replaced by their
+//    generalized groups at a lattice node, with sensitive values permuted
+//    within each bucket.
+//  * Anatomy (Xiao & Tao 2006; the bucketization the paper adopts): a
+//    quasi-identifier table mapping each (pseudonymous) record with its
+//    exact quasi-identifiers to a bucket id, plus a sensitive table with
+//    per-bucket value counts.
+//
+// With full identification information the two are equivalent for the
+// attacker (Section 2.1); generalization additionally blunts linking
+// attacks by attackers *without* full identification information, which is
+// why the paper recommends publishing generalized quasi-identifiers.
+
+#ifndef CKSAFE_ANON_RELEASE_H_
+#define CKSAFE_ANON_RELEASE_H_
+
+#include <string>
+#include <vector>
+
+#include "cksafe/anon/bucketization.h"
+#include "cksafe/data/table.h"
+#include "cksafe/hierarchy/hierarchy.h"
+#include "cksafe/lattice/lattice.h"
+#include "cksafe/util/random.h"
+#include "cksafe/util/status.h"
+
+namespace cksafe {
+
+/// A single released table of rendered cells.
+struct GeneralizedRelease {
+  /// Column names: one per quasi-identifier plus the sensitive attribute.
+  std::vector<std::string> header;
+  /// One row per original record, ordered bucket by bucket; quasi-
+  /// identifiers rendered at the node's levels, sensitive values permuted
+  /// within buckets.
+  std::vector<std::vector<std::string>> rows;
+
+  /// Writes the table as CSV.
+  Status WriteCsv(const std::string& path) const;
+
+  /// Renders the first `max_rows` rows for human inspection.
+  std::string Preview(size_t max_rows = 12) const;
+};
+
+/// Builds the Figure-2-style generalized release of `table` at `node`.
+/// The permutation is drawn from `seed` (deterministic).
+StatusOr<GeneralizedRelease> BuildGeneralizedRelease(
+    const Table& table, const std::vector<QuasiIdentifier>& qis,
+    const LatticeNode& node, size_t sensitive_column, uint64_t seed);
+
+/// The Anatomy pair of tables.
+struct AnatomyRelease {
+  /// Quasi-identifier table: pseudonym, exact quasi-identifier values,
+  /// bucket id. Header in `qit_header`.
+  std::vector<std::string> qit_header;
+  std::vector<std::vector<std::string>> qit_rows;
+  /// Sensitive table: bucket id, sensitive value, count.
+  std::vector<std::string> st_header;
+  std::vector<std::vector<std::string>> st_rows;
+
+  /// Writes both tables as CSV files.
+  Status WriteCsv(const std::string& qit_path, const std::string& st_path) const;
+};
+
+/// Builds the Anatomy release for an existing bucketization of `table`.
+StatusOr<AnatomyRelease> BuildAnatomyRelease(
+    const Table& table, const std::vector<QuasiIdentifier>& qis,
+    const Bucketization& bucketization, size_t sensitive_column);
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_ANON_RELEASE_H_

@@ -1,0 +1,48 @@
+// Per-bucket sensitive-value statistics in the form the paper's algorithms
+// consume: counts sorted in descending order (s^0_b, s^1_b, ... of Section
+// 2.1) with prefix sums.
+
+#ifndef CKSAFE_CORE_BUCKET_STATS_H_
+#define CKSAFE_CORE_BUCKET_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cksafe/anon/bucketization.h"
+
+namespace cksafe {
+
+/// Sorted histogram view of one bucket.
+struct BucketStats {
+  /// Number of tuples n_b.
+  uint32_t n = 0;
+  /// Counts of the values present in the bucket, descending (ties broken by
+  /// ascending value code for determinism). counts.size() == d, the number
+  /// of distinct sensitive values in the bucket.
+  std::vector<uint32_t> counts;
+  /// value_codes[j] = sensitive code of the j-th most frequent value s^j_b.
+  std::vector<int32_t> value_codes;
+  /// prefix[j] = counts[0] + ... + counts[j-1]; prefix[0] = 0,
+  /// prefix[d] = n.
+  std::vector<uint32_t> prefix;
+
+  size_t d() const { return counts.size(); }
+
+  /// Sum of the top min(j, d) counts.
+  uint32_t TopSum(size_t j) const;
+
+  /// Builds stats from a histogram indexed by sensitive code.
+  static BucketStats FromHistogram(const std::vector<uint32_t>& histogram);
+
+  /// Cache key: the MINIMIZE1 table depends only on the sorted counts, so
+  /// buckets with equal count multisets share DP tables.
+  std::string CountsKey() const;
+};
+
+/// Stats for every bucket of a bucketization, in bucket order.
+std::vector<BucketStats> ComputeBucketStats(const Bucketization& b);
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_CORE_BUCKET_STATS_H_

@@ -1,0 +1,134 @@
+// Maximum disclosure (Definition 6) and (c,k)-safety (Definition 13).
+//
+// By Theorem 9 the maximum disclosure over L^k_basic is attained by k
+// *simple* implications sharing one consequent atom A, so
+//
+//   Pr(A | B ∧ ∧_i (A_i → A)) = Pr(A|B) / (Pr(¬A ∧ ∧_i ¬A_i | B) + Pr(A|B))
+//
+// and maximizing disclosure reduces to minimizing
+// R = Pr(¬A ∧ ∧ ¬A_i | B) / Pr(A | B). Buckets are independent, so R
+// factors into per-bucket MINIMIZE1 terms times n_b / n_b(s^0_b) for the
+// bucket holding A; MINIMIZE2 distributes the k atoms over buckets with a
+// dynamic program over states (bucket, atoms remaining, A placed?).
+//
+// Two corrections to the paper's Algorithm-2 listing (see DESIGN.md §4.2):
+// the base case returns 1 when all atoms are placed and A has been placed
+// (the listing returns ∞ unconditionally), and the initial call has the
+// "A placed" flag false (the prose says true; the Input comment says false).
+//
+// The analyzer also computes the negated-atom worst case (the ℓ-diversity
+// adversary of Figure 5): for k negations the maximum is attained by
+// negating, for one target person, the k most frequent values other than
+// the target value — a special case of the same algebra with every A_i on
+// the target person.
+
+#ifndef CKSAFE_CORE_DISCLOSURE_H_
+#define CKSAFE_CORE_DISCLOSURE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cksafe/anon/bucketization.h"
+#include "cksafe/core/bucket_stats.h"
+#include "cksafe/core/minimize1.h"
+#include "cksafe/knowledge/formula.h"
+
+namespace cksafe {
+
+/// A worst-case adversary: the maximizing target atom A, the k antecedent
+/// atoms A_i, and the resulting disclosure Pr(A | B ∧ ∧(A_i → A)).
+struct WorstCaseDisclosure {
+  double disclosure = 0.0;
+  Atom target;
+  std::vector<Atom> antecedents;
+
+  /// The witness as a formula of L^k_basic: one simple implication
+  /// A_i -> A per antecedent. (For the negation adversary the antecedents
+  /// share the target's person, making each implication the paper's
+  /// encoding of ¬A_i.)
+  KnowledgeFormula ToFormula() const;
+};
+
+/// Shared store of MINIMIZE1 tables keyed by sorted bucket counts.
+///
+/// Buckets with equal histograms share one O(k^3) table, and the cache can
+/// be reused across bucketizations — this is the paper's §3.3.3 remark that
+/// re-running after adding x new buckets costs O(|B*|·k + x·k^3).
+class DisclosureCache {
+ public:
+  /// Returns a table for `stats` valid up to atom budget `max_k`,
+  /// computing (or upgrading a smaller cached table) on miss.
+  ///
+  /// Lifetime: the returned reference is invalidated by a later call with a
+  /// *larger* max_k for the same histogram (the table is replaced by the
+  /// upgraded one). Callers must fetch all tables for one computation at a
+  /// single budget before dereferencing, which is what DisclosureAnalyzer
+  /// does.
+  const Minimize1Table& GetOrCompute(const BucketStats& stats, size_t max_k);
+
+  size_t entries() const { return tables_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void Clear();
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Minimize1Table>> tables_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// Computes worst-case disclosure for one bucketization.
+class DisclosureAnalyzer {
+ public:
+  /// `cache` may be shared across analyzers; pass nullptr for a private
+  /// cache. The bucketization must outlive the analyzer and be non-empty.
+  explicit DisclosureAnalyzer(const Bucketization& bucketization,
+                              DisclosureCache* cache = nullptr);
+
+  /// Maximum disclosure w.r.t. L^k_basic (Definition 6) in O(|B| k^2 +
+  /// H k^3) where H is the number of distinct bucket histograms.
+  WorstCaseDisclosure MaxDisclosureImplications(size_t k) const;
+
+  /// Maximum disclosure w.r.t. k negated atoms (the ℓ-diversity adversary).
+  WorstCaseDisclosure MaxDisclosureNegations(size_t k) const;
+
+  /// Definition 13: max disclosure w.r.t. L^k_basic is < c.
+  bool IsCkSafe(double c, size_t k) const;
+
+  /// Per-bucket vulnerability: Definition 5's maximum with the target atom
+  /// constrained to members of bucket i (every member of a bucket is
+  /// equally vulnerable by exchangeability). Element i is
+  /// max over s, φ∈L^k_basic of Pr(t_p = s | B ∧ φ) for p in bucket i.
+  /// Computed for all buckets at once with prefix/suffix MINIMIZE2 sweeps
+  /// in O(|B| k^2) after table memoization; the maximum over buckets equals
+  /// MaxDisclosureImplications(k).disclosure.
+  std::vector<double> PerBucketDisclosure(size_t k) const;
+
+  /// Disclosure values for every k in [0, max_k] — Figure 5 series.
+  std::vector<double> ImplicationCurve(size_t max_k) const;
+  std::vector<double> NegationCurve(size_t max_k) const;
+
+  const std::vector<BucketStats>& bucket_stats() const { return stats_; }
+
+ private:
+  const Minimize1Table& Table(size_t bucket_index, size_t max_k) const;
+
+  /// Materializes the atoms of a bucket's witness partition; atoms for
+  /// person j use the bucket's top-k_j value codes. Appends to `out`,
+  /// optionally skipping the (person 0, top value) atom which serves as
+  /// the target A.
+  void AppendWitnessAtoms(size_t bucket_index, const std::vector<uint32_t>& partition,
+                          bool skip_target_atom, std::vector<Atom>* out) const;
+
+  const Bucketization& bucketization_;
+  std::vector<BucketStats> stats_;
+  mutable DisclosureCache local_cache_;
+  DisclosureCache* cache_;
+};
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_CORE_DISCLOSURE_H_

@@ -1,0 +1,78 @@
+// MINIMIZE1 (Algorithm 1 / Lemma 12): per-bucket minimization of
+// Pr(∧_{i∈[m]} ¬A_i | B) over all sets of m atoms mentioning only tuples of
+// one bucket.
+//
+// Lemma 12 shows the minimum is attained by a *structure* (l, k_0 >= k_1 >=
+// ... >= k_{l-1}), sum k_i = m: the i-th of l distinct persons is assigned
+// atoms for the k_i most frequent values of the bucket, giving
+//
+//     prod_{i in [l]} (n - i - prefix[k_i]) / (n - i)
+//
+// (clamped at 0 when a factor's numerator is non-positive: ruling out every
+// value a person could take has probability zero). The DP below memoizes
+// the paper's recursion over states (person index i, per-person cap k̂_i,
+// atoms remaining k̂) in O(k^3) time and space per distinct histogram, and
+// records argmins so the minimizing structure can be reconstructed.
+//
+// Guards the paper's pseudocode leaves implicit (tested explicitly):
+//  * state with remaining atoms but no unused persons left is infeasible
+//    (+inf), and infeasible children are skipped before multiplying so that
+//    0 * inf never arises;
+//  * m = 0 yields the empty product 1.
+
+#ifndef CKSAFE_CORE_MINIMIZE1_H_
+#define CKSAFE_CORE_MINIMIZE1_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cksafe/core/bucket_stats.h"
+
+namespace cksafe {
+
+/// Memoized MINIMIZE1 results for one bucket histogram, for every atom
+/// budget m in [0, max_k].
+class Minimize1Table {
+ public:
+  /// `sorted_counts` must be descending and positive; n is their sum.
+  Minimize1Table(std::vector<uint32_t> sorted_counts, size_t max_k);
+
+  static Minimize1Table FromStats(const BucketStats& stats, size_t max_k) {
+    return Minimize1Table(stats.counts, max_k);
+  }
+
+  size_t max_k() const { return max_k_; }
+  uint32_t n() const { return n_; }
+
+  /// min Pr(∧_{i∈[m]} ¬A_i | B) over atom sets of size m within the bucket.
+  /// m <= max_k. Always in [0, 1]; nonincreasing in m.
+  double MinProbability(size_t m) const;
+
+  /// The minimizing structure for budget m: per-person atom counts
+  /// k_0 >= k_1 >= ..., summing to m. Atom i of person j targets the
+  /// bucket's i-th most frequent value. In the saturated regime where the
+  /// minimum is 0 via a count exceeding the number of distinct values, the
+  /// excess entries are still reported (the caller clamps to d when
+  /// materializing atoms; disclosure is already 1 there).
+  std::vector<uint32_t> WitnessPartition(size_t m) const;
+
+ private:
+  // Flattened memo over (i, cap, rem); i in [0, i_limit_], cap/rem in
+  // [0, max_k].
+  size_t Index(size_t i, size_t cap, size_t rem) const;
+  double Solve(size_t i, size_t cap, size_t rem);
+  double Factor(size_t i, size_t ki) const;
+
+  uint32_t n_ = 0;
+  std::vector<uint32_t> counts_;  // descending
+  std::vector<uint32_t> prefix_;  // prefix sums, size d + 1
+  size_t max_k_ = 0;
+  size_t i_limit_ = 0;  // min(max_k, n): persons usable
+  std::vector<double> memo_;
+  std::vector<uint8_t> computed_;
+  std::vector<uint8_t> choice_;  // argmin k_i per state (0 = none)
+};
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_CORE_MINIMIZE1_H_

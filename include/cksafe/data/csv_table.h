@@ -1,0 +1,40 @@
+// Generic CSV ingestion with schema inference.
+//
+// Loads an arbitrary delimited file into a Table: the first row names the
+// attributes; a column whose every value parses as an integer becomes a
+// numeric attribute spanning the observed range, anything else becomes a
+// categorical attribute over its observed labels. This is how external
+// datasets enter the library (the Adult loader in adult/ is a specialized
+// wrapper for the UCI column layout).
+
+#ifndef CKSAFE_DATA_CSV_TABLE_H_
+#define CKSAFE_DATA_CSV_TABLE_H_
+
+#include <string>
+
+#include "cksafe/data/table.h"
+#include "cksafe/util/status.h"
+
+namespace cksafe {
+
+/// Options for TableFromCsv.
+struct CsvTableOptions {
+  char delimiter = ',';
+  /// Values equal to this marker are treated as missing; rows containing
+  /// any missing value are dropped. Empty string disables the check.
+  std::string missing_marker = "?";
+  /// Upper bound on distinct labels per categorical column; exceeding it
+  /// fails with ResourceExhausted (guards against loading a key column as
+  /// categorical by mistake).
+  size_t max_categories = 4096;
+};
+
+/// Loads `path` into a Table with an inferred schema. The first non-blank
+/// line must be the header. Returns InvalidArgument for ragged rows and
+/// NotFound/IOError for unreadable files.
+StatusOr<Table> TableFromCsv(const std::string& path,
+                             CsvTableOptions options = {});
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_DATA_CSV_TABLE_H_

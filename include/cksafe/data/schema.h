@@ -1,0 +1,94 @@
+// Schema: typed attribute definitions for microdata tables.
+//
+// cksafe tables store every cell as an int32 code. For numeric attributes the
+// code is the value itself; for categorical attributes it indexes the
+// attribute's label dictionary. The schema owns those dictionaries and is the
+// single source of truth for rendering and parsing cell values.
+
+#ifndef CKSAFE_DATA_SCHEMA_H_
+#define CKSAFE_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cksafe/util/status.h"
+
+namespace cksafe {
+
+/// Kind of an attribute.
+enum class AttributeType : uint8_t {
+  kNumeric,      ///< integer-valued (e.g. Age); cell code == value
+  kCategorical,  ///< finite label set (e.g. Occupation); cell code == label index
+};
+
+/// One attribute: name, type and (for categoricals) the label dictionary.
+class AttributeDef {
+ public:
+  /// Numeric attribute taking values in [min_value, max_value].
+  static AttributeDef Numeric(std::string name, int32_t min_value,
+                              int32_t max_value);
+
+  /// Categorical attribute over the given (distinct) labels.
+  static AttributeDef Categorical(std::string name,
+                                  std::vector<std::string> labels);
+
+  const std::string& name() const { return name_; }
+  AttributeType type() const { return type_; }
+  bool is_categorical() const { return type_ == AttributeType::kCategorical; }
+
+  /// Number of distinct values: label count, or max - min + 1 for numerics.
+  size_t domain_size() const;
+
+  /// Inclusive numeric bounds (numeric attributes only).
+  int32_t min_value() const { return min_value_; }
+  int32_t max_value() const { return max_value_; }
+
+  /// Labels (categorical attributes only).
+  const std::vector<std::string>& labels() const { return labels_; }
+
+  /// Code for a textual value. For numerics, parses the integer and checks
+  /// bounds; for categoricals, looks up the label.
+  StatusOr<int32_t> CodeOf(std::string_view text) const;
+
+  /// Human-readable rendering of a cell code.
+  std::string LabelOf(int32_t code) const;
+
+  /// True iff `code` is a valid cell value for this attribute.
+  bool IsValidCode(int32_t code) const;
+
+ private:
+  AttributeDef() = default;
+
+  std::string name_;
+  AttributeType type_ = AttributeType::kNumeric;
+  int32_t min_value_ = 0;
+  int32_t max_value_ = -1;
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, int32_t> label_index_;
+};
+
+/// An ordered list of attributes.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<AttributeDef> attributes);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const AttributeDef& attribute(size_t i) const;
+
+  /// Index of the attribute with the given name.
+  StatusOr<size_t> IndexOf(std::string_view name) const;
+
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+
+ private:
+  std::vector<AttributeDef> attributes_;
+  std::unordered_map<std::string, size_t> name_index_;
+};
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_DATA_SCHEMA_H_

@@ -1,0 +1,43 @@
+// Enumeration of all tables consistent with a bucketization.
+//
+// Under the random-worlds assumption (Section 2.2), the attacker considers
+// every assignment of sensitive values to persons that matches each bucket's
+// multiset equally likely. This enumerator walks exactly those assignments:
+// the cartesian product, over buckets, of all distinct permutations of the
+// bucket's sensitive multiset. Exponential by nature — this is the
+// reference/test oracle, not the production path (Theorem 8 is the reason
+// the paper's DP exists).
+
+#ifndef CKSAFE_EXACT_WORLD_ENUMERATOR_H_
+#define CKSAFE_EXACT_WORLD_ENUMERATOR_H_
+
+#include <functional>
+
+#include "cksafe/anon/bucketization.h"
+
+namespace cksafe {
+
+/// Walks every world (person -> sensitive code) consistent with a
+/// bucketization.
+class WorldEnumerator {
+ public:
+  explicit WorldEnumerator(const Bucketization& bucketization);
+
+  /// Called once per world; return false to stop the enumeration.
+  using Visitor = std::function<bool(const std::vector<int32_t>&)>;
+
+  /// Visits all consistent worlds in a deterministic order.
+  void ForEachWorld(const Visitor& visitor) const;
+
+  /// Exact number of consistent worlds: the product over buckets of the
+  /// bucket's multiset-permutation count (saturates to +inf as double).
+  double WorldCount() const;
+
+ private:
+  const Bucketization& bucketization_;
+  size_t world_size_ = 0;  // 1 + max person id
+};
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_EXACT_WORLD_ENUMERATOR_H_

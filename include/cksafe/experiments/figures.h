@@ -1,0 +1,92 @@
+// Drivers reproducing the paper's evaluation (Section 4).
+//
+// Figure 5: maximum disclosure vs. number k of pieces of background
+// knowledge, for basic implications and for negated atoms, on the
+// anonymized Adult table with Age in 20-year intervals and every other
+// quasi-identifier suppressed.
+//
+// Figure 6: for every table in the 72-node generalization lattice, the
+// minimum sensitive-attribute entropy h over its buckets and the worst-case
+// disclosure w(T, k); the plotted series is, per k, the least w among
+// tables sharing an entropy value ("min worst case disclosure" vs. "min
+// entropy").
+
+#ifndef CKSAFE_EXPERIMENTS_FIGURES_H_
+#define CKSAFE_EXPERIMENTS_FIGURES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cksafe/data/table.h"
+#include "cksafe/hierarchy/hierarchy.h"
+#include "cksafe/lattice/lattice.h"
+#include "cksafe/util/status.h"
+
+namespace cksafe {
+
+/// One Figure-5 sample: disclosure for both adversary classes at one k.
+struct Fig5Row {
+  size_t k = 0;
+  double implication = 0.0;
+  double negation = 0.0;
+};
+
+/// The full Figure-5 series.
+struct Fig5Result {
+  LatticeNode node;          ///< the anonymized table used
+  size_t num_buckets = 0;
+  std::vector<Fig5Row> rows; ///< k = 0 .. max_k
+};
+
+/// Runs the Figure-5 experiment on `table` at `node` (the paper's choice is
+/// AdultFigure5Node()).
+StatusOr<Fig5Result> RunFigure5(const Table& table,
+                                const std::vector<QuasiIdentifier>& qis,
+                                const LatticeNode& node,
+                                size_t sensitive_column, size_t max_k = 12);
+
+/// One lattice table's Figure-6 measurements.
+struct Fig6TableResult {
+  LatticeNode node;
+  size_t num_buckets = 0;
+  double min_entropy_nats = 0.0;
+  /// disclosure[i] = w(T, ks[i]) for the implication adversary.
+  std::vector<double> disclosure;
+  /// Same for the negated-atom adversary — the paper's "analogous graph
+  /// (which we do not show here) for negation statements".
+  std::vector<double> negation_disclosure;
+};
+
+/// The full Figure-6 sweep.
+struct Fig6Result {
+  std::vector<size_t> ks;                 ///< paper: {1, 3, 5, 7, 9, 11}
+  std::vector<Fig6TableResult> tables;    ///< sorted by min_entropy
+};
+
+/// One aggregated point of the plotted curve: an entropy value and the
+/// minimum worst-case disclosure among tables attaining it.
+struct Fig6SeriesPoint {
+  double entropy = 0.0;
+  double min_disclosure = 0.0;
+};
+
+/// Runs the Figure-6 sweep over every node of the lattice induced by `qis`.
+StatusOr<Fig6Result> RunFigure6(const Table& table,
+                                const std::vector<QuasiIdentifier>& qis,
+                                size_t sensitive_column,
+                                std::vector<size_t> ks = {1, 3, 5, 7, 9, 11});
+
+/// Aggregates the sweep into the plotted series for ks[k_index]: entropy
+/// values ascending, min disclosure per entropy value (entropies are binned
+/// to `bin_width` to merge tables with equal min-entropy up to noise).
+/// With `use_negation` the series is built from the negated-atom adversary
+/// instead (the paper's unshown analogous graph).
+std::vector<Fig6SeriesPoint> AggregateFig6Series(const Fig6Result& result,
+                                                 size_t k_index,
+                                                 double bin_width = 1e-6,
+                                                 bool use_negation = false);
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_EXPERIMENTS_FIGURES_H_

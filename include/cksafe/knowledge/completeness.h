@@ -1,0 +1,39 @@
+// Constructive proof-of-concept for Theorem 3 (completeness).
+//
+// Given full identification information, any predicate on tables can be
+// expressed as a finite conjunction of basic implications. The construction
+// rules out each violating world w with one implication
+//     (∧_p t_p = w[p]) → (t_{p0} = s')  for some s' != w[p0],
+// whose antecedent pins the entire world and whose consequent contradicts
+// it (each tuple has exactly one sensitive value). The encoding is
+// exponential in the number of persons — which is exactly the paper's point
+// that the language is complete but a *bounded number* k of implications is
+// the right attacker model.
+
+#ifndef CKSAFE_KNOWLEDGE_COMPLETENESS_H_
+#define CKSAFE_KNOWLEDGE_COMPLETENESS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "cksafe/knowledge/formula.h"
+
+namespace cksafe {
+
+/// Predicate over candidate worlds (person -> sensitive code).
+using WorldPredicate = std::function<bool(const std::vector<int32_t>&)>;
+
+/// Expresses `predicate` over `num_persons` persons with sensitive domain
+/// size `domain_size` (>= 2) as a conjunction of basic implications.
+/// Enumerates all domain_size^num_persons worlds; returns ResourceExhausted
+/// when that exceeds `max_worlds`.
+///
+/// Postcondition: the returned formula holds in exactly the worlds where
+/// `predicate` is true.
+StatusOr<KnowledgeFormula> ExpressPredicateAsImplications(
+    size_t num_persons, size_t domain_size, const WorldPredicate& predicate,
+    uint64_t max_worlds = 1u << 20);
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_KNOWLEDGE_COMPLETENESS_H_

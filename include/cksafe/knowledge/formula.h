@@ -1,0 +1,112 @@
+// The background-knowledge language of Section 2.2.
+//
+// Atoms assert "person p has sensitive value s". Basic implications are
+// (A_1 ∧ ... ∧ A_m) → (B_1 ∨ ... ∨ B_n) with m, n >= 1. The language
+// L^k_basic consists of conjunctions of k basic implications; a
+// KnowledgeFormula holds such a conjunction. Formulas are evaluated against
+// a *candidate world*: a full assignment person -> sensitive code.
+
+#ifndef CKSAFE_KNOWLEDGE_FORMULA_H_
+#define CKSAFE_KNOWLEDGE_FORMULA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cksafe/data/table.h"
+#include "cksafe/util/status.h"
+
+namespace cksafe {
+
+/// The atom t_p[S] = s.
+struct Atom {
+  PersonId person = 0;
+  int32_t value = 0;
+
+  bool operator==(const Atom& other) const {
+    return person == other.person && value == other.value;
+  }
+  bool operator<(const Atom& other) const {
+    return person != other.person ? person < other.person : value < other.value;
+  }
+
+  /// True in `world` iff world[person] == value.
+  bool Holds(const std::vector<int32_t>& world) const;
+};
+
+/// A simple implication A → B (Definition 7): one atom on each side.
+struct SimpleImplication {
+  Atom antecedent;
+  Atom consequent;
+
+  bool Holds(const std::vector<int32_t>& world) const;
+};
+
+/// A basic implication (∧ antecedents) → (∨ consequents) (Definition 2).
+struct BasicImplication {
+  std::vector<Atom> antecedents;  // non-empty
+  std::vector<Atom> consequents;  // non-empty
+
+  /// Validates m >= 1 and n >= 1.
+  Status Validate() const;
+
+  bool Holds(const std::vector<int32_t>& world) const;
+
+  /// Wraps a simple implication.
+  static BasicImplication FromSimple(const SimpleImplication& simple);
+
+  /// Encodes the negated atom ¬(t_p[S] = s) as (t_p = s) → (t_p = other),
+  /// which is equivalent because each tuple has exactly one sensitive value
+  /// (Section 2.2). `other_value` must differ from `atom.value`.
+  static BasicImplication Negation(const Atom& atom, int32_t other_value);
+
+  /// True iff this implication is the Negation encoding of some atom:
+  /// single antecedent and single consequent on the same person with
+  /// different values.
+  bool IsNegationShape() const;
+};
+
+/// A conjunction of basic implications — one formula of L^k_basic where
+/// k = implications().size().
+class KnowledgeFormula {
+ public:
+  KnowledgeFormula() = default;
+  explicit KnowledgeFormula(std::vector<BasicImplication> implications)
+      : implications_(std::move(implications)) {}
+
+  void Add(BasicImplication implication);
+  void AddSimple(const SimpleImplication& simple);
+  void AddNegation(const Atom& atom, int32_t other_value);
+
+  const std::vector<BasicImplication>& implications() const {
+    return implications_;
+  }
+  size_t k() const { return implications_.size(); }
+
+  /// True iff every implication holds in `world`.
+  bool Holds(const std::vector<int32_t>& world) const;
+
+  Status Validate() const;
+
+ private:
+  std::vector<BasicImplication> implications_;
+};
+
+/// Renders atoms/implications like "t[Ed].Disease=flu" using the table's row
+/// labels and the sensitive attribute's value labels.
+class KnowledgePrinter {
+ public:
+  KnowledgePrinter(const Table& table, size_t sensitive_column);
+
+  std::string AtomToString(const Atom& atom) const;
+  std::string ImplicationToString(const BasicImplication& imp) const;
+  std::string FormulaToString(const KnowledgeFormula& formula) const;
+
+ private:
+  const Table& table_;
+  size_t sensitive_column_;
+};
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_KNOWLEDGE_FORMULA_H_

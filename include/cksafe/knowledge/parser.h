@@ -1,0 +1,45 @@
+// Text parser for attacker knowledge.
+//
+// Grammar (one basic implication per line; '#' starts a comment):
+//
+//   atom        := t[<row-label>].<sensitive-attr> = <value-label>
+//   implication := atom (& atom)* -> atom (| atom)*
+//   negation    := ! atom            (sugar; encoded per Section 2.2)
+//
+// Example:
+//   t[Hannah].Disease = flu -> t[Charlie].Disease = flu
+//   ! t[Ed].Disease = flu
+
+#ifndef CKSAFE_KNOWLEDGE_PARSER_H_
+#define CKSAFE_KNOWLEDGE_PARSER_H_
+
+#include <string_view>
+
+#include "cksafe/knowledge/formula.h"
+
+namespace cksafe {
+
+/// Parses the textual knowledge format against a table's row labels and its
+/// sensitive attribute's value labels.
+class KnowledgeParser {
+ public:
+  KnowledgeParser(const Table& table, size_t sensitive_column);
+
+  /// Parses "t[<row>].<attr> = <value>".
+  StatusOr<Atom> ParseAtom(std::string_view text) const;
+
+  /// Parses one implication or negation line.
+  StatusOr<BasicImplication> ParseImplication(std::string_view line) const;
+
+  /// Parses a whole document: one implication per non-empty, non-comment
+  /// line. The resulting formula is a member of L^k_basic with k = #lines.
+  StatusOr<KnowledgeFormula> ParseFormula(std::string_view text) const;
+
+ private:
+  const Table& table_;
+  size_t sensitive_column_;
+};
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_KNOWLEDGE_PARSER_H_

@@ -1,0 +1,81 @@
+// The full-domain generalization lattice.
+//
+// A lattice node fixes one generalization level per quasi-identifier. The
+// partial order matches the paper's ⪯ on bucketizations: raising any level
+// coarsens every bucket (each coarser bucket is a union of finer ones), so
+// node a ⪯ node b iff a's levels are componentwise <= b's. Bottom (all
+// zeros) is the most specific bucketization B_⊥-like node; Top (all max) has
+// every quasi-identifier suppressed.
+
+#ifndef CKSAFE_LATTICE_LATTICE_H_
+#define CKSAFE_LATTICE_LATTICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cksafe/hierarchy/hierarchy.h"
+#include "cksafe/util/random.h"
+#include "cksafe/util/status.h"
+
+namespace cksafe {
+
+/// One generalization level per quasi-identifier.
+using LatticeNode = std::vector<int>;
+
+/// Enumerable product lattice of per-attribute generalization ladders.
+class GeneralizationLattice {
+ public:
+  /// `num_levels[i]` is the number of levels of ladder i (all >= 1).
+  explicit GeneralizationLattice(std::vector<size_t> num_levels);
+
+  /// Builds the lattice implied by a set of quasi-identifiers.
+  static GeneralizationLattice FromQuasiIdentifiers(
+      const std::vector<QuasiIdentifier>& qis);
+
+  size_t num_attributes() const { return num_levels_.size(); }
+  const std::vector<size_t>& num_levels() const { return num_levels_; }
+
+  /// Total number of nodes (product of level counts).
+  uint64_t num_nodes() const;
+
+  LatticeNode Bottom() const;
+  LatticeNode Top() const;
+
+  /// Sum of levels; Bottom has height 0.
+  size_t Height(const LatticeNode& node) const;
+  size_t MaxHeight() const;
+
+  /// True iff a is componentwise <= b (a at least as specific as b).
+  bool Leq(const LatticeNode& a, const LatticeNode& b) const;
+
+  /// Immediate coarsenings: one level raised by 1.
+  std::vector<LatticeNode> Parents(const LatticeNode& node) const;
+  /// Immediate refinements: one level lowered by 1.
+  std::vector<LatticeNode> Children(const LatticeNode& node) const;
+
+  /// Mixed-radix encoding for use as a hash/map key.
+  uint64_t Encode(const LatticeNode& node) const;
+  LatticeNode Decode(uint64_t code) const;
+
+  /// All nodes with the given height, lexicographically ordered.
+  std::vector<LatticeNode> NodesAtHeight(size_t height) const;
+
+  /// All nodes ordered by (height, lexicographic) — bottom-up sweeps.
+  std::vector<LatticeNode> AllNodes() const;
+
+  /// A maximal chain Bottom -> Top raising attributes left to right.
+  std::vector<LatticeNode> CanonicalChain() const;
+
+  /// A uniformly random maximal chain Bottom -> Top.
+  std::vector<LatticeNode> RandomChain(Rng* rng) const;
+
+  /// OK iff the node has the right arity and every level is in range.
+  Status Validate(const LatticeNode& node) const;
+
+ private:
+  std::vector<size_t> num_levels_;
+};
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_LATTICE_LATTICE_H_

@@ -1,0 +1,59 @@
+// Lattice searches for minimally sanitized bucketizations (Section 3.4).
+//
+// Theorem 14 (monotonicity): coarsening a bucketization never increases
+// maximum disclosure, so "is (c,k)-safe" is a monotone predicate on the
+// generalization lattice. That enables
+//  * binary search along any maximal chain (logarithmic in chain length),
+//  * Incognito-style bottom-up enumeration of *all* ⪯-minimal safe nodes,
+//    pruning every ancestor of a discovered safe node without evaluation.
+// Both accept an arbitrary monotone predicate, so the same machinery runs
+// k-anonymity, ℓ-diversity and (c,k)-safety (the paper's point that the
+// safety check simply replaces the k-anonymity check in Incognito).
+
+#ifndef CKSAFE_SEARCH_LATTICE_SEARCH_H_
+#define CKSAFE_SEARCH_LATTICE_SEARCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cksafe/lattice/lattice.h"
+
+namespace cksafe {
+
+/// Monotone safety predicate over lattice nodes: if it holds at a node it
+/// must hold at every coarser node.
+using NodePredicate = std::function<bool(const LatticeNode&)>;
+
+/// Counters describing the work a search performed.
+struct LatticeSearchStats {
+  uint64_t nodes_visited = 0;   ///< nodes considered
+  uint64_t evaluations = 0;     ///< predicate evaluations actually run
+  uint64_t implied_safe = 0;    ///< nodes skipped by monotonicity pruning
+};
+
+/// All ⪯-minimal safe nodes plus search statistics.
+struct LatticeSearchResult {
+  std::vector<LatticeNode> minimal_safe_nodes;
+  LatticeSearchStats stats;
+};
+
+/// Bottom-up breadth-first enumeration of all minimal safe nodes.
+/// With `use_pruning` (the Incognito behaviour) ancestors of safe nodes are
+/// marked safe without evaluating the predicate; without it every node is
+/// evaluated (the ablation baseline for the search benchmark).
+LatticeSearchResult FindMinimalSafeNodes(const GeneralizationLattice& lattice,
+                                         const NodePredicate& is_safe,
+                                         bool use_pruning = true);
+
+/// Least index on `chain` whose node is safe, by binary search; nullopt if
+/// the chain's last node is unsafe. The chain must be ordered from specific
+/// to general (monotone predicate ⇒ safe indices form a suffix).
+std::optional<size_t> ChainBinarySearch(const std::vector<LatticeNode>& chain,
+                                        const NodePredicate& is_safe,
+                                        LatticeSearchStats* stats = nullptr);
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_SEARCH_LATTICE_SEARCH_H_

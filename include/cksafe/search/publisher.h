@@ -1,0 +1,71 @@
+// End-to-end publishing pipeline: search the generalization lattice for all
+// minimal (c,k)-safe nodes, pick the one with the best utility, and emit an
+// Anatomy-style release (generalized quasi-identifiers + per-bucket
+// permuted sensitive values). This is the workflow Section 3.4 describes:
+// Incognito with the k-anonymity check replaced by the (c,k)-safety check,
+// then utility-based selection among the minimal safe bucketizations.
+
+#ifndef CKSAFE_SEARCH_PUBLISHER_H_
+#define CKSAFE_SEARCH_PUBLISHER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cksafe/anon/bucketization.h"
+#include "cksafe/core/disclosure.h"
+#include "cksafe/search/lattice_search.h"
+#include "cksafe/search/utility.h"
+
+namespace cksafe {
+
+/// Configuration for a publishing run.
+struct PublisherOptions {
+  /// Disclosure threshold c of (c,k)-safety (Definition 13).
+  double c = 0.7;
+  /// Attacker power bound: number of basic implications.
+  size_t k = 3;
+  /// Tie-break among minimal safe nodes (lower score wins).
+  UtilityObjective objective = UtilityObjective::kDiscernibility;
+  /// Seed for the published within-bucket permutations.
+  uint64_t seed = 0x5afe5afeULL;
+  /// Incognito-style pruning during the lattice search.
+  bool use_pruning = true;
+};
+
+/// Result of a successful publishing run.
+struct PublishedRelease {
+  LatticeNode node;                 ///< chosen generalization levels
+  Bucketization bucketization;      ///< buckets at the chosen node
+  UtilityMetrics utility;           ///< utility of the chosen node
+  WorstCaseDisclosure worst_case;   ///< residual worst-case adversary
+  /// Person-indexed sensitive codes after within-bucket permutation — the
+  /// column a data consumer would receive.
+  std::vector<int32_t> published_sensitive;
+  /// All minimal safe nodes found (the chosen one included).
+  std::vector<LatticeNode> minimal_safe_nodes;
+  LatticeSearchStats search_stats;
+};
+
+/// Runs the search + selection + release pipeline.
+class Publisher {
+ public:
+  explicit Publisher(PublisherOptions options) : options_(options) {}
+
+  /// Returns NotFound when even the fully suppressed table exceeds the
+  /// disclosure threshold.
+  StatusOr<PublishedRelease> Publish(const Table& table,
+                                     const std::vector<QuasiIdentifier>& qis,
+                                     size_t sensitive_column) const;
+
+  /// Renders the release for human inspection (bucket table + audit).
+  static std::string Summary(const PublishedRelease& release,
+                             const Table& table, size_t sensitive_column);
+
+ private:
+  PublisherOptions options_;
+};
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_SEARCH_PUBLISHER_H_

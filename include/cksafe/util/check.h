@@ -1,0 +1,73 @@
+// CHECK macros: fatal assertions for programmer errors.
+//
+// CKSAFE_CHECK(cond) aborts the process with a message when `cond` is false.
+// Use for invariants and contract violations that indicate a bug, never for
+// conditions triggered by user input (those return Status; see status.h).
+// Additional context can be streamed: CKSAFE_CHECK(x > 0) << "x was" << x;
+// CKSAFE_DCHECK compiles to a no-op in NDEBUG builds.
+
+#ifndef CKSAFE_UTIL_CHECK_H_
+#define CKSAFE_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace cksafe {
+namespace internal {
+
+/// Accumulates a failure message and aborts on destruction.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << kind << " failed at " << file << ":" << line << ": "
+            << condition;
+  }
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& v) {
+    stream_ << " " << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lower-precedence-than-<< sink that turns the streamed expression void,
+/// so the CHECK macro can sit in a ternary operator (glog's trick).
+struct Voidify {
+  void operator&(const CheckFailureStream&) const {}
+};
+
+}  // namespace internal
+}  // namespace cksafe
+
+#define CKSAFE_CHECK(cond)                                       \
+  (cond) ? (void)0                                               \
+         : ::cksafe::internal::Voidify() &                       \
+               ::cksafe::internal::CheckFailureStream(           \
+                   "CKSAFE_CHECK", __FILE__, __LINE__, #cond)
+
+#define CKSAFE_CHECK_OP_(op, a, b) \
+  CKSAFE_CHECK((a)op(b)) << "(" #a " " #op " " #b ")"
+#define CKSAFE_CHECK_EQ(a, b) CKSAFE_CHECK_OP_(==, a, b)
+#define CKSAFE_CHECK_NE(a, b) CKSAFE_CHECK_OP_(!=, a, b)
+#define CKSAFE_CHECK_LT(a, b) CKSAFE_CHECK_OP_(<, a, b)
+#define CKSAFE_CHECK_LE(a, b) CKSAFE_CHECK_OP_(<=, a, b)
+#define CKSAFE_CHECK_GT(a, b) CKSAFE_CHECK_OP_(>, a, b)
+#define CKSAFE_CHECK_GE(a, b) CKSAFE_CHECK_OP_(>=, a, b)
+
+#ifdef NDEBUG
+// The condition is not evaluated; `true ||` keeps it syntactically alive so
+// it still has to compile.
+#define CKSAFE_DCHECK(cond) CKSAFE_CHECK(true || (cond))
+#else
+#define CKSAFE_DCHECK(cond) CKSAFE_CHECK(cond)
+#endif
+
+#endif  // CKSAFE_UTIL_CHECK_H_

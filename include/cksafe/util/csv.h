@@ -1,0 +1,31 @@
+// Minimal CSV reading/writing used by the Adult loader and bench harnesses.
+//
+// Supports the subset of CSV the UCI Adult file uses: comma separation, no
+// quoting, optional surrounding whitespace per field. Lines are records;
+// blank lines are skipped.
+
+#ifndef CKSAFE_UTIL_CSV_H_
+#define CKSAFE_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "cksafe/util/status.h"
+
+namespace cksafe {
+
+/// Parses one CSV line into trimmed fields.
+std::vector<std::string> ParseCsvLine(const std::string& line, char delimiter = ',');
+
+/// Reads an entire CSV file. Returns one row per non-blank line.
+StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, char delimiter = ',');
+
+/// Writes rows as CSV (no quoting; fields must not contain the delimiter).
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    char delimiter = ',');
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_UTIL_CSV_H_

@@ -1,0 +1,52 @@
+// Tiny command-line flag parser for example and bench binaries.
+//
+// Accepts flags of the form --name=value or --name value. Unknown flags are
+// reported as errors so typos do not silently change an experiment.
+
+#ifndef CKSAFE_UTIL_FLAGS_H_
+#define CKSAFE_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cksafe/util/status.h"
+
+namespace cksafe {
+
+/// Declarative flag set: register flags, then Parse(argc, argv).
+class FlagParser {
+ public:
+  /// Registers a flag bound to `target` with a help string.
+  void AddInt64(const std::string& name, int64_t* target, std::string help);
+  void AddDouble(const std::string& name, double* target, std::string help);
+  void AddString(const std::string& name, std::string* target, std::string help);
+  void AddBool(const std::string& name, bool* target, std::string help);
+
+  /// Parses argv; returns InvalidArgument for unknown flags or bad values.
+  /// Positional (non-flag) arguments are collected into positional().
+  Status Parse(int argc, char** argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders a usage block listing all registered flags and defaults.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kInt64, kDouble, kString, kBool };
+  struct FlagInfo {
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_value;
+  };
+  Status SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, FlagInfo> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_UTIL_FLAGS_H_

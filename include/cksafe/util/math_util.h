@@ -1,0 +1,42 @@
+// Small numeric helpers shared across modules: entropy, tolerant floating
+// point comparison, and checked ratios.
+
+#ifndef CKSAFE_UTIL_MATH_UTIL_H_
+#define CKSAFE_UTIL_MATH_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cksafe {
+
+/// Default absolute tolerance used when comparing probabilities produced by
+/// different algorithms (DP vs. exact enumeration).
+inline constexpr double kProbabilityEpsilon = 1e-9;
+
+/// True iff |a - b| <= eps.
+bool ApproxEqual(double a, double b, double eps = kProbabilityEpsilon);
+
+/// Shannon entropy (in nats) of the distribution induced by `counts`.
+/// Zero counts contribute nothing. Returns 0 for an empty or all-zero input.
+/// The paper's Figure 6 x-axis is this quantity (natural log), minimized
+/// over buckets.
+double EntropyNats(const std::vector<uint32_t>& counts);
+
+/// Shannon entropy in bits (log base 2) of the same distribution.
+double EntropyBits(const std::vector<uint32_t>& counts);
+
+/// a / b, with 0 / 0 == 0. CHECK-fails on x / 0 for x != 0.
+double SafeDiv(double a, double b);
+
+/// Binomial coefficient n choose k as double (no overflow for the small
+/// arguments used by the exact engine's cost model).
+double BinomialCoefficient(uint32_t n, uint32_t k);
+
+/// Number of distinct permutations of a multiset with the given
+/// multiplicities: (sum m_i)! / prod(m_i!). Returned as double; saturates to
+/// +inf beyond double range (used only for cost estimation / reporting).
+double MultisetPermutationCount(const std::vector<uint32_t>& multiplicities);
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_UTIL_MATH_UTIL_H_

@@ -1,0 +1,158 @@
+// Status / StatusOr: the library's error model.
+//
+// cksafe never throws exceptions from library code. Operations that can fail
+// return a Status (or a StatusOr<T> when they also produce a value); logic
+// errors that indicate programmer mistakes use CKSAFE_CHECK (see check.h).
+// The design follows the RocksDB / Abseil convention: a small, cheaply
+// copyable value type carrying a code and a human-readable message.
+
+#ifndef CKSAFE_UTIL_STATUS_H_
+#define CKSAFE_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "cksafe/util/check.h"
+
+namespace cksafe {
+
+/// Error category for a failed operation.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< caller passed malformed input
+  kNotFound = 2,          ///< a requested entity does not exist
+  kOutOfRange = 3,        ///< index / level outside its domain
+  kFailedPrecondition = 4,///< object state does not permit the operation
+  kAlreadyExists = 5,     ///< uniqueness violated
+  kResourceExhausted = 6, ///< explicit budget (e.g. enumeration cap) exceeded
+  kInternal = 7,          ///< invariant violation surfaced as recoverable error
+  kUnimplemented = 8,     ///< feature intentionally not provided
+  kIOError = 9,           ///< filesystem / parsing failure
+};
+
+/// Returns a stable lower-case name for a code ("ok", "invalid_argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy when OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or a non-OK Status explaining its absence.
+///
+/// Accessors CHECK-fail when the value is absent; callers must test ok()
+/// first (or use value_or semantics via status()).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a value: OK result.
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from an error status. CHECK-fails if `status.ok()`.
+  StatusOr(Status status) : status_(std::move(status)) {
+    CKSAFE_CHECK(!status_.ok()) << "StatusOr constructed from OK status without value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CKSAFE_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CKSAFE_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CKSAFE_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define CKSAFE_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::cksafe::Status _cksafe_st = (expr);             \
+    if (!_cksafe_st.ok()) return _cksafe_st;          \
+  } while (0)
+
+/// Assigns the value of a StatusOr expression to `lhs`, or propagates the error.
+#define CKSAFE_ASSIGN_OR_RETURN(lhs, expr)            \
+  CKSAFE_ASSIGN_OR_RETURN_IMPL_(                      \
+      CKSAFE_STATUS_CONCAT_(_cksafe_sor, __LINE__), lhs, expr)
+#define CKSAFE_STATUS_CONCAT_INNER_(a, b) a##b
+#define CKSAFE_STATUS_CONCAT_(a, b) CKSAFE_STATUS_CONCAT_INNER_(a, b)
+#define CKSAFE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_UTIL_STATUS_H_

@@ -1,0 +1,43 @@
+// String helpers: splitting, trimming, joining, numeric parsing.
+
+#ifndef CKSAFE_UTIL_STRING_UTIL_H_
+#define CKSAFE_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cksafe/util/status.h"
+
+namespace cksafe {
+
+/// Splits `input` on `delimiter`; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Lower-cases ASCII characters.
+std::string ToLower(std::string_view input);
+
+/// Parses a base-10 signed integer; rejects trailing garbage.
+StatusOr<int64_t> ParseInt64(std::string_view input);
+
+/// Parses a floating-point number; rejects trailing garbage.
+StatusOr<double> ParseDouble(std::string_view input);
+
+/// True iff `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,37 @@
+// Fixed-width text table rendering for figure harnesses and examples.
+//
+// The bench binaries print the paper's tables/series in aligned columns so
+// the output can be eyeballed against the figures and diffed between runs.
+
+#ifndef CKSAFE_UTIL_TEXT_TABLE_H_
+#define CKSAFE_UTIL_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace cksafe {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row (ragged rows are allowed; missing cells render empty).
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string FormatDouble(double value, int precision = 4);
+
+  /// Renders the table. Columns are separated by two spaces; a rule line
+  /// separates the header from the body.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_UTIL_TEXT_TABLE_H_

@@ -1,0 +1,240 @@
+#include "cksafe/anon/bucketization.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "cksafe/util/math_util.h"
+#include "cksafe/util/string_util.h"
+
+namespace cksafe {
+
+Status Bucketization::AddBucket(Bucket bucket) {
+  if (bucket.members.empty()) {
+    return Status::InvalidArgument("bucket must be non-empty");
+  }
+  if (bucket.histogram.size() != sensitive_domain_size_) {
+    return Status::InvalidArgument(
+        StrFormat("histogram size %zu != sensitive domain %zu",
+                  bucket.histogram.size(), sensitive_domain_size_));
+  }
+  uint64_t total = 0;
+  for (uint32_t c : bucket.histogram) total += c;
+  if (total != bucket.members.size()) {
+    return Status::InvalidArgument(
+        StrFormat("histogram total %llu != member count %zu",
+                  static_cast<unsigned long long>(total),
+                  bucket.members.size()));
+  }
+  for (PersonId p : bucket.members) {
+    if (p < bucket_of_.size() && bucket_of_[p] >= 0) {
+      return Status::AlreadyExists(
+          StrFormat("person %u already in bucket %d", p, bucket_of_[p]));
+    }
+  }
+  const int32_t index = static_cast<int32_t>(buckets_.size());
+  for (PersonId p : bucket.members) {
+    if (p >= bucket_of_.size()) bucket_of_.resize(p + 1, -1);
+    bucket_of_[p] = index;
+  }
+  num_tuples_ += bucket.members.size();
+  buckets_.push_back(std::move(bucket));
+  return Status::OK();
+}
+
+const Bucket& Bucketization::bucket(size_t i) const {
+  CKSAFE_CHECK_LT(i, buckets_.size());
+  return buckets_[i];
+}
+
+StatusOr<size_t> Bucketization::BucketOf(PersonId person) const {
+  if (person >= bucket_of_.size() || bucket_of_[person] < 0) {
+    return Status::NotFound(StrFormat("person %u not in any bucket", person));
+  }
+  return static_cast<size_t>(bucket_of_[person]);
+}
+
+uint32_t Bucketization::MinBucketSize() const {
+  uint32_t min_size = buckets_.empty() ? 0 : buckets_[0].size();
+  for (const Bucket& b : buckets_) min_size = std::min(min_size, b.size());
+  return min_size;
+}
+
+double Bucketization::MinBucketEntropyNats() const {
+  double min_h = std::numeric_limits<double>::infinity();
+  for (const Bucket& b : buckets_) {
+    min_h = std::min(min_h, EntropyNats(b.histogram));
+  }
+  return buckets_.empty() ? 0.0 : min_h;
+}
+
+double Bucketization::MaxFrequencyRatio() const {
+  double worst = 0.0;
+  for (const Bucket& b : buckets_) {
+    uint32_t max_count = 0;
+    for (uint32_t c : b.histogram) max_count = std::max(max_count, c);
+    worst = std::max(worst, static_cast<double>(max_count) / b.size());
+  }
+  return worst;
+}
+
+std::vector<int32_t> Bucketization::SamplePublishedAssignment(Rng* rng) const {
+  CKSAFE_CHECK(rng != nullptr);
+  size_t max_person = 0;
+  for (const Bucket& b : buckets_) {
+    for (PersonId p : b.members) max_person = std::max<size_t>(max_person, p);
+  }
+  std::vector<int32_t> assignment(max_person + 1, -1);
+  for (const Bucket& b : buckets_) {
+    std::vector<int32_t> values;
+    values.reserve(b.members.size());
+    for (size_t s = 0; s < b.histogram.size(); ++s) {
+      values.insert(values.end(), b.histogram[s], static_cast<int32_t>(s));
+    }
+    rng->Shuffle(&values);
+    for (size_t i = 0; i < b.members.size(); ++i) {
+      assignment[b.members[i]] = values[i];
+    }
+  }
+  return assignment;
+}
+
+bool Bucketization::IsConsistentAssignment(
+    const std::vector<int32_t>& assignment) const {
+  for (const Bucket& b : buckets_) {
+    std::vector<uint32_t> seen(sensitive_domain_size_, 0);
+    for (PersonId p : b.members) {
+      if (p >= assignment.size()) return false;
+      const int32_t v = assignment[p];
+      if (v < 0 || static_cast<size_t>(v) >= sensitive_domain_size_) return false;
+      ++seen[static_cast<size_t>(v)];
+    }
+    if (seen != b.histogram) return false;
+  }
+  return true;
+}
+
+std::string Bucketization::ToString() const {
+  std::string out = StrFormat("Bucketization: %zu buckets, %zu tuples\n",
+                              buckets_.size(), num_tuples_);
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const Bucket& b = buckets_[i];
+    out += StrFormat("  bucket %zu [%s] n=%u histogram={", i,
+                     b.qi_label.c_str(), b.size());
+    bool first = true;
+    for (size_t s = 0; s < b.histogram.size(); ++s) {
+      if (b.histogram[s] == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += StrFormat("%zu:%u", s, b.histogram[s]);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+namespace {
+
+Status ValidateSensitiveColumn(const Table& table, size_t sensitive_column) {
+  if (sensitive_column >= table.num_columns()) {
+    return Status::OutOfRange("sensitive column out of range");
+  }
+  if (!table.schema().attribute(sensitive_column).is_categorical()) {
+    return Status::InvalidArgument("sensitive attribute must be categorical");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Bucketization> BucketizeAtNode(const Table& table,
+                                        const std::vector<QuasiIdentifier>& qis,
+                                        const LatticeNode& node,
+                                        size_t sensitive_column) {
+  CKSAFE_RETURN_IF_ERROR(ValidateSensitiveColumn(table, sensitive_column));
+  if (node.size() != qis.size()) {
+    return Status::InvalidArgument("node arity != number of quasi-identifiers");
+  }
+  for (size_t i = 0; i < qis.size(); ++i) {
+    if (qis[i].column >= table.num_columns()) {
+      return Status::OutOfRange("quasi-identifier column out of range");
+    }
+    if (node[i] < 0 ||
+        static_cast<size_t>(node[i]) >= qis[i].hierarchy->num_levels()) {
+      return Status::OutOfRange("generalization level out of range");
+    }
+  }
+  const size_t domain =
+      table.schema().attribute(sensitive_column).domain_size();
+
+  // Group rows by their generalized QI key. std::map keeps bucket order
+  // deterministic across runs and platforms.
+  std::map<std::vector<int32_t>, std::vector<PersonId>> groups;
+  for (PersonId row = 0; row < table.num_rows(); ++row) {
+    std::vector<int32_t> key(qis.size());
+    for (size_t i = 0; i < qis.size(); ++i) {
+      key[i] = qis[i].hierarchy->GroupOf(table.at(row, qis[i].column),
+                                         static_cast<size_t>(node[i]));
+    }
+    groups[key].push_back(row);
+  }
+
+  Bucketization out(domain);
+  for (const auto& [key, members] : groups) {
+    Bucket b;
+    b.members = members;
+    b.histogram.assign(domain, 0);
+    for (PersonId p : members) {
+      ++b.histogram[static_cast<size_t>(table.at(p, sensitive_column))];
+    }
+    std::vector<std::string> labels;
+    for (size_t i = 0; i < qis.size(); ++i) {
+      labels.push_back(qis[i].hierarchy->GroupLabel(
+          key[i], static_cast<size_t>(node[i])));
+    }
+    b.qi_label = Join(labels, ", ");
+    CKSAFE_RETURN_IF_ERROR(out.AddBucket(std::move(b)));
+  }
+  return out;
+}
+
+StatusOr<Bucketization> BucketizeAllInOne(const Table& table,
+                                          size_t sensitive_column) {
+  std::vector<PersonId> all(table.num_rows());
+  for (PersonId p = 0; p < table.num_rows(); ++p) all[p] = p;
+  return BucketizeExplicit(table, {all}, sensitive_column);
+}
+
+StatusOr<Bucketization> BucketizePerRow(const Table& table,
+                                        size_t sensitive_column) {
+  std::vector<std::vector<PersonId>> groups(table.num_rows());
+  for (PersonId p = 0; p < table.num_rows(); ++p) groups[p] = {p};
+  return BucketizeExplicit(table, groups, sensitive_column);
+}
+
+StatusOr<Bucketization> BucketizeExplicit(
+    const Table& table, const std::vector<std::vector<PersonId>>& groups,
+    size_t sensitive_column) {
+  CKSAFE_RETURN_IF_ERROR(ValidateSensitiveColumn(table, sensitive_column));
+  const size_t domain =
+      table.schema().attribute(sensitive_column).domain_size();
+  Bucketization out(domain);
+  for (const auto& members : groups) {
+    Bucket b;
+    b.members = members;
+    b.histogram.assign(domain, 0);
+    for (PersonId p : members) {
+      if (p >= table.num_rows()) {
+        return Status::OutOfRange(StrFormat("person %u out of range", p));
+      }
+      ++b.histogram[static_cast<size_t>(table.at(p, sensitive_column))];
+    }
+    CKSAFE_RETURN_IF_ERROR(out.AddBucket(std::move(b)));
+  }
+  if (out.num_tuples() != table.num_rows()) {
+    return Status::InvalidArgument("groups do not cover every row");
+  }
+  return out;
+}
+
+}  // namespace cksafe

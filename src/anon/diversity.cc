@@ -1,0 +1,68 @@
+#include "cksafe/anon/diversity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cksafe/util/math_util.h"
+
+namespace cksafe {
+
+bool IsKAnonymous(const Bucketization& b, uint32_t k) {
+  return b.MinBucketSize() >= k;
+}
+
+uint32_t MaxAnonymityK(const Bucketization& b) { return b.MinBucketSize(); }
+
+namespace {
+
+uint32_t DistinctValues(const Bucket& bucket) {
+  uint32_t distinct = 0;
+  for (uint32_t c : bucket.histogram) {
+    if (c > 0) ++distinct;
+  }
+  return distinct;
+}
+
+}  // namespace
+
+bool IsDistinctLDiverse(const Bucketization& b, uint32_t l) {
+  for (const Bucket& bucket : b.buckets()) {
+    if (DistinctValues(bucket) < l) return false;
+  }
+  return true;
+}
+
+uint32_t MaxDistinctL(const Bucketization& b) {
+  uint32_t min_distinct = UINT32_MAX;
+  for (const Bucket& bucket : b.buckets()) {
+    min_distinct = std::min(min_distinct, DistinctValues(bucket));
+  }
+  return b.num_buckets() == 0 ? 0 : min_distinct;
+}
+
+bool IsEntropyLDiverse(const Bucketization& b, double l) {
+  CKSAFE_CHECK(l >= 1.0);
+  return b.MinBucketEntropyNats() >= std::log(l) - 1e-12;
+}
+
+double MaxEntropyL(const Bucketization& b) {
+  return std::exp(b.MinBucketEntropyNats());
+}
+
+bool IsRecursiveCLDiverse(const Bucketization& b, double c, uint32_t l) {
+  CKSAFE_CHECK_GE(l, 1u);
+  for (const Bucket& bucket : b.buckets()) {
+    std::vector<uint32_t> counts;
+    for (uint32_t n : bucket.histogram) {
+      if (n > 0) counts.push_back(n);
+    }
+    std::sort(counts.begin(), counts.end(), std::greater<uint32_t>());
+    if (counts.size() < l) return false;
+    double tail = 0.0;
+    for (size_t i = l - 1; i < counts.size(); ++i) tail += counts[i];
+    if (static_cast<double>(counts[0]) >= c * tail) return false;
+  }
+  return true;
+}
+
+}  // namespace cksafe

@@ -1,0 +1,64 @@
+#include "cksafe/core/bucket_stats.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cksafe {
+
+uint32_t BucketStats::TopSum(size_t j) const {
+  return prefix[std::min(j, d())];
+}
+
+BucketStats BucketStats::FromHistogram(const std::vector<uint32_t>& histogram) {
+  BucketStats stats;
+  for (size_t code = 0; code < histogram.size(); ++code) {
+    if (histogram[code] == 0) continue;
+    stats.counts.push_back(histogram[code]);
+    stats.value_codes.push_back(static_cast<int32_t>(code));
+    stats.n += histogram[code];
+  }
+  // Sort by count descending, value code ascending.
+  std::vector<size_t> order(stats.counts.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (stats.counts[a] != stats.counts[b]) {
+      return stats.counts[a] > stats.counts[b];
+    }
+    return stats.value_codes[a] < stats.value_codes[b];
+  });
+  std::vector<uint32_t> sorted_counts(order.size());
+  std::vector<int32_t> sorted_codes(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    sorted_counts[i] = stats.counts[order[i]];
+    sorted_codes[i] = stats.value_codes[order[i]];
+  }
+  stats.counts = std::move(sorted_counts);
+  stats.value_codes = std::move(sorted_codes);
+
+  stats.prefix.resize(stats.counts.size() + 1);
+  stats.prefix[0] = 0;
+  for (size_t j = 0; j < stats.counts.size(); ++j) {
+    stats.prefix[j + 1] = stats.prefix[j] + stats.counts[j];
+  }
+  return stats;
+}
+
+std::string BucketStats::CountsKey() const {
+  std::string key;
+  key.reserve(counts.size() * sizeof(uint32_t));
+  for (uint32_t c : counts) {
+    key.append(reinterpret_cast<const char*>(&c), sizeof(c));
+  }
+  return key;
+}
+
+std::vector<BucketStats> ComputeBucketStats(const Bucketization& b) {
+  std::vector<BucketStats> stats;
+  stats.reserve(b.num_buckets());
+  for (const Bucket& bucket : b.buckets()) {
+    stats.push_back(BucketStats::FromHistogram(bucket.histogram));
+  }
+  return stats;
+}
+
+}  // namespace cksafe

@@ -1,0 +1,109 @@
+#include "cksafe/core/minimize1.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cksafe {
+
+namespace {
+constexpr double kInfeasible = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Minimize1Table::Minimize1Table(std::vector<uint32_t> sorted_counts,
+                               size_t max_k)
+    : counts_(std::move(sorted_counts)), max_k_(max_k) {
+  CKSAFE_CHECK(!counts_.empty()) << "bucket must contain at least one tuple";
+  CKSAFE_CHECK_LE(max_k, 255u) << "atom budget too large for choice storage";
+  prefix_.resize(counts_.size() + 1);
+  prefix_[0] = 0;
+  for (size_t j = 0; j < counts_.size(); ++j) {
+    CKSAFE_CHECK_GT(counts_[j], 0u);
+    if (j > 0) CKSAFE_CHECK_LE(counts_[j], counts_[j - 1]);
+    prefix_[j + 1] = prefix_[j] + counts_[j];
+    n_ += counts_[j];
+  }
+  i_limit_ = std::min<size_t>(max_k_, n_);
+
+  const size_t states = (i_limit_ + 1) * (max_k_ + 1) * (max_k_ + 1);
+  memo_.assign(states, 0.0);
+  computed_.assign(states, 0);
+  choice_.assign(states, 0);
+  // Precompute every entry reachable from the public entry points
+  // (0, m, m) for m <= max_k.
+  for (size_t m = 0; m <= max_k_; ++m) Solve(0, m, m);
+}
+
+size_t Minimize1Table::Index(size_t i, size_t cap, size_t rem) const {
+  CKSAFE_CHECK_LE(i, i_limit_);
+  CKSAFE_CHECK_LE(cap, max_k_);
+  CKSAFE_CHECK_LE(rem, max_k_);
+  return (i * (max_k_ + 1) + cap) * (max_k_ + 1) + rem;
+}
+
+double Minimize1Table::Factor(size_t i, size_t ki) const {
+  // Probability that the i-th chosen person avoids the bucket's top
+  // min(ki, d) values, given persons 0..i-1 avoided their (weakly larger)
+  // top sets. Lemma 12's telescoping term.
+  const double denom = static_cast<double>(n_) - static_cast<double>(i);
+  CKSAFE_CHECK_GT(denom, 0.0);
+  const double numer = static_cast<double>(n_) - static_cast<double>(i) -
+                       static_cast<double>(prefix_[std::min(ki, counts_.size())]);
+  return numer <= 0.0 ? 0.0 : numer / denom;
+}
+
+double Minimize1Table::Solve(size_t i, size_t cap, size_t rem) {
+  if (rem == 0) return 1.0;
+  if (i >= i_limit_ || i >= n_) return kInfeasible;  // no unused person left
+  const size_t index = Index(i, cap, rem);
+  if (computed_[index]) return memo_[index];
+
+  double best = kInfeasible;
+  uint8_t best_ki = 0;
+  const size_t ki_max = std::min(cap, rem);
+  for (size_t ki = 1; ki <= ki_max; ++ki) {
+    const double child = Solve(i + 1, ki, rem - ki);
+    if (child == kInfeasible) continue;
+    const double candidate = Factor(i, ki) * child;
+    if (candidate < best) {
+      best = candidate;
+      best_ki = static_cast<uint8_t>(ki);
+    }
+  }
+  computed_[index] = 1;
+  memo_[index] = best;
+  choice_[index] = best_ki;
+  return best;
+}
+
+double Minimize1Table::MinProbability(size_t m) const {
+  CKSAFE_CHECK_LE(m, max_k_);
+  if (m == 0) return 1.0;
+  const size_t index = Index(0, m, m);
+  CKSAFE_CHECK(computed_[index]);
+  const double value = memo_[index];
+  // Feasibility: at least one person exists, so with m >= 1 a structure
+  // always exists ((m) on one person).
+  CKSAFE_CHECK(value != kInfeasible);
+  return value;
+}
+
+std::vector<uint32_t> Minimize1Table::WitnessPartition(size_t m) const {
+  CKSAFE_CHECK_LE(m, max_k_);
+  std::vector<uint32_t> partition;
+  size_t i = 0;
+  size_t cap = m;
+  size_t rem = m;
+  while (rem > 0) {
+    const size_t index = Index(i, cap, rem);
+    CKSAFE_CHECK(computed_[index]);
+    const uint8_t ki = choice_[index];
+    CKSAFE_CHECK_GT(ki, 0u);
+    partition.push_back(ki);
+    cap = ki;
+    rem -= ki;
+    ++i;
+  }
+  return partition;
+}
+
+}  // namespace cksafe

@@ -1,0 +1,85 @@
+#include "cksafe/data/csv_table.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "cksafe/util/csv.h"
+#include "cksafe/util/string_util.h"
+
+namespace cksafe {
+
+StatusOr<Table> TableFromCsv(const std::string& path,
+                             CsvTableOptions options) {
+  CKSAFE_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path, options.delimiter));
+  if (rows.empty()) return Status::InvalidArgument("no header row in " + path);
+  const std::vector<std::string> header = rows.front();
+  const size_t num_columns = header.size();
+  if (num_columns == 0) return Status::InvalidArgument("empty header");
+
+  // Pass 1: drop rows with missing values, validate arity, classify
+  // columns and collect labels / ranges.
+  std::vector<const std::vector<std::string>*> data;
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != num_columns) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu has %zu fields, header has %zu", r,
+                    rows[r].size(), num_columns));
+    }
+    bool missing = false;
+    if (!options.missing_marker.empty()) {
+      for (const std::string& cell : rows[r]) {
+        if (cell == options.missing_marker) missing = true;
+      }
+    }
+    if (!missing) data.push_back(&rows[r]);
+  }
+  if (data.empty()) {
+    return Status::InvalidArgument("no complete data rows in " + path);
+  }
+
+  std::vector<AttributeDef> defs;
+  defs.reserve(num_columns);
+  for (size_t c = 0; c < num_columns; ++c) {
+    bool numeric = true;
+    int64_t min_value = 0;
+    int64_t max_value = 0;
+    bool first = true;
+    for (const auto* row : data) {
+      auto parsed = ParseInt64((*row)[c]);
+      if (!parsed.ok()) {
+        numeric = false;
+        break;
+      }
+      if (first || *parsed < min_value) min_value = *parsed;
+      if (first || *parsed > max_value) max_value = *parsed;
+      first = false;
+    }
+    if (numeric && min_value >= INT32_MIN && max_value <= INT32_MAX) {
+      defs.push_back(AttributeDef::Numeric(header[c],
+                                           static_cast<int32_t>(min_value),
+                                           static_cast<int32_t>(max_value)));
+      continue;
+    }
+    // Categorical: labels in first-occurrence order for determinism.
+    std::vector<std::string> labels;
+    std::set<std::string> seen;
+    for (const auto* row : data) {
+      if (seen.insert((*row)[c]).second) labels.push_back((*row)[c]);
+      if (labels.size() > options.max_categories) {
+        return Status::ResourceExhausted(
+            StrFormat("column '%s' exceeds %zu distinct labels",
+                      header[c].c_str(), options.max_categories));
+      }
+    }
+    defs.push_back(AttributeDef::Categorical(header[c], std::move(labels)));
+  }
+
+  Table table{Schema(std::move(defs))};
+  for (const auto* row : data) {
+    CKSAFE_RETURN_IF_ERROR(table.AppendRowFromText(*row));
+  }
+  return table;
+}
+
+}  // namespace cksafe

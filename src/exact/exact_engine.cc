@@ -1,0 +1,443 @@
+#include "cksafe/exact/exact_engine.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "cksafe/exact/world_enumerator.h"
+#include "cksafe/util/math_util.h"
+#include "cksafe/util/string_util.h"
+
+namespace cksafe {
+
+StatusOr<ExactEngine> ExactEngine::Create(const Bucketization& bucketization,
+                                          ExactEngineOptions options) {
+  WorldEnumerator enumerator(bucketization);
+  const double world_count = enumerator.WorldCount();
+  if (world_count > static_cast<double>(options.max_worlds)) {
+    return Status::ResourceExhausted(
+        StrFormat("instance has %.3g consistent worlds, cap is %llu",
+                  world_count,
+                  static_cast<unsigned long long>(options.max_worlds)));
+  }
+
+  ExactEngine engine;
+  engine.domain_size_ = bucketization.sensitive_domain_size();
+  for (const Bucket& b : bucketization.buckets()) {
+    for (PersonId p : b.members) engine.persons_.push_back(p);
+  }
+  std::sort(engine.persons_.begin(), engine.persons_.end());
+  const size_t max_person =
+      engine.persons_.empty() ? 0 : engine.persons_.back() + 1;
+  engine.person_index_.assign(max_person, -1);
+  for (size_t i = 0; i < engine.persons_.size(); ++i) {
+    engine.person_index_[engine.persons_[i]] = static_cast<int32_t>(i);
+  }
+
+  const size_t n_worlds = static_cast<size_t>(world_count);
+  engine.num_worlds_ = n_worlds;
+  engine.atom_bits_.assign(engine.persons_.size() * engine.domain_size_,
+                           Bitset(n_worlds));
+  engine.present_.assign(engine.atom_bits_.size(), false);
+  for (const Bucket& b : bucketization.buckets()) {
+    for (PersonId p : b.members) {
+      const size_t dense = static_cast<size_t>(engine.person_index_[p]);
+      for (size_t s = 0; s < engine.domain_size_; ++s) {
+        if (b.histogram[s] > 0) {
+          engine.present_[dense * engine.domain_size_ + s] = true;
+        }
+      }
+    }
+  }
+
+  size_t world_index = 0;
+  enumerator.ForEachWorld([&](const std::vector<int32_t>& world) {
+    CKSAFE_CHECK_LT(world_index, n_worlds);
+    for (size_t i = 0; i < engine.persons_.size(); ++i) {
+      const int32_t value = world[engine.persons_[i]];
+      CKSAFE_CHECK_GE(value, 0);
+      engine.atom_bits_[i * engine.domain_size_ + static_cast<size_t>(value)]
+          .Set(world_index);
+    }
+    ++world_index;
+    return true;
+  });
+  CKSAFE_CHECK_EQ(world_index, n_worlds);
+  return engine;
+}
+
+size_t ExactEngine::AtomIndex(const Atom& atom) const {
+  CKSAFE_CHECK_LT(atom.person, person_index_.size());
+  const int32_t dense = person_index_[atom.person];
+  CKSAFE_CHECK_GE(dense, 0) << "person not in bucketization";
+  CKSAFE_CHECK_GE(atom.value, 0);
+  CKSAFE_CHECK_LT(static_cast<size_t>(atom.value), domain_size_);
+  return static_cast<size_t>(dense) * domain_size_ +
+         static_cast<size_t>(atom.value);
+}
+
+const Bitset& ExactEngine::AtomWorlds(const Atom& atom) const {
+  return atom_bits_[AtomIndex(atom)];
+}
+
+Bitset ExactEngine::FormulaWorlds(const KnowledgeFormula& formula) const {
+  Bitset result(num_worlds_, /*all_ones=*/true);
+  for (const BasicImplication& imp : formula.implications()) {
+    // (∧ antecedents) → (∨ consequents) == ¬(∧ antecedents) ∨ (∨ consequents)
+    Bitset antecedent(num_worlds_, /*all_ones=*/true);
+    for (const Atom& a : imp.antecedents) antecedent &= AtomWorlds(a);
+    Bitset holds = antecedent.Not();
+    for (const Atom& b : imp.consequents) holds |= AtomWorlds(b);
+    result &= holds;
+  }
+  return result;
+}
+
+bool ExactEngine::IsConsistent(const KnowledgeFormula& formula) const {
+  return FormulaWorlds(formula).Any();
+}
+
+uint64_t ExactEngine::CountWorlds(const KnowledgeFormula& formula) const {
+  return FormulaWorlds(formula).Count();
+}
+
+StatusOr<double> ExactEngine::ConditionalProbability(
+    const Atom& target, const KnowledgeFormula& formula) const {
+  const Bitset sat = FormulaWorlds(formula);
+  const size_t denom = sat.Count();
+  if (denom == 0) {
+    return Status::FailedPrecondition(
+        "formula is inconsistent with the bucketization");
+  }
+  const size_t numer = Bitset::AndCount(sat, AtomWorlds(target));
+  return static_cast<double>(numer) / static_cast<double>(denom);
+}
+
+StatusOr<ExactDisclosure> ExactEngine::DisclosureRisk(
+    const KnowledgeFormula& formula) const {
+  const Bitset sat = FormulaWorlds(formula);
+  const size_t denom = sat.Count();
+  if (denom == 0) {
+    return Status::FailedPrecondition(
+        "formula is inconsistent with the bucketization");
+  }
+  ExactDisclosure best;
+  best.formula = formula;
+  for (size_t i = 0; i < persons_.size(); ++i) {
+    for (size_t s = 0; s < domain_size_; ++s) {
+      const size_t numer =
+          Bitset::AndCount(sat, atom_bits_[i * domain_size_ + s]);
+      const double p = static_cast<double>(numer) / static_cast<double>(denom);
+      if (p > best.disclosure) {
+        best.disclosure = p;
+        best.target = Atom{persons_[i], static_cast<int32_t>(s)};
+      }
+    }
+  }
+  return best;
+}
+
+namespace {
+
+// Disclosure of a satisfying-world bitset against either all atoms or a
+// specific set of candidate targets.
+struct TargetScan {
+  double disclosure = 0.0;
+  size_t best_atom_index = 0;
+};
+
+}  // namespace
+
+StatusOr<ExactDisclosure> ExactEngine::MaxDisclosureSimpleImplications(
+    size_t k, bool same_consequent, BruteForceOptions options) const {
+  const size_t num_atoms = persons_.size() * domain_size_;
+  // Formula count estimate: multisets of implications.
+  //   same consequent: num_atoms consequents x C(num_atoms + k - 1, k)
+  //   general: C(num_atoms^2 + k - 1, k)
+  double formula_count;
+  if (same_consequent) {
+    formula_count = static_cast<double>(num_atoms) *
+                    BinomialCoefficient(static_cast<uint32_t>(num_atoms + k - 1),
+                                        static_cast<uint32_t>(k));
+  } else {
+    const double pairs = static_cast<double>(num_atoms) * num_atoms;
+    formula_count = 1.0;
+    for (size_t i = 0; i < k; ++i) formula_count *= (pairs + i);
+    for (size_t i = 1; i <= k; ++i) formula_count /= static_cast<double>(i);
+  }
+  if (formula_count > static_cast<double>(options.max_formulas)) {
+    return Status::ResourceExhausted(
+        StrFormat("brute force would evaluate %.3g formulas, cap is %llu",
+                  formula_count,
+                  static_cast<unsigned long long>(options.max_formulas)));
+  }
+
+  auto atom_at = [&](size_t index) {
+    return Atom{persons_[index / domain_size_],
+                static_cast<int32_t>(index % domain_size_)};
+  };
+
+  ExactDisclosure best;
+  bool found = false;
+
+  // Evaluates one candidate conjunction bitmap; updates `best`.
+  auto consider = [&](const Bitset& sat,
+                      const std::vector<SimpleImplication>& implications) {
+    const size_t denom = sat.Count();
+    if (denom == 0) return;  // inconsistent knowledge: conditioning undefined
+    auto scan_target = [&](const Bitset& target_bits, const Atom& target) {
+      const size_t numer = Bitset::AndCount(sat, target_bits);
+      const double p = static_cast<double>(numer) / static_cast<double>(denom);
+      if (!found || p > best.disclosure) {
+        found = true;
+        best.disclosure = p;
+        best.target = target;
+        KnowledgeFormula formula;
+        for (const SimpleImplication& imp : implications) {
+          formula.AddSimple(imp);
+        }
+        best.formula = std::move(formula);
+      }
+    };
+    if (options.all_targets) {
+      for (size_t t = 0; t < num_atoms; ++t) {
+        scan_target(atom_bits_[t], atom_at(t));
+      }
+    } else {
+      for (const SimpleImplication& imp : implications) {
+        scan_target(AtomWorlds(imp.consequent), imp.consequent);
+      }
+    }
+  };
+
+  std::vector<SimpleImplication> current;
+
+  if (same_consequent) {
+    // For each consequent atom, choose a multiset of k antecedents.
+    for (size_t c = 0; c < num_atoms; ++c) {
+      if (options.require_present_values && !IsPresentValue(c)) continue;
+      const Atom consequent = atom_at(c);
+      std::function<void(size_t, const Bitset&)> rec = [&](size_t start,
+                                                           const Bitset& sat) {
+        if (current.size() == k) {
+          consider(sat, current);
+          return;
+        }
+        for (size_t a = start; a < num_atoms; ++a) {
+          if (options.require_present_values && !IsPresentValue(a)) continue;
+          const Atom antecedent = atom_at(a);
+          if (options.require_distinct_persons &&
+              antecedent.person == consequent.person) {
+            continue;
+          }
+          Bitset imp_bits = AtomWorlds(antecedent).Not();
+          imp_bits |= atom_bits_[c];
+          current.push_back(SimpleImplication{antecedent, consequent});
+          rec(a, sat & imp_bits);
+          current.pop_back();
+        }
+      };
+      rec(0, Bitset(num_worlds_, /*all_ones=*/true));
+    }
+  } else {
+    // Multisets of k arbitrary simple implications (ordered pairs of atoms).
+    const size_t num_pairs = num_atoms * num_atoms;
+    std::function<void(size_t, const Bitset&)> rec = [&](size_t start,
+                                                         const Bitset& sat) {
+      if (current.size() == k) {
+        consider(sat, current);
+        return;
+      }
+      for (size_t pair = start; pair < num_pairs; ++pair) {
+        if (options.require_present_values &&
+            (!IsPresentValue(pair / num_atoms) ||
+             !IsPresentValue(pair % num_atoms))) {
+          continue;
+        }
+        const Atom antecedent = atom_at(pair / num_atoms);
+        const Atom consequent = atom_at(pair % num_atoms);
+        if (options.require_distinct_persons &&
+            antecedent.person == consequent.person) {
+          continue;
+        }
+        Bitset imp_bits = AtomWorlds(antecedent).Not();
+        imp_bits |= AtomWorlds(consequent);
+        current.push_back(SimpleImplication{antecedent, consequent});
+        rec(pair, sat & imp_bits);
+        current.pop_back();
+      }
+    };
+    rec(0, Bitset(num_worlds_, /*all_ones=*/true));
+  }
+
+  if (!found) {
+    return Status::Internal("no consistent formula found (empty instance?)");
+  }
+  return best;
+}
+
+StatusOr<ExactDisclosure> ExactEngine::MaxDisclosureBasicImplications(
+    size_t k, size_t max_antecedents, size_t max_consequents,
+    BruteForceOptions options) const {
+  if (max_antecedents == 0 || max_consequents == 0) {
+    return Status::InvalidArgument("basic implications need >= 1 atom per side");
+  }
+  const size_t num_atoms = persons_.size() * domain_size_;
+  auto atom_at = [&](size_t index) {
+    return Atom{persons_[index / domain_size_],
+                static_cast<int32_t>(index % domain_size_)};
+  };
+
+  // Materialize every candidate implication: (non-empty atom subset of size
+  // <= max_antecedents) -> (non-empty atom subset of size <= max_consequents).
+  std::vector<std::vector<size_t>> sides[2];
+  const size_t side_caps[2] = {max_antecedents, max_consequents};
+  for (int side = 0; side < 2; ++side) {
+    std::vector<size_t> current;
+    std::function<void(size_t)> rec = [&](size_t start) {
+      if (!current.empty()) sides[side].push_back(current);
+      if (current.size() == side_caps[side]) return;
+      for (size_t a = start; a < num_atoms; ++a) {
+        current.push_back(a);
+        rec(a + 1);
+        current.pop_back();
+      }
+    };
+    rec(0);
+  }
+
+  const double num_implications =
+      static_cast<double>(sides[0].size()) * sides[1].size();
+  // Multisets of k implications.
+  double formula_count = 1.0;
+  for (size_t i = 0; i < k; ++i) formula_count *= (num_implications + i);
+  for (size_t i = 1; i <= k; ++i) formula_count /= static_cast<double>(i);
+  if (formula_count > static_cast<double>(options.max_formulas)) {
+    return Status::ResourceExhausted(
+        StrFormat("brute force would evaluate %.3g formulas, cap is %llu",
+                  formula_count,
+                  static_cast<unsigned long long>(options.max_formulas)));
+  }
+
+  // Bitmap and AST per candidate implication.
+  std::vector<Bitset> imp_bits;
+  std::vector<BasicImplication> imp_ast;
+  imp_bits.reserve(sides[0].size() * sides[1].size());
+  for (const auto& ante : sides[0]) {
+    Bitset ante_bits(num_worlds_, /*all_ones=*/true);
+    for (size_t a : ante) ante_bits &= atom_bits_[a];
+    const Bitset not_ante = ante_bits.Not();
+    for (const auto& cons : sides[1]) {
+      Bitset holds = not_ante;
+      for (size_t c : cons) holds |= atom_bits_[c];
+      imp_bits.push_back(std::move(holds));
+      BasicImplication imp;
+      for (size_t a : ante) imp.antecedents.push_back(atom_at(a));
+      for (size_t c : cons) imp.consequents.push_back(atom_at(c));
+      imp_ast.push_back(std::move(imp));
+    }
+  }
+
+  ExactDisclosure best;
+  bool found = false;
+  std::vector<size_t> chosen;
+  auto consider = [&](const Bitset& sat) {
+    const size_t denom = sat.Count();
+    if (denom == 0) return;
+    for (size_t t = 0; t < num_atoms; ++t) {
+      const size_t numer = Bitset::AndCount(sat, atom_bits_[t]);
+      const double p = static_cast<double>(numer) / static_cast<double>(denom);
+      if (!found || p > best.disclosure) {
+        found = true;
+        best.disclosure = p;
+        best.target = atom_at(t);
+        KnowledgeFormula formula;
+        for (size_t i : chosen) formula.Add(imp_ast[i]);
+        best.formula = std::move(formula);
+      }
+    }
+  };
+  std::function<void(size_t, const Bitset&)> rec = [&](size_t start,
+                                                       const Bitset& sat) {
+    if (chosen.size() == k) {
+      consider(sat);
+      return;
+    }
+    for (size_t i = start; i < imp_bits.size(); ++i) {
+      chosen.push_back(i);
+      rec(i, sat & imp_bits[i]);
+      chosen.pop_back();
+    }
+  };
+  rec(0, Bitset(num_worlds_, /*all_ones=*/true));
+
+  if (!found) return Status::Internal("no consistent formula found");
+  return best;
+}
+
+StatusOr<ExactDisclosure> ExactEngine::MaxDisclosureNegations(
+    size_t k, BruteForceOptions options) const {
+  const size_t num_atoms = persons_.size() * domain_size_;
+  const double formula_count =
+      BinomialCoefficient(static_cast<uint32_t>(num_atoms),
+                          static_cast<uint32_t>(k));
+  if (formula_count > static_cast<double>(options.max_formulas)) {
+    return Status::ResourceExhausted(
+        StrFormat("brute force would evaluate %.3g formulas, cap is %llu",
+                  formula_count,
+                  static_cast<unsigned long long>(options.max_formulas)));
+  }
+
+  auto atom_at = [&](size_t index) {
+    return Atom{persons_[index / domain_size_],
+                static_cast<int32_t>(index % domain_size_)};
+  };
+
+  ExactDisclosure best;
+  bool found = false;
+  std::vector<size_t> chosen;
+
+  auto consider = [&](const Bitset& sat) {
+    const size_t denom = sat.Count();
+    if (denom == 0) return;
+    for (size_t t = 0; t < num_atoms; ++t) {
+      const size_t numer = Bitset::AndCount(sat, atom_bits_[t]);
+      const double p = static_cast<double>(numer) / static_cast<double>(denom);
+      if (!found || p > best.disclosure) {
+        found = true;
+        best.disclosure = p;
+        best.target = atom_at(t);
+        KnowledgeFormula formula;
+        for (size_t index : chosen) {
+          const Atom atom = atom_at(index);
+          const int32_t other =
+              (atom.value + 1) % static_cast<int32_t>(domain_size_);
+          formula.AddNegation(atom, other);
+        }
+        best.formula = std::move(formula);
+      }
+    }
+  };
+
+  // Combinations (no repetition: a duplicated negation is redundant).
+  std::function<void(size_t, const Bitset&)> rec = [&](size_t start,
+                                                       const Bitset& sat) {
+    if (chosen.size() == k) {
+      consider(sat);
+      return;
+    }
+    for (size_t a = start; a < num_atoms; ++a) {
+      if (options.require_present_values && !IsPresentValue(a)) continue;
+      chosen.push_back(a);
+      rec(a + 1, sat & atom_bits_[a].Not());
+      chosen.pop_back();
+    }
+  };
+  rec(0, Bitset(num_worlds_, /*all_ones=*/true));
+
+  if (!found) {
+    return Status::Internal("no consistent negation set found");
+  }
+  return best;
+}
+
+}  // namespace cksafe

@@ -1,0 +1,124 @@
+#include "cksafe/exact/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cksafe/util/string_util.h"
+
+namespace cksafe {
+
+double PosteriorEstimate::MaxDisclosure(Atom* argmax) const {
+  double best = 0.0;
+  for (size_t i = 0; i < persons.size(); ++i) {
+    for (size_t s = 0; s < probability[i].size(); ++s) {
+      if (probability[i][s] > best) {
+        best = probability[i][s];
+        if (argmax != nullptr) {
+          *argmax = Atom{persons[i], static_cast<int32_t>(s)};
+        }
+      }
+    }
+  }
+  return best;
+}
+
+MonteCarloEngine::MonteCarloEngine(const Bucketization& bucketization,
+                                   SamplerOptions options)
+    : bucketization_(bucketization), options_(options) {
+  CKSAFE_CHECK_GT(options_.samples, 0u);
+  CKSAFE_CHECK_GT(bucketization.num_buckets(), 0u)
+      << "cannot sample an empty bucketization";
+}
+
+StatusOr<SampledProbability> MonteCarloEngine::EstimateConditionalProbability(
+    const Atom& target, const KnowledgeFormula& phi) const {
+  Rng rng(options_.seed);
+  uint64_t accepted = 0;
+  uint64_t hits = 0;
+  for (uint64_t i = 0; i < options_.samples; ++i) {
+    const std::vector<int32_t> world =
+        bucketization_.SamplePublishedAssignment(&rng);
+    if (!phi.Holds(world)) continue;
+    ++accepted;
+    if (target.Holds(world)) ++hits;
+  }
+  if (accepted < options_.min_accepted) {
+    return Status::FailedPrecondition(StrFormat(
+        "only %llu of %llu sampled worlds satisfy the formula (need %llu); "
+        "the knowledge is too selective for rejection sampling",
+        static_cast<unsigned long long>(accepted),
+        static_cast<unsigned long long>(options_.samples),
+        static_cast<unsigned long long>(options_.min_accepted)));
+  }
+  SampledProbability out;
+  out.accepted = accepted;
+  out.samples = options_.samples;
+  out.estimate = static_cast<double>(hits) / static_cast<double>(accepted);
+  out.std_error = std::sqrt(out.estimate * (1.0 - out.estimate) /
+                            static_cast<double>(accepted));
+  return out;
+}
+
+StatusOr<PosteriorEstimate> MonteCarloEngine::EstimatePosteriors(
+    const KnowledgeFormula& phi) const {
+  PosteriorEstimate out;
+  for (const Bucket& b : bucketization_.buckets()) {
+    for (PersonId p : b.members) out.persons.push_back(p);
+  }
+  std::sort(out.persons.begin(), out.persons.end());
+  const size_t domain = bucketization_.sensitive_domain_size();
+  std::vector<std::vector<uint64_t>> counts(
+      out.persons.size(), std::vector<uint64_t>(domain, 0));
+
+  // Dense person -> row index (person ids are dense row ids in practice,
+  // but tolerate gaps).
+  std::vector<int32_t> row_of(out.persons.back() + 1, -1);
+  for (size_t i = 0; i < out.persons.size(); ++i) {
+    row_of[out.persons[i]] = static_cast<int32_t>(i);
+  }
+
+  Rng rng(options_.seed);
+  uint64_t accepted = 0;
+  for (uint64_t i = 0; i < options_.samples; ++i) {
+    const std::vector<int32_t> world =
+        bucketization_.SamplePublishedAssignment(&rng);
+    if (!phi.Holds(world)) continue;
+    ++accepted;
+    for (PersonId p : out.persons) {
+      ++counts[static_cast<size_t>(row_of[p])][static_cast<size_t>(world[p])];
+    }
+  }
+  if (accepted < options_.min_accepted) {
+    return Status::FailedPrecondition(StrFormat(
+        "only %llu of %llu sampled worlds satisfy the formula (need %llu); "
+        "the knowledge is too selective for rejection sampling",
+        static_cast<unsigned long long>(accepted),
+        static_cast<unsigned long long>(options_.samples),
+        static_cast<unsigned long long>(options_.min_accepted)));
+  }
+  out.accepted = accepted;
+  out.samples = options_.samples;
+  out.probability.resize(out.persons.size());
+  for (size_t i = 0; i < out.persons.size(); ++i) {
+    out.probability[i].resize(domain);
+    for (size_t s = 0; s < domain; ++s) {
+      out.probability[i][s] = static_cast<double>(counts[i][s]) /
+                              static_cast<double>(accepted);
+    }
+  }
+  return out;
+}
+
+double MonteCarloEngine::EstimateFormulaProbability(
+    const KnowledgeFormula& phi) const {
+  Rng rng(options_.seed);
+  uint64_t accepted = 0;
+  for (uint64_t i = 0; i < options_.samples; ++i) {
+    if (phi.Holds(bucketization_.SamplePublishedAssignment(&rng))) {
+      ++accepted;
+    }
+  }
+  return static_cast<double>(accepted) / static_cast<double>(options_.samples);
+}
+
+}  // namespace cksafe

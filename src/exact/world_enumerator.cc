@@ -1,0 +1,68 @@
+#include "cksafe/exact/world_enumerator.h"
+
+#include <algorithm>
+
+#include "cksafe/util/math_util.h"
+
+namespace cksafe {
+
+WorldEnumerator::WorldEnumerator(const Bucketization& bucketization)
+    : bucketization_(bucketization) {
+  for (const Bucket& b : bucketization.buckets()) {
+    for (PersonId p : b.members) {
+      world_size_ = std::max<size_t>(world_size_, p + 1);
+    }
+  }
+}
+
+double WorldEnumerator::WorldCount() const {
+  double count = 1.0;
+  for (const Bucket& b : bucketization_.buckets()) {
+    count *= MultisetPermutationCount(b.histogram);
+  }
+  return count;
+}
+
+void WorldEnumerator::ForEachWorld(const Visitor& visitor) const {
+  std::vector<int32_t> world(world_size_, -1);
+  const auto& buckets = bucketization_.buckets();
+  bool stopped = false;
+
+  // remaining[s] = how many copies of value s are still unassigned in the
+  // current bucket.
+  std::function<void(size_t, size_t, std::vector<uint32_t>&)> assign_member =
+      [&](size_t bucket_index, size_t member_index,
+          std::vector<uint32_t>& remaining) {
+        if (stopped) return;
+        const Bucket& bucket = buckets[bucket_index];
+        if (member_index == bucket.members.size()) {
+          // Bucket fully assigned; move to the next bucket.
+          if (bucket_index + 1 == buckets.size()) {
+            if (!visitor(world)) stopped = true;
+            return;
+          }
+          std::vector<uint32_t> next_remaining =
+              buckets[bucket_index + 1].histogram;
+          assign_member(bucket_index + 1, 0, next_remaining);
+          return;
+        }
+        const PersonId person = bucket.members[member_index];
+        for (size_t s = 0; s < remaining.size() && !stopped; ++s) {
+          if (remaining[s] == 0) continue;
+          --remaining[s];
+          world[person] = static_cast<int32_t>(s);
+          assign_member(bucket_index, member_index + 1, remaining);
+          world[person] = -1;
+          ++remaining[s];
+        }
+      };
+
+  if (buckets.empty()) {
+    visitor(world);
+    return;
+  }
+  std::vector<uint32_t> remaining = buckets[0].histogram;
+  assign_member(0, 0, remaining);
+}
+
+}  // namespace cksafe

@@ -1,0 +1,98 @@
+#include "cksafe/experiments/figures.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "cksafe/anon/bucketization.h"
+#include "cksafe/core/disclosure.h"
+
+namespace cksafe {
+
+StatusOr<Fig5Result> RunFigure5(const Table& table,
+                                const std::vector<QuasiIdentifier>& qis,
+                                const LatticeNode& node,
+                                size_t sensitive_column, size_t max_k) {
+  CKSAFE_ASSIGN_OR_RETURN(
+      Bucketization bucketization,
+      BucketizeAtNode(table, qis, node, sensitive_column));
+  DisclosureAnalyzer analyzer(bucketization);
+  const std::vector<double> implication = analyzer.ImplicationCurve(max_k);
+  const std::vector<double> negation = analyzer.NegationCurve(max_k);
+
+  Fig5Result result;
+  result.node = node;
+  result.num_buckets = bucketization.num_buckets();
+  for (size_t k = 0; k <= max_k; ++k) {
+    result.rows.push_back(Fig5Row{k, implication[k], negation[k]});
+  }
+  return result;
+}
+
+StatusOr<Fig6Result> RunFigure6(const Table& table,
+                                const std::vector<QuasiIdentifier>& qis,
+                                size_t sensitive_column,
+                                std::vector<size_t> ks) {
+  CKSAFE_CHECK(!ks.empty());
+  const size_t max_k = *std::max_element(ks.begin(), ks.end());
+  const GeneralizationLattice lattice =
+      GeneralizationLattice::FromQuasiIdentifiers(qis);
+
+  Fig6Result result;
+  result.ks = std::move(ks);
+
+  // One shared cache across all 72 tables: bucket histograms recur heavily
+  // between neighbouring lattice nodes.
+  DisclosureCache cache;
+  for (const LatticeNode& node : lattice.AllNodes()) {
+    CKSAFE_ASSIGN_OR_RETURN(
+        Bucketization bucketization,
+        BucketizeAtNode(table, qis, node, sensitive_column));
+    DisclosureAnalyzer analyzer(bucketization, &cache);
+
+    Fig6TableResult entry;
+    entry.node = node;
+    entry.num_buckets = bucketization.num_buckets();
+    entry.min_entropy_nats = bucketization.MinBucketEntropyNats();
+    const std::vector<double> curve = analyzer.ImplicationCurve(max_k);
+    const std::vector<double> neg_curve = analyzer.NegationCurve(max_k);
+    for (size_t k : result.ks) {
+      entry.disclosure.push_back(curve[k]);
+      entry.negation_disclosure.push_back(neg_curve[k]);
+    }
+    result.tables.push_back(std::move(entry));
+  }
+
+  std::sort(result.tables.begin(), result.tables.end(),
+            [](const Fig6TableResult& a, const Fig6TableResult& b) {
+              return a.min_entropy_nats < b.min_entropy_nats;
+            });
+  return result;
+}
+
+std::vector<Fig6SeriesPoint> AggregateFig6Series(const Fig6Result& result,
+                                                 size_t k_index,
+                                                 double bin_width,
+                                                 bool use_negation) {
+  CKSAFE_CHECK_LT(k_index, result.ks.size());
+  CKSAFE_CHECK_GT(bin_width, 0.0);
+  std::map<int64_t, Fig6SeriesPoint> bins;
+  for (const Fig6TableResult& entry : result.tables) {
+    const int64_t bin =
+        static_cast<int64_t>(std::llround(entry.min_entropy_nats / bin_width));
+    auto it = bins.find(bin);
+    const double d = use_negation ? entry.negation_disclosure[k_index]
+                                  : entry.disclosure[k_index];
+    if (it == bins.end()) {
+      bins.emplace(bin, Fig6SeriesPoint{entry.min_entropy_nats, d});
+    } else {
+      it->second.min_disclosure = std::min(it->second.min_disclosure, d);
+    }
+  }
+  std::vector<Fig6SeriesPoint> series;
+  series.reserve(bins.size());
+  for (const auto& [bin, point] : bins) series.push_back(point);
+  return series;
+}
+
+}  // namespace cksafe

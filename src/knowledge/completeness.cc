@@ -1,0 +1,50 @@
+#include "cksafe/knowledge/completeness.h"
+
+#include "cksafe/util/string_util.h"
+
+namespace cksafe {
+
+StatusOr<KnowledgeFormula> ExpressPredicateAsImplications(
+    size_t num_persons, size_t domain_size, const WorldPredicate& predicate,
+    uint64_t max_worlds) {
+  if (num_persons == 0) {
+    return Status::InvalidArgument("need at least one person");
+  }
+  if (domain_size < 2) {
+    return Status::InvalidArgument(
+        "domain must have >= 2 values (the consequent needs a value "
+        "different from the antecedent's)");
+  }
+  // total = domain_size ^ num_persons with overflow / budget guard.
+  uint64_t total = 1;
+  for (size_t i = 0; i < num_persons; ++i) {
+    if (total > max_worlds / domain_size) {
+      return Status::ResourceExhausted(
+          StrFormat("world count %zu^%zu exceeds budget %llu", domain_size,
+                    num_persons, static_cast<unsigned long long>(max_worlds)));
+    }
+    total *= domain_size;
+  }
+
+  KnowledgeFormula formula;
+  std::vector<int32_t> world(num_persons, 0);
+  for (uint64_t index = 0; index < total; ++index) {
+    uint64_t rest = index;
+    for (size_t p = 0; p < num_persons; ++p) {
+      world[p] = static_cast<int32_t>(rest % domain_size);
+      rest /= domain_size;
+    }
+    if (predicate(world)) continue;
+    BasicImplication imp;
+    for (size_t p = 0; p < num_persons; ++p) {
+      imp.antecedents.push_back(Atom{static_cast<PersonId>(p), world[p]});
+    }
+    const int32_t forbidden = world[0];
+    const int32_t other = (forbidden + 1) % static_cast<int32_t>(domain_size);
+    imp.consequents.push_back(Atom{0, other});
+    formula.Add(std::move(imp));
+  }
+  return formula;
+}
+
+}  // namespace cksafe

@@ -1,0 +1,114 @@
+#include "cksafe/knowledge/formula.h"
+
+#include "cksafe/util/string_util.h"
+
+namespace cksafe {
+
+bool Atom::Holds(const std::vector<int32_t>& world) const {
+  CKSAFE_CHECK_LT(person, world.size());
+  return world[person] == value;
+}
+
+bool SimpleImplication::Holds(const std::vector<int32_t>& world) const {
+  return !antecedent.Holds(world) || consequent.Holds(world);
+}
+
+Status BasicImplication::Validate() const {
+  if (antecedents.empty()) {
+    return Status::InvalidArgument("basic implication needs >= 1 antecedent");
+  }
+  if (consequents.empty()) {
+    return Status::InvalidArgument("basic implication needs >= 1 consequent");
+  }
+  return Status::OK();
+}
+
+bool BasicImplication::Holds(const std::vector<int32_t>& world) const {
+  for (const Atom& a : antecedents) {
+    if (!a.Holds(world)) return true;  // antecedent false => implication true
+  }
+  for (const Atom& b : consequents) {
+    if (b.Holds(world)) return true;
+  }
+  return false;
+}
+
+BasicImplication BasicImplication::FromSimple(const SimpleImplication& simple) {
+  BasicImplication imp;
+  imp.antecedents = {simple.antecedent};
+  imp.consequents = {simple.consequent};
+  return imp;
+}
+
+BasicImplication BasicImplication::Negation(const Atom& atom,
+                                            int32_t other_value) {
+  CKSAFE_CHECK_NE(atom.value, other_value)
+      << "negation encoding needs a different value";
+  BasicImplication imp;
+  imp.antecedents = {atom};
+  imp.consequents = {Atom{atom.person, other_value}};
+  return imp;
+}
+
+bool BasicImplication::IsNegationShape() const {
+  return antecedents.size() == 1 && consequents.size() == 1 &&
+         antecedents[0].person == consequents[0].person &&
+         antecedents[0].value != consequents[0].value;
+}
+
+void KnowledgeFormula::Add(BasicImplication implication) {
+  implications_.push_back(std::move(implication));
+}
+
+void KnowledgeFormula::AddSimple(const SimpleImplication& simple) {
+  implications_.push_back(BasicImplication::FromSimple(simple));
+}
+
+void KnowledgeFormula::AddNegation(const Atom& atom, int32_t other_value) {
+  implications_.push_back(BasicImplication::Negation(atom, other_value));
+}
+
+bool KnowledgeFormula::Holds(const std::vector<int32_t>& world) const {
+  for (const BasicImplication& imp : implications_) {
+    if (!imp.Holds(world)) return false;
+  }
+  return true;
+}
+
+Status KnowledgeFormula::Validate() const {
+  for (const BasicImplication& imp : implications_) {
+    CKSAFE_RETURN_IF_ERROR(imp.Validate());
+  }
+  return Status::OK();
+}
+
+KnowledgePrinter::KnowledgePrinter(const Table& table, size_t sensitive_column)
+    : table_(table), sensitive_column_(sensitive_column) {
+  CKSAFE_CHECK_LT(sensitive_column, table.num_columns());
+}
+
+std::string KnowledgePrinter::AtomToString(const Atom& atom) const {
+  const AttributeDef& attr = table_.schema().attribute(sensitive_column_);
+  return StrFormat("t[%s].%s=%s", table_.RowLabel(atom.person).c_str(),
+                   attr.name().c_str(), attr.LabelOf(atom.value).c_str());
+}
+
+std::string KnowledgePrinter::ImplicationToString(
+    const BasicImplication& imp) const {
+  std::vector<std::string> lhs;
+  for (const Atom& a : imp.antecedents) lhs.push_back(AtomToString(a));
+  std::vector<std::string> rhs;
+  for (const Atom& b : imp.consequents) rhs.push_back(AtomToString(b));
+  return Join(lhs, " & ") + " -> " + Join(rhs, " | ");
+}
+
+std::string KnowledgePrinter::FormulaToString(
+    const KnowledgeFormula& formula) const {
+  std::vector<std::string> parts;
+  for (const BasicImplication& imp : formula.implications()) {
+    parts.push_back("(" + ImplicationToString(imp) + ")");
+  }
+  return Join(parts, " AND ");
+}
+
+}  // namespace cksafe

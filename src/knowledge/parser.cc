@@ -1,0 +1,103 @@
+#include "cksafe/knowledge/parser.h"
+
+#include "cksafe/util/string_util.h"
+
+namespace cksafe {
+
+KnowledgeParser::KnowledgeParser(const Table& table, size_t sensitive_column)
+    : table_(table), sensitive_column_(sensitive_column) {
+  CKSAFE_CHECK_LT(sensitive_column, table.num_columns());
+}
+
+StatusOr<Atom> KnowledgeParser::ParseAtom(std::string_view text) const {
+  std::string_view rest = Trim(text);
+  if (!StartsWith(rest, "t[")) {
+    return Status::InvalidArgument("atom must start with 't[': " +
+                                   std::string(text));
+  }
+  rest.remove_prefix(2);
+  const size_t close = rest.find(']');
+  if (close == std::string_view::npos) {
+    return Status::InvalidArgument("missing ']' in atom: " + std::string(text));
+  }
+  const std::string_view row_label = Trim(rest.substr(0, close));
+  rest.remove_prefix(close + 1);
+  rest = Trim(rest);
+  if (rest.empty() || rest[0] != '.') {
+    return Status::InvalidArgument("expected '.<attribute>' in atom: " +
+                                   std::string(text));
+  }
+  rest.remove_prefix(1);
+  const size_t eq = rest.find('=');
+  if (eq == std::string_view::npos) {
+    return Status::InvalidArgument("missing '=' in atom: " + std::string(text));
+  }
+  const std::string_view attr_name = Trim(rest.substr(0, eq));
+  const std::string_view value_label = Trim(rest.substr(eq + 1));
+
+  const AttributeDef& sensitive = table_.schema().attribute(sensitive_column_);
+  if (attr_name != sensitive.name()) {
+    return Status::InvalidArgument(
+        "atoms may only mention the sensitive attribute '" + sensitive.name() +
+        "', got '" + std::string(attr_name) + "'");
+  }
+  Atom atom;
+  CKSAFE_ASSIGN_OR_RETURN(atom.person, table_.FindRowByLabel(row_label));
+  CKSAFE_ASSIGN_OR_RETURN(atom.value, sensitive.CodeOf(value_label));
+  return atom;
+}
+
+StatusOr<BasicImplication> KnowledgeParser::ParseImplication(
+    std::string_view line) const {
+  std::string_view text = Trim(line);
+  if (StartsWith(text, "!")) {
+    text.remove_prefix(1);
+    CKSAFE_ASSIGN_OR_RETURN(Atom atom, ParseAtom(text));
+    // Encode ¬atom as atom -> (same person, any other value).
+    const AttributeDef& sensitive =
+        table_.schema().attribute(sensitive_column_);
+    const int32_t other =
+        (atom.value + 1 <= sensitive.max_value()) ? atom.value + 1
+                                                  : sensitive.min_value();
+    if (other == atom.value) {
+      return Status::InvalidArgument(
+          "cannot negate an atom over a single-value domain");
+    }
+    return BasicImplication::Negation(atom, other);
+  }
+
+  const size_t arrow = text.find("->");
+  if (arrow == std::string_view::npos) {
+    return Status::InvalidArgument("missing '->' in implication: " +
+                                   std::string(line));
+  }
+  BasicImplication imp;
+  for (const std::string& part :
+       Split(std::string(text.substr(0, arrow)), '&')) {
+    CKSAFE_ASSIGN_OR_RETURN(Atom atom, ParseAtom(part));
+    imp.antecedents.push_back(atom);
+  }
+  for (const std::string& part :
+       Split(std::string(text.substr(arrow + 2)), '|')) {
+    CKSAFE_ASSIGN_OR_RETURN(Atom atom, ParseAtom(part));
+    imp.consequents.push_back(atom);
+  }
+  CKSAFE_RETURN_IF_ERROR(imp.Validate());
+  return imp;
+}
+
+StatusOr<KnowledgeFormula> KnowledgeParser::ParseFormula(
+    std::string_view text) const {
+  KnowledgeFormula formula;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    std::string_view line = Trim(raw_line);
+    const size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = Trim(line.substr(0, hash));
+    if (line.empty()) continue;
+    CKSAFE_ASSIGN_OR_RETURN(BasicImplication imp, ParseImplication(line));
+    formula.Add(std::move(imp));
+  }
+  return formula;
+}
+
+}  // namespace cksafe

@@ -1,0 +1,196 @@
+#include "cksafe/lattice/lattice.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "cksafe/util/string_util.h"
+
+namespace cksafe {
+
+GeneralizationLattice::GeneralizationLattice(std::vector<size_t> num_levels)
+    : num_levels_(std::move(num_levels)) {
+  CKSAFE_CHECK(!num_levels_.empty());
+  for (size_t n : num_levels_) CKSAFE_CHECK_GE(n, 1u);
+}
+
+GeneralizationLattice GeneralizationLattice::FromQuasiIdentifiers(
+    const std::vector<QuasiIdentifier>& qis) {
+  std::vector<size_t> levels;
+  levels.reserve(qis.size());
+  for (const auto& qi : qis) {
+    CKSAFE_CHECK(qi.hierarchy != nullptr);
+    levels.push_back(qi.hierarchy->num_levels());
+  }
+  return GeneralizationLattice(std::move(levels));
+}
+
+uint64_t GeneralizationLattice::num_nodes() const {
+  uint64_t n = 1;
+  for (size_t levels : num_levels_) n *= levels;
+  return n;
+}
+
+LatticeNode GeneralizationLattice::Bottom() const {
+  return LatticeNode(num_levels_.size(), 0);
+}
+
+LatticeNode GeneralizationLattice::Top() const {
+  LatticeNode top(num_levels_.size());
+  for (size_t i = 0; i < num_levels_.size(); ++i) {
+    top[i] = static_cast<int>(num_levels_[i]) - 1;
+  }
+  return top;
+}
+
+size_t GeneralizationLattice::Height(const LatticeNode& node) const {
+  CKSAFE_CHECK(Validate(node).ok());
+  size_t h = 0;
+  for (int level : node) h += static_cast<size_t>(level);
+  return h;
+}
+
+size_t GeneralizationLattice::MaxHeight() const {
+  size_t h = 0;
+  for (size_t levels : num_levels_) h += levels - 1;
+  return h;
+}
+
+bool GeneralizationLattice::Leq(const LatticeNode& a,
+                                const LatticeNode& b) const {
+  CKSAFE_CHECK(Validate(a).ok());
+  CKSAFE_CHECK(Validate(b).ok());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+std::vector<LatticeNode> GeneralizationLattice::Parents(
+    const LatticeNode& node) const {
+  CKSAFE_CHECK(Validate(node).ok());
+  std::vector<LatticeNode> out;
+  for (size_t i = 0; i < node.size(); ++i) {
+    if (node[i] + 1 < static_cast<int>(num_levels_[i])) {
+      LatticeNode parent = node;
+      ++parent[i];
+      out.push_back(std::move(parent));
+    }
+  }
+  return out;
+}
+
+std::vector<LatticeNode> GeneralizationLattice::Children(
+    const LatticeNode& node) const {
+  CKSAFE_CHECK(Validate(node).ok());
+  std::vector<LatticeNode> out;
+  for (size_t i = 0; i < node.size(); ++i) {
+    if (node[i] > 0) {
+      LatticeNode child = node;
+      --child[i];
+      out.push_back(std::move(child));
+    }
+  }
+  return out;
+}
+
+uint64_t GeneralizationLattice::Encode(const LatticeNode& node) const {
+  CKSAFE_CHECK(Validate(node).ok());
+  uint64_t code = 0;
+  for (size_t i = 0; i < node.size(); ++i) {
+    code = code * num_levels_[i] + static_cast<uint64_t>(node[i]);
+  }
+  return code;
+}
+
+LatticeNode GeneralizationLattice::Decode(uint64_t code) const {
+  LatticeNode node(num_levels_.size());
+  for (size_t i = num_levels_.size(); i-- > 0;) {
+    node[i] = static_cast<int>(code % num_levels_[i]);
+    code /= num_levels_[i];
+  }
+  CKSAFE_CHECK_EQ(code, 0u);
+  return node;
+}
+
+std::vector<LatticeNode> GeneralizationLattice::NodesAtHeight(
+    size_t height) const {
+  std::vector<LatticeNode> out;
+  LatticeNode node(num_levels_.size(), 0);
+  // Depth-first enumeration with remaining-height pruning.
+  std::function<void(size_t, size_t)> rec = [&](size_t attr, size_t remaining) {
+    if (attr == num_levels_.size()) {
+      if (remaining == 0) out.push_back(node);
+      return;
+    }
+    size_t max_rest = 0;
+    for (size_t j = attr + 1; j < num_levels_.size(); ++j) {
+      max_rest += num_levels_[j] - 1;
+    }
+    const size_t cap = std::min(remaining, num_levels_[attr] - 1);
+    for (size_t level = 0; level <= cap; ++level) {
+      if (remaining - level > max_rest) continue;
+      node[attr] = static_cast<int>(level);
+      rec(attr + 1, remaining - level);
+    }
+    node[attr] = 0;
+  };
+  rec(0, height);
+  return out;
+}
+
+std::vector<LatticeNode> GeneralizationLattice::AllNodes() const {
+  std::vector<LatticeNode> out;
+  for (size_t h = 0; h <= MaxHeight(); ++h) {
+    std::vector<LatticeNode> level = NodesAtHeight(h);
+    out.insert(out.end(), level.begin(), level.end());
+  }
+  return out;
+}
+
+std::vector<LatticeNode> GeneralizationLattice::CanonicalChain() const {
+  std::vector<LatticeNode> chain;
+  LatticeNode node = Bottom();
+  chain.push_back(node);
+  for (size_t i = 0; i < num_levels_.size(); ++i) {
+    while (node[i] + 1 < static_cast<int>(num_levels_[i])) {
+      ++node[i];
+      chain.push_back(node);
+    }
+  }
+  return chain;
+}
+
+std::vector<LatticeNode> GeneralizationLattice::RandomChain(Rng* rng) const {
+  CKSAFE_CHECK(rng != nullptr);
+  std::vector<LatticeNode> chain;
+  LatticeNode node = Bottom();
+  chain.push_back(node);
+  const LatticeNode top = Top();
+  while (node != top) {
+    std::vector<size_t> raisable;
+    for (size_t i = 0; i < node.size(); ++i) {
+      if (node[i] < top[i]) raisable.push_back(i);
+    }
+    const size_t pick = raisable[rng->NextBelow(raisable.size())];
+    ++node[pick];
+    chain.push_back(node);
+  }
+  return chain;
+}
+
+Status GeneralizationLattice::Validate(const LatticeNode& node) const {
+  if (node.size() != num_levels_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("node has %zu levels, lattice has %zu attributes",
+                  node.size(), num_levels_.size()));
+  }
+  for (size_t i = 0; i < node.size(); ++i) {
+    if (node[i] < 0 || node[i] >= static_cast<int>(num_levels_[i])) {
+      return Status::OutOfRange(
+          StrFormat("level %d out of range for attribute %zu", node[i], i));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cksafe

@@ -1,0 +1,97 @@
+#include "cksafe/search/lattice_search.h"
+
+#include <unordered_set>
+
+namespace cksafe {
+
+namespace {
+
+// Inserts `node` and every strict ancestor into `implied`.
+void MarkAncestorsSafe(const GeneralizationLattice& lattice,
+                       const LatticeNode& node,
+                       std::unordered_set<uint64_t>* implied) {
+  for (const LatticeNode& parent : lattice.Parents(node)) {
+    const uint64_t code = lattice.Encode(parent);
+    if (implied->insert(code).second) {
+      MarkAncestorsSafe(lattice, parent, implied);
+    }
+  }
+}
+
+}  // namespace
+
+LatticeSearchResult FindMinimalSafeNodes(const GeneralizationLattice& lattice,
+                                         const NodePredicate& is_safe,
+                                         bool use_pruning) {
+  LatticeSearchResult result;
+  if (use_pruning) {
+    std::unordered_set<uint64_t> implied_safe;
+    for (size_t h = 0; h <= lattice.MaxHeight(); ++h) {
+      for (const LatticeNode& node : lattice.NodesAtHeight(h)) {
+        ++result.stats.nodes_visited;
+        if (implied_safe.count(lattice.Encode(node)) > 0) {
+          ++result.stats.implied_safe;
+          continue;
+        }
+        ++result.stats.evaluations;
+        if (!is_safe(node)) continue;
+        // Bottom-up invariant: a safe strict descendant would have marked
+        // this node implied-safe, so this node is minimal.
+        result.minimal_safe_nodes.push_back(node);
+        MarkAncestorsSafe(lattice, node, &implied_safe);
+      }
+    }
+    return result;
+  }
+
+  // Ablation path: evaluate everything, then filter minimal safe nodes.
+  std::unordered_set<uint64_t> safe;
+  std::vector<LatticeNode> all = lattice.AllNodes();
+  for (const LatticeNode& node : all) {
+    ++result.stats.nodes_visited;
+    ++result.stats.evaluations;
+    if (is_safe(node)) safe.insert(lattice.Encode(node));
+  }
+  for (const LatticeNode& node : all) {
+    if (safe.count(lattice.Encode(node)) == 0) continue;
+    bool has_safe_child = false;
+    for (const LatticeNode& child : lattice.Children(node)) {
+      if (safe.count(lattice.Encode(child)) > 0) {
+        has_safe_child = true;
+        break;
+      }
+    }
+    if (!has_safe_child) result.minimal_safe_nodes.push_back(node);
+  }
+  return result;
+}
+
+std::optional<size_t> ChainBinarySearch(const std::vector<LatticeNode>& chain,
+                                        const NodePredicate& is_safe,
+                                        LatticeSearchStats* stats) {
+  CKSAFE_CHECK(!chain.empty());
+  LatticeSearchStats local;
+  LatticeSearchStats* s = stats != nullptr ? stats : &local;
+
+  size_t lo = 0;
+  size_t hi = chain.size();  // first safe index in [lo, hi]; hi == none yet
+  // Invariant: indices < lo are unsafe; if a safe index exists it is < hi
+  // only after we have seen one. Start by testing the top.
+  ++s->evaluations;
+  ++s->nodes_visited;
+  if (!is_safe(chain.back())) return std::nullopt;
+  hi = chain.size() - 1;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    ++s->evaluations;
+    ++s->nodes_visited;
+    if (is_safe(chain[mid])) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
+}
+
+}  // namespace cksafe

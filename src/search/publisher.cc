@@ -1,0 +1,120 @@
+#include "cksafe/search/publisher.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "cksafe/util/string_util.h"
+#include "cksafe/util/text_table.h"
+
+namespace cksafe {
+
+StatusOr<PublishedRelease> Publisher::Publish(
+    const Table& table, const std::vector<QuasiIdentifier>& qis,
+    size_t sensitive_column) const {
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("cannot publish an empty table");
+  }
+  const GeneralizationLattice lattice =
+      GeneralizationLattice::FromQuasiIdentifiers(qis);
+
+  // One shared MINIMIZE1 cache across all nodes: buckets recur across
+  // lattice nodes, so this is the paper's incremental-recomputation win.
+  DisclosureCache cache;
+  Status first_error = Status::OK();
+  auto is_safe = [&](const LatticeNode& node) {
+    auto bucketization = BucketizeAtNode(table, qis, node, sensitive_column);
+    if (!bucketization.ok()) {
+      if (first_error.ok()) first_error = bucketization.status();
+      return false;
+    }
+    DisclosureAnalyzer analyzer(*bucketization, &cache);
+    return analyzer.IsCkSafe(options_.c, options_.k);
+  };
+
+  LatticeSearchResult search =
+      FindMinimalSafeNodes(lattice, is_safe, options_.use_pruning);
+  CKSAFE_RETURN_IF_ERROR(first_error);
+  if (search.minimal_safe_nodes.empty()) {
+    return Status::NotFound(StrFormat(
+        "no (c=%g, k=%zu)-safe generalization exists for this table",
+        options_.c, options_.k));
+  }
+
+  // Pick the minimal safe node with the best utility.
+  const LatticeNode* best_node = nullptr;
+  double best_score = 0.0;
+  for (const LatticeNode& node : search.minimal_safe_nodes) {
+    CKSAFE_ASSIGN_OR_RETURN(Bucketization b, BucketizeAtNode(table, qis, node,
+                                                             sensitive_column));
+    const UtilityMetrics metrics = ComputeUtility(table, qis, node, b);
+    const double score = UtilityScore(metrics, options_.objective);
+    if (best_node == nullptr || score < best_score) {
+      best_node = &node;
+      best_score = score;
+    }
+  }
+  CKSAFE_CHECK(best_node != nullptr);
+
+  CKSAFE_ASSIGN_OR_RETURN(
+      Bucketization bucketization,
+      BucketizeAtNode(table, qis, *best_node, sensitive_column));
+  DisclosureAnalyzer analyzer(bucketization, &cache);
+
+  PublishedRelease release{*best_node,
+                           bucketization,
+                           ComputeUtility(table, qis, *best_node, bucketization),
+                           analyzer.MaxDisclosureImplications(options_.k),
+                           {},
+                           std::move(search.minimal_safe_nodes),
+                           search.stats};
+  Rng rng(options_.seed);
+  release.published_sensitive = bucketization.SamplePublishedAssignment(&rng);
+  return release;
+}
+
+std::string Publisher::Summary(const PublishedRelease& release,
+                               const Table& table, size_t sensitive_column) {
+  const AttributeDef& sensitive = table.schema().attribute(sensitive_column);
+  std::string out;
+  out += StrFormat("chosen node: [");
+  for (size_t i = 0; i < release.node.size(); ++i) {
+    out += StrFormat("%s%d", i > 0 ? ", " : "", release.node[i]);
+  }
+  out += StrFormat("], %zu buckets, worst-case disclosure %.4f\n",
+                   release.bucketization.num_buckets(),
+                   release.worst_case.disclosure);
+  out += StrFormat(
+      "utility: discernibility=%.0f avg_class=%.2f height=%.0f loss=%.4f\n",
+      release.utility.discernibility, release.utility.avg_class_size,
+      release.utility.height, release.utility.loss);
+  out += StrFormat("minimal safe nodes: %zu; search evaluated %llu of %llu "
+                   "nodes (%llu pruned)\n",
+                   release.minimal_safe_nodes.size(),
+                   static_cast<unsigned long long>(release.search_stats.evaluations),
+                   static_cast<unsigned long long>(release.search_stats.nodes_visited),
+                   static_cast<unsigned long long>(release.search_stats.implied_safe));
+
+  TextTable table_out;
+  table_out.SetHeader({"bucket", "quasi-identifiers", "n", "sensitive values"});
+  const size_t max_rows = 12;
+  for (size_t i = 0; i < release.bucketization.num_buckets(); ++i) {
+    if (i >= max_rows) {
+      table_out.AddRow({"...", "", "", ""});
+      break;
+    }
+    const Bucket& b = release.bucketization.bucket(i);
+    std::vector<std::string> values;
+    for (size_t s = 0; s < b.histogram.size(); ++s) {
+      if (b.histogram[s] == 0) continue;
+      values.push_back(StrFormat("%s x%u",
+                                 sensitive.LabelOf(static_cast<int32_t>(s)).c_str(),
+                                 b.histogram[s]));
+    }
+    table_out.AddRow({std::to_string(i), b.qi_label,
+                      std::to_string(b.size()), Join(values, ", ")});
+  }
+  out += table_out.Render();
+  return out;
+}
+
+}  // namespace cksafe

@@ -1,0 +1,81 @@
+#include "cksafe/search/utility.h"
+
+namespace cksafe {
+
+UtilityMetrics ComputeUtility(const Table& table,
+                              const std::vector<QuasiIdentifier>& qis,
+                              const LatticeNode& node,
+                              const Bucketization& bucketization) {
+  CKSAFE_CHECK_EQ(node.size(), qis.size());
+  UtilityMetrics metrics;
+  for (const Bucket& b : bucketization.buckets()) {
+    metrics.discernibility += static_cast<double>(b.size()) * b.size();
+  }
+  metrics.avg_class_size =
+      bucketization.num_buckets() == 0
+          ? 0.0
+          : static_cast<double>(bucketization.num_tuples()) /
+                static_cast<double>(bucketization.num_buckets());
+  for (int level : node) metrics.height += level;
+
+  // Loss metric: for each record and quasi-identifier, the fraction
+  // (group size - 1) / (domain size - 1) of the base domain its published
+  // group covers.
+  if (table.num_rows() > 0 && !qis.empty()) {
+    double total = 0.0;
+    for (size_t q = 0; q < qis.size(); ++q) {
+      const AttributeHierarchy& h = *qis[q].hierarchy;
+      const size_t level = static_cast<size_t>(node[q]);
+      const AttributeDef& attr = h.attribute();
+      const size_t domain = attr.domain_size();
+      // group id -> number of base values it covers.
+      std::vector<uint32_t> group_size(h.NumGroups(level), 0);
+      for (size_t c = 0; c < domain; ++c) {
+        const int32_t code = attr.min_value() + static_cast<int32_t>(c);
+        ++group_size[static_cast<size_t>(h.GroupOf(code, level))];
+      }
+      if (domain <= 1) continue;
+      const std::vector<int32_t>& column = table.column(qis[q].column);
+      for (int32_t code : column) {
+        const uint32_t size =
+            group_size[static_cast<size_t>(h.GroupOf(code, level))];
+        total += static_cast<double>(size - 1) /
+                 static_cast<double>(domain - 1);
+      }
+    }
+    metrics.loss = total / (static_cast<double>(table.num_rows()) *
+                            static_cast<double>(qis.size()));
+  }
+  return metrics;
+}
+
+double UtilityScore(const UtilityMetrics& metrics, UtilityObjective objective) {
+  switch (objective) {
+    case UtilityObjective::kDiscernibility:
+      return metrics.discernibility;
+    case UtilityObjective::kAvgClassSize:
+      return metrics.avg_class_size;
+    case UtilityObjective::kHeight:
+      return metrics.height;
+    case UtilityObjective::kLoss:
+      return metrics.loss;
+  }
+  CKSAFE_CHECK(false) << "unknown utility objective";
+  return 0.0;
+}
+
+std::string UtilityObjectiveName(UtilityObjective objective) {
+  switch (objective) {
+    case UtilityObjective::kDiscernibility:
+      return "discernibility";
+    case UtilityObjective::kAvgClassSize:
+      return "avg_class_size";
+    case UtilityObjective::kHeight:
+      return "height";
+    case UtilityObjective::kLoss:
+      return "loss";
+  }
+  return "unknown";
+}
+
+}  // namespace cksafe

@@ -1,0 +1,66 @@
+#include "cksafe/util/bitset.h"
+
+namespace cksafe {
+
+Bitset::Bitset(size_t num_bits, bool all_ones)
+    : num_bits_(num_bits), words_((num_bits + 63) / 64, all_ones ? ~0ULL : 0ULL) {
+  if (all_ones) TrimTail();
+}
+
+void Bitset::TrimTail() {
+  const size_t tail = num_bits_ % 64;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << tail) - 1;
+  }
+}
+
+void Bitset::Set(size_t i) {
+  CKSAFE_CHECK_LT(i, num_bits_);
+  words_[i / 64] |= (1ULL << (i % 64));
+}
+
+void Bitset::Clear(size_t i) {
+  CKSAFE_CHECK_LT(i, num_bits_);
+  words_[i / 64] &= ~(1ULL << (i % 64));
+}
+
+bool Bitset::Test(size_t i) const {
+  CKSAFE_CHECK_LT(i, num_bits_);
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+size_t Bitset::Count() const {
+  size_t count = 0;
+  for (uint64_t w : words_) count += static_cast<size_t>(std::popcount(w));
+  return count;
+}
+
+Bitset& Bitset::operator&=(const Bitset& other) {
+  CKSAFE_CHECK_EQ(num_bits_, other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::operator|=(const Bitset& other) {
+  CKSAFE_CHECK_EQ(num_bits_, other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+Bitset Bitset::Not() const {
+  Bitset out(num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) out.words_[i] = ~words_[i];
+  out.TrimTail();
+  return out;
+}
+
+size_t Bitset::AndCount(const Bitset& a, const Bitset& b) {
+  CKSAFE_CHECK_EQ(a.num_bits_, b.num_bits_);
+  size_t count = 0;
+  for (size_t i = 0; i < a.words_.size(); ++i) {
+    count += static_cast<size_t>(std::popcount(a.words_[i] & b.words_[i]));
+  }
+  return count;
+}
+
+}  // namespace cksafe

@@ -1,0 +1,50 @@
+#include "cksafe/util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "cksafe/util/string_util.h"
+
+namespace cksafe {
+
+std::vector<std::string> ParseCsvLine(const std::string& line, char delimiter) {
+  std::vector<std::string> fields;
+  for (const std::string& raw : Split(line, delimiter)) {
+    fields.emplace_back(Trim(raw));
+  }
+  return fields;
+}
+
+StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, char delimiter) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (Trim(line).empty()) continue;
+    rows.push_back(ParseCsvLine(line, delimiter));
+  }
+  return rows;
+}
+
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    char delimiter) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (row[i].find(delimiter) != std::string::npos) {
+        return Status::InvalidArgument("field contains delimiter: " + row[i]);
+      }
+      if (i > 0) out << delimiter;
+      out << row[i];
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace cksafe

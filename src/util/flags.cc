@@ -1,0 +1,101 @@
+#include "cksafe/util/flags.h"
+
+#include <sstream>
+
+#include "cksafe/util/string_util.h"
+
+namespace cksafe {
+
+void FlagParser::AddInt64(const std::string& name, int64_t* target,
+                          std::string help) {
+  flags_[name] = {Kind::kInt64, target, std::move(help), std::to_string(*target)};
+}
+
+void FlagParser::AddDouble(const std::string& name, double* target,
+                           std::string help) {
+  flags_[name] = {Kind::kDouble, target, std::move(help), std::to_string(*target)};
+}
+
+void FlagParser::AddString(const std::string& name, std::string* target,
+                           std::string help) {
+  flags_[name] = {Kind::kString, target, std::move(help), *target};
+}
+
+void FlagParser::AddBool(const std::string& name, bool* target, std::string help) {
+  flags_[name] = {Kind::kBool, target, std::move(help), *target ? "true" : "false"};
+}
+
+Status FlagParser::SetValue(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return Status::InvalidArgument("unknown flag --" + name);
+  FlagInfo& info = it->second;
+  switch (info.kind) {
+    case Kind::kInt64: {
+      CKSAFE_ASSIGN_OR_RETURN(*static_cast<int64_t*>(info.target),
+                              ParseInt64(value));
+      return Status::OK();
+    }
+    case Kind::kDouble: {
+      CKSAFE_ASSIGN_OR_RETURN(*static_cast<double*>(info.target),
+                              ParseDouble(value));
+      return Status::OK();
+    }
+    case Kind::kString:
+      *static_cast<std::string*>(info.target) = value;
+      return Status::OK();
+    case Kind::kBool: {
+      const std::string v = ToLower(value);
+      if (v == "true" || v == "1" || v == "yes" || v.empty()) {
+        *static_cast<bool*>(info.target) = true;
+      } else if (v == "false" || v == "0" || v == "no") {
+        *static_cast<bool*>(info.target) = false;
+      } else {
+        return Status::InvalidArgument("bad bool for --" + name + ": " + value);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable flag kind");
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.kind == Kind::kBool) {
+        value = "true";  // bare --flag enables a bool
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Status::InvalidArgument("missing value for --" + name);
+      }
+    }
+    CKSAFE_RETURN_IF_ERROR(SetValue(name, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, info] : flags_) {
+    os << "  --" << name << "  (default: " << info.default_value << ")  "
+       << info.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cksafe

@@ -1,0 +1,73 @@
+#include "cksafe/util/math_util.h"
+
+#include <cmath>
+#include <limits>
+
+#include "cksafe/util/check.h"
+
+namespace cksafe {
+
+bool ApproxEqual(double a, double b, double eps) {
+  return std::fabs(a - b) <= eps;
+}
+
+namespace {
+
+double EntropyBase(const std::vector<uint32_t>& counts, double log_base) {
+  double total = 0.0;
+  for (uint32_t c : counts) total += c;
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (uint32_t c : counts) {
+    if (c == 0) continue;
+    const double p = c / total;
+    h -= p * std::log(p);
+  }
+  return h / log_base;
+}
+
+}  // namespace
+
+double EntropyNats(const std::vector<uint32_t>& counts) {
+  return EntropyBase(counts, 1.0);
+}
+
+double EntropyBits(const std::vector<uint32_t>& counts) {
+  return EntropyBase(counts, std::log(2.0));
+}
+
+double SafeDiv(double a, double b) {
+  if (b == 0.0) {
+    CKSAFE_CHECK(a == 0.0) << "division of nonzero" << a << "by zero";
+    return 0.0;
+  }
+  return a / b;
+}
+
+double BinomialCoefficient(uint32_t n, uint32_t k) {
+  if (k > n) return 0.0;
+  if (k > n - k) k = n - k;
+  double result = 1.0;
+  for (uint32_t i = 0; i < k; ++i) {
+    result *= static_cast<double>(n - i);
+    result /= static_cast<double>(i + 1);
+  }
+  return result;
+}
+
+double MultisetPermutationCount(const std::vector<uint32_t>& multiplicities) {
+  // Work in log space and exponentiate, saturating to +inf.
+  double log_num = 0.0;
+  uint64_t total = 0;
+  for (uint32_t m : multiplicities) total += m;
+  for (uint64_t i = 2; i <= total; ++i) log_num += std::log(static_cast<double>(i));
+  for (uint32_t m : multiplicities) {
+    for (uint64_t i = 2; i <= m; ++i) log_num -= std::log(static_cast<double>(i));
+  }
+  if (log_num > std::log(std::numeric_limits<double>::max())) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::round(std::exp(log_num));
+}
+
+}  // namespace cksafe

@@ -1,0 +1,36 @@
+#include "cksafe/util/random.h"
+
+#include <algorithm>
+
+namespace cksafe {
+
+DiscreteSampler::DiscreteSampler(const std::vector<double>& weights) {
+  CKSAFE_CHECK(!weights.empty()) << "DiscreteSampler needs at least one weight";
+  cumulative_.reserve(weights.size());
+  double running = 0.0;
+  for (double w : weights) {
+    CKSAFE_CHECK(w >= 0.0) << "negative weight" << w;
+    running += w;
+    cumulative_.push_back(running);
+  }
+  total_ = running;
+  CKSAFE_CHECK(total_ > 0.0) << "all weights are zero";
+}
+
+size_t DiscreteSampler::Sample(Rng* rng) const {
+  CKSAFE_CHECK(rng != nullptr);
+  const double u = rng->NextDouble() * total_;
+  // First index whose cumulative weight exceeds u. upper_bound copes with
+  // zero-weight entries (their cumulative value equals the predecessor's).
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) --it;  // guard against u == total_ rounding
+  return static_cast<size_t>(it - cumulative_.begin());
+}
+
+double DiscreteSampler::Probability(size_t i) const {
+  CKSAFE_CHECK(i < cumulative_.size());
+  const double prev = (i == 0) ? 0.0 : cumulative_[i - 1];
+  return (cumulative_[i] - prev) / total_;
+}
+
+}  // namespace cksafe

@@ -1,0 +1,63 @@
+#include "cksafe/util/text_table.h"
+
+#include <algorithm>
+
+#include "cksafe/util/string_util.h"
+
+namespace cksafe {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::FormatDouble(double value, int precision) {
+  return StrFormat("%.*f", precision, value);
+}
+
+std::string TextTable::Render() const {
+  // Compute column widths over header + all rows.
+  size_t num_cols = header_.size();
+  for (const auto& row : rows_) num_cols = std::max(num_cols, row.size());
+  std::vector<size_t> width(num_cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < num_cols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      line += cell;
+      if (i + 1 < num_cols) {
+        line += std::string(width[i] - cell.size() + 2, ' ');
+      }
+    }
+    // Trim trailing spaces for ragged last columns.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  std::string out;
+  if (!header_.empty()) {
+    out += render_row(header_);
+    size_t rule_len = 0;
+    for (size_t i = 0; i < num_cols; ++i) {
+      rule_len += width[i] + (i + 1 < num_cols ? 2 : 0);
+    }
+    out += std::string(rule_len, '-');
+    out += '\n';
+  }
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace cksafe

@@ -1,0 +1,156 @@
+// Adult workload tests: schema, the paper's ladders, deterministic
+// synthetic generation, and the CSV loader.
+
+#include "cksafe/adult/adult.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cksafe/anon/bucketization.h"
+#include "cksafe/lattice/lattice.h"
+
+namespace cksafe {
+namespace {
+
+TEST(AdultSchemaTest, ShapeMatchesThePaper) {
+  const Schema schema = AdultSchema();
+  ASSERT_EQ(schema.num_attributes(), 5u);
+  EXPECT_EQ(schema.attribute(kAdultAgeColumn).name(), "Age");
+  EXPECT_EQ(schema.attribute(kAdultAgeColumn).domain_size(), 74u);
+  EXPECT_EQ(schema.attribute(kAdultMaritalColumn).domain_size(), 7u);
+  EXPECT_EQ(schema.attribute(kAdultRaceColumn).domain_size(), 5u);
+  EXPECT_EQ(schema.attribute(kAdultGenderColumn).domain_size(), 2u);
+  // "its domain consists of fourteen values"
+  EXPECT_EQ(schema.attribute(kAdultOccupationColumn).domain_size(), 14u);
+}
+
+TEST(AdultQuasiIdentifiersTest, LadderShapesMatchThePaper) {
+  auto qis = AdultQuasiIdentifiers();
+  ASSERT_TRUE(qis.ok());
+  ASSERT_EQ(qis->size(), 4u);
+  // "Age can be generalized to six levels ..., Marital Status to three
+  //  levels, and Race and Gender can each either be left as is or be
+  //  completely suppressed."
+  EXPECT_EQ((*qis)[0].hierarchy->num_levels(), 6u);
+  EXPECT_EQ((*qis)[1].hierarchy->num_levels(), 3u);
+  EXPECT_EQ((*qis)[2].hierarchy->num_levels(), 2u);
+  EXPECT_EQ((*qis)[3].hierarchy->num_levels(), 2u);
+
+  const GeneralizationLattice lattice =
+      GeneralizationLattice::FromQuasiIdentifiers(*qis);
+  EXPECT_EQ(lattice.num_nodes(), 72u);
+
+  // The Figure-5 node: Age in 20-year intervals, everything else
+  // suppressed.
+  const LatticeNode node = AdultFigure5Node();
+  ASSERT_TRUE(lattice.Validate(node).ok());
+  EXPECT_EQ((*qis)[0].hierarchy->GroupLabel(0, 3), "[17-36]");
+  EXPECT_EQ((*qis)[1].hierarchy->GroupLabel(0, 2), "*");
+}
+
+TEST(AdultGeneratorTest, DeterministicAndWellFormed) {
+  const Table a = GenerateSyntheticAdult(2000, 7);
+  const Table b = GenerateSyntheticAdult(2000, 7);
+  const Table c = GenerateSyntheticAdult(2000, 8);
+  ASSERT_EQ(a.num_rows(), 2000u);
+  for (size_t col = 0; col < a.num_columns(); ++col) {
+    EXPECT_EQ(a.column(col), b.column(col)) << "col " << col;
+  }
+  // Different seeds give different data.
+  bool any_diff = false;
+  for (size_t col = 0; col < a.num_columns(); ++col) {
+    if (a.column(col) != c.column(col)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(AdultGeneratorTest, MarginalsMatchEmbeddedDistributions) {
+  const Table t = GenerateSyntheticAdult(20000, 42);
+  // Gender split roughly 2:1 male.
+  size_t male = 0;
+  for (int32_t g : t.column(kAdultGenderColumn)) male += (g == 0);
+  EXPECT_NEAR(male / 20000.0, 0.675, 0.02);
+
+  // All 14 occupations occur; the top occupation is far from uniform.
+  std::vector<uint32_t> occ(kAdultOccupationValues, 0);
+  for (int32_t o : t.column(kAdultOccupationColumn)) ++occ[o];
+  uint32_t max_count = 0;
+  for (uint32_t c : occ) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count / 20000.0, 1.2 / 14.0);  // skewed
+  for (size_t i = 0; i + 1 < occ.size(); ++i) {  // all but Armed-Forces
+    EXPECT_GT(occ[i], 0u) << "occupation " << i;
+  }
+
+  // Ages stay within the domain and skew young-adult.
+  int64_t age_sum = 0;
+  for (int32_t age : t.column(kAdultAgeColumn)) {
+    ASSERT_GE(age, 17);
+    ASSERT_LE(age, 90);
+    age_sum += age;
+  }
+  const double mean_age = static_cast<double>(age_sum) / 20000.0;
+  EXPECT_GT(mean_age, 33.0);
+  EXPECT_LT(mean_age, 44.0);
+}
+
+TEST(AdultGeneratorTest, DefaultSizeIsThePapersTupleCount) {
+  // Only checks the constant; the full-size table is exercised by the
+  // figure benches.
+  EXPECT_EQ(kAdultTupleCount, 45222u);
+}
+
+TEST(AdultLoaderTest, ParsesUciFormatAndDropsMissing) {
+  const std::string path = ::testing::TempDir() + "/adult_test.data";
+  std::ofstream out(path);
+  // Genuine UCI format: 15 columns.
+  out << "39, State-gov, 77516, Bachelors, 13, Never-married, Adm-clerical, "
+         "Not-in-family, White, Male, 2174, 0, 40, United-States, <=50K\n";
+  out << "50, Self-emp-not-inc, 83311, Bachelors, 13, Married-civ-spouse, "
+         "Exec-managerial, Husband, White, Male, 0, 0, 13, United-States, "
+         "<=50K\n";
+  // Missing occupation -> dropped.
+  out << "18, ?, 103497, Some-college, 10, Never-married, ?, Own-child, "
+         "White, Female, 0, 0, 30, United-States, <=50K\n";
+  // Malformed row -> skipped.
+  out << "not,a,real,row\n";
+  out.close();
+
+  auto table = LoadAdultCsv(path);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->at(0, kAdultAgeColumn), 39);
+  EXPECT_EQ(table->schema()
+                .attribute(kAdultOccupationColumn)
+                .LabelOf(table->at(0, kAdultOccupationColumn)),
+            "Adm-clerical");
+  EXPECT_EQ(table->schema()
+                .attribute(kAdultMaritalColumn)
+                .LabelOf(table->at(1, kAdultMaritalColumn)),
+            "Married-civ-spouse");
+  std::remove(path.c_str());
+}
+
+TEST(AdultLoaderTest, MissingFileAndEmptyFileFail) {
+  EXPECT_FALSE(LoadAdultCsv("/nonexistent/adult.data").ok());
+  const std::string path = ::testing::TempDir() + "/empty_adult.data";
+  std::ofstream(path) << "\n";
+  EXPECT_FALSE(LoadAdultCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(AdultIntegrationTest, BucketizesAtFigure5Node) {
+  const Table t = GenerateSyntheticAdult(5000, 11);
+  auto qis = AdultQuasiIdentifiers();
+  ASSERT_TRUE(qis.ok());
+  auto b = BucketizeAtNode(t, *qis, AdultFigure5Node(),
+                           kAdultOccupationColumn);
+  ASSERT_TRUE(b.ok());
+  // Age 17..90 in 20-year intervals -> four buckets.
+  EXPECT_EQ(b->num_buckets(), 4u);
+  EXPECT_EQ(b->num_tuples(), 5000u);
+}
+
+}  // namespace
+}  // namespace cksafe

@@ -1,0 +1,133 @@
+// BucketStats and DisclosureCache unit tests, plus MINIMIZE2 edge cases the
+// property sweeps do not isolate: multi-bucket witnesses, saturation, cache
+// upgrades, and numeric behaviour on large buckets.
+
+#include "cksafe/core/bucket_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "cksafe/core/disclosure.h"
+#include "cksafe/util/math_util.h"
+#include "testing_util.h"
+
+namespace cksafe {
+namespace {
+
+using testing::MakeBuckets;
+
+TEST(BucketStatsTest, SortsCountsDescendingWithStableCodes) {
+  // histogram indexed by code: code 0 -> 1, code 1 -> 4, code 2 -> 0,
+  // code 3 -> 4, code 4 -> 2.
+  const BucketStats stats =
+      BucketStats::FromHistogram({1, 4, 0, 4, 2});
+  EXPECT_EQ(stats.n, 11u);
+  EXPECT_EQ(stats.counts, (std::vector<uint32_t>{4, 4, 2, 1}));
+  // Ties broken by ascending code: code 1 before code 3.
+  EXPECT_EQ(stats.value_codes, (std::vector<int32_t>{1, 3, 4, 0}));
+  EXPECT_EQ(stats.prefix, (std::vector<uint32_t>{0, 4, 8, 10, 11}));
+  EXPECT_EQ(stats.d(), 4u);
+  EXPECT_EQ(stats.TopSum(2), 8u);
+  EXPECT_EQ(stats.TopSum(99), 11u);  // clamped to d
+}
+
+TEST(BucketStatsTest, CountsKeyIgnoresValueIdentity) {
+  // Two histograms with the same count multiset share a key (and hence a
+  // MINIMIZE1 table); a different multiset does not.
+  const BucketStats a = BucketStats::FromHistogram({3, 1, 0});
+  const BucketStats b = BucketStats::FromHistogram({0, 1, 3});
+  const BucketStats c = BucketStats::FromHistogram({2, 2, 0});
+  EXPECT_EQ(a.CountsKey(), b.CountsKey());
+  EXPECT_NE(a.CountsKey(), c.CountsKey());
+}
+
+TEST(DisclosureCacheTest, UpgradesTablesToLargerBudgets) {
+  DisclosureCache cache;
+  const BucketStats stats = BucketStats::FromHistogram({3, 2, 1});
+  const Minimize1Table& small = cache.GetOrCompute(stats, 2);
+  EXPECT_EQ(small.max_k(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // Same budget or smaller: hit.
+  cache.GetOrCompute(stats, 2);
+  cache.GetOrCompute(stats, 1);
+  EXPECT_EQ(cache.hits(), 2u);
+
+  // Larger budget: recompute (upgrade), values consistent with before.
+  const Minimize1Table& big = cache.GetOrCompute(stats, 6);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_GE(big.max_k(), 6u);
+  Minimize1Table fresh({3, 2, 1}, 6);
+  for (size_t m = 0; m <= 6; ++m) {
+    EXPECT_NEAR(big.MinProbability(m), fresh.MinProbability(m), 1e-15);
+  }
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(Minimize2EdgeTest, WitnessSpansBucketsWhenTargetBucketSaturates) {
+  // Target bucket {2,1} saturates at one antecedent (d-1 = 1); with k = 3
+  // the remaining atoms must land somewhere. Disclosure is 1 and the
+  // witness remains a valid formula.
+  auto fixture = MakeBuckets({{2, 1, 0, 0}, {1, 1, 1, 1}}, 4);
+  DisclosureAnalyzer analyzer(fixture.bucketization);
+  const WorstCaseDisclosure result = analyzer.MaxDisclosureImplications(3);
+  EXPECT_NEAR(result.disclosure, 1.0, kProbabilityEpsilon);
+  EXPECT_TRUE(result.ToFormula().Validate().ok());
+}
+
+TEST(Minimize2EdgeTest, SingleTupleBucketsDiscloseImmediately) {
+  auto fixture = MakeBuckets({{1, 0}, {0, 1}}, 2);
+  DisclosureAnalyzer analyzer(fixture.bucketization);
+  const WorstCaseDisclosure result = analyzer.MaxDisclosureImplications(0);
+  EXPECT_NEAR(result.disclosure, 1.0, kProbabilityEpsilon);
+  EXPECT_TRUE(result.antecedents.empty());
+}
+
+TEST(Minimize2EdgeTest, LargeBucketNumericStability) {
+  // One bucket with 40,000 tuples over 14 near-uniform values: the DP's
+  // products of many near-one factors must stay in (0, 1) and the curve
+  // must remain monotone.
+  std::vector<uint32_t> histogram(14);
+  for (size_t s = 0; s < 14; ++s) {
+    histogram[s] = 2800 + static_cast<uint32_t>(s * 17);
+  }
+  auto fixture = MakeBuckets({histogram}, 14);
+  DisclosureAnalyzer analyzer(fixture.bucketization);
+  const std::vector<double> curve = analyzer.ImplicationCurve(13);
+  for (size_t k = 0; k < curve.size(); ++k) {
+    EXPECT_GT(curve[k], 0.0);
+    EXPECT_LE(curve[k], 1.0 + 1e-12);
+    if (k > 0) {
+      EXPECT_GE(curve[k] + 1e-12, curve[k - 1]);
+    }
+  }
+  EXPECT_NEAR(curve[13], 1.0, 1e-9);  // 14 values, 13 implications
+}
+
+TEST(Minimize2EdgeTest, ManyIdenticalBucketsShareOneTable) {
+  std::vector<std::vector<uint32_t>> histograms(200, {3, 2, 1});
+  auto fixture = MakeBuckets(histograms, 3);
+  DisclosureCache cache;
+  DisclosureAnalyzer analyzer(fixture.bucketization, &cache);
+  const double d = analyzer.MaxDisclosureImplications(2).disclosure;
+  EXPECT_EQ(cache.entries(), 1u);
+  // Identical buckets: the answer equals the single-bucket answer.
+  auto single = MakeBuckets({{3, 2, 1}}, 3);
+  DisclosureAnalyzer single_analyzer(single.bucketization);
+  EXPECT_NEAR(d, single_analyzer.MaxDisclosureImplications(2).disclosure,
+              1e-12);
+}
+
+TEST(Minimize2EdgeTest, KZeroMatchesFrequencyRatioEverywhere) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto histograms = testing::RandomHistograms(&rng, 3, 5, 8);
+    auto fixture = MakeBuckets(histograms, 5);
+    DisclosureAnalyzer analyzer(fixture.bucketization);
+    EXPECT_NEAR(analyzer.MaxDisclosureImplications(0).disclosure,
+                fixture.bucketization.MaxFrequencyRatio(), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace cksafe

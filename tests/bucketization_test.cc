@@ -1,0 +1,197 @@
+// Bucketization and baseline-criteria tests: grouping at lattice nodes,
+// histogram bookkeeping, published-permutation consistency, k-anonymity and
+// the ℓ-diversity family.
+
+#include "cksafe/anon/bucketization.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cksafe/anon/diversity.h"
+#include "cksafe/util/math_util.h"
+#include "testing_util.h"
+
+namespace cksafe {
+namespace {
+
+using testing::kHospitalSensitiveColumn;
+using testing::MakeBuckets;
+using testing::MakeHospitalBucketization;
+using testing::MakeHospitalTable;
+
+TEST(BucketizationTest, HospitalFixtureHistograms) {
+  const Table table = MakeHospitalTable();
+  const Bucketization b = MakeHospitalBucketization(table);
+  ASSERT_EQ(b.num_buckets(), 2u);
+  EXPECT_EQ(b.num_tuples(), 10u);
+  // Bucket 0 (males): flu:2, lung:2, mumps:1.
+  EXPECT_EQ(b.bucket(0).histogram,
+            (std::vector<uint32_t>{2, 2, 1, 0, 0, 0}));
+  // Bucket 1 (females): flu:2, breast:1, ovarian:1, heart:1.
+  EXPECT_EQ(b.bucket(1).histogram,
+            (std::vector<uint32_t>{2, 0, 0, 1, 1, 1}));
+  EXPECT_EQ(b.MinBucketSize(), 5u);
+  EXPECT_NEAR(b.MaxFrequencyRatio(), 0.4, kProbabilityEpsilon);
+}
+
+TEST(BucketizationTest, BucketOfLookups) {
+  const Table table = MakeHospitalTable();
+  const Bucketization b = MakeHospitalBucketization(table);
+  for (PersonId p = 0; p < 5; ++p) {
+    auto bucket = b.BucketOf(p);
+    ASSERT_TRUE(bucket.ok());
+    EXPECT_EQ(*bucket, 0u);
+  }
+  for (PersonId p = 5; p < 10; ++p) {
+    auto bucket = b.BucketOf(p);
+    ASSERT_TRUE(bucket.ok());
+    EXPECT_EQ(*bucket, 1u);
+  }
+  EXPECT_FALSE(b.BucketOf(99).ok());
+}
+
+TEST(BucketizationTest, RejectsOverlapAndBadHistograms) {
+  Bucketization b(3);
+  Bucket good;
+  good.members = {0, 1};
+  good.histogram = {1, 1, 0};
+  ASSERT_TRUE(b.AddBucket(good).ok());
+
+  Bucket overlap;
+  overlap.members = {1, 2};
+  overlap.histogram = {2, 0, 0};
+  EXPECT_EQ(b.AddBucket(overlap).code(), StatusCode::kAlreadyExists);
+
+  Bucket bad_histogram;
+  bad_histogram.members = {3};
+  bad_histogram.histogram = {2, 0, 0};  // total != member count
+  EXPECT_EQ(b.AddBucket(bad_histogram).code(), StatusCode::kInvalidArgument);
+
+  Bucket bad_domain;
+  bad_domain.members = {3};
+  bad_domain.histogram = {1, 0};  // wrong domain size
+  EXPECT_EQ(b.AddBucket(bad_domain).code(), StatusCode::kInvalidArgument);
+
+  Bucket empty;
+  empty.histogram = {0, 0, 0};
+  EXPECT_EQ(b.AddBucket(empty).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BucketizationTest, PublishedAssignmentIsConsistentAndSeeded) {
+  const Table table = MakeHospitalTable();
+  const Bucketization b = MakeHospitalBucketization(table);
+  Rng rng_a(7);
+  Rng rng_b(7);
+  Rng rng_c(8);
+  const std::vector<int32_t> pub_a = b.SamplePublishedAssignment(&rng_a);
+  const std::vector<int32_t> pub_b = b.SamplePublishedAssignment(&rng_b);
+  const std::vector<int32_t> pub_c = b.SamplePublishedAssignment(&rng_c);
+  EXPECT_TRUE(b.IsConsistentAssignment(pub_a));
+  EXPECT_TRUE(b.IsConsistentAssignment(pub_c));
+  EXPECT_EQ(pub_a, pub_b);  // deterministic given the seed
+}
+
+TEST(BucketizationTest, IsConsistentAssignmentRejectsWrongMultiset) {
+  const Table table = MakeHospitalTable();
+  const Bucketization b = MakeHospitalBucketization(table);
+  // The original column is consistent by construction...
+  std::vector<int32_t> original(10);
+  for (PersonId p = 0; p < 10; ++p) {
+    original[p] = table.at(p, kHospitalSensitiveColumn);
+  }
+  EXPECT_TRUE(b.IsConsistentAssignment(original));
+  // ...but moving a female disease into the male bucket is not.
+  std::vector<int32_t> wrong = original;
+  std::swap(wrong[0], wrong[9]);
+  EXPECT_FALSE(b.IsConsistentAssignment(wrong));
+}
+
+TEST(BucketizationTest, EntropyOfUniformAndSkewedBuckets) {
+  auto uniform = MakeBuckets({{2, 2, 2, 2}}, 4);
+  EXPECT_NEAR(uniform.bucketization.MinBucketEntropyNats(), std::log(4.0),
+              1e-12);
+  auto skewed = MakeBuckets({{2, 2, 2, 2}, {7, 1, 0, 0}}, 4);
+  const double h_skew =
+      -(7.0 / 8.0) * std::log(7.0 / 8.0) - (1.0 / 8.0) * std::log(1.0 / 8.0);
+  EXPECT_NEAR(skewed.bucketization.MinBucketEntropyNats(), h_skew, 1e-12);
+}
+
+TEST(BucketizationTest, AllInOneAndPerRow) {
+  const Table table = MakeHospitalTable();
+  auto top = BucketizeAllInOne(table, kHospitalSensitiveColumn);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->num_buckets(), 1u);
+  EXPECT_EQ(top->bucket(0).size(), 10u);
+
+  auto bottom = BucketizePerRow(table, kHospitalSensitiveColumn);
+  ASSERT_TRUE(bottom.ok());
+  EXPECT_EQ(bottom->num_buckets(), 10u);
+  EXPECT_EQ(bottom->MinBucketSize(), 1u);
+  // One tuple per bucket discloses everything even at k = 0.
+  EXPECT_NEAR(bottom->MaxFrequencyRatio(), 1.0, kProbabilityEpsilon);
+}
+
+TEST(BucketizationTest, ExplicitGroupsMustCoverTable) {
+  const Table table = MakeHospitalTable();
+  auto partial =
+      BucketizeExplicit(table, {{0, 1, 2}}, kHospitalSensitiveColumn);
+  EXPECT_FALSE(partial.ok());
+}
+
+TEST(BucketizationTest, SensitiveAttributeMustBeCategorical) {
+  const Table table = MakeHospitalTable();
+  auto bad = BucketizeAllInOne(table, 1);  // Age is numeric
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- k-anonymity / ℓ-diversity baselines ---
+
+TEST(DiversityTest, KAnonymityOnHospital) {
+  const Table table = MakeHospitalTable();
+  const Bucketization b = MakeHospitalBucketization(table);
+  EXPECT_TRUE(IsKAnonymous(b, 5));
+  EXPECT_FALSE(IsKAnonymous(b, 6));
+  EXPECT_EQ(MaxAnonymityK(b), 5u);
+}
+
+TEST(DiversityTest, DistinctLDiversity) {
+  const Table table = MakeHospitalTable();
+  const Bucketization b = MakeHospitalBucketization(table);
+  // Males have 3 distinct diseases; females 4.
+  EXPECT_TRUE(IsDistinctLDiverse(b, 3));
+  EXPECT_FALSE(IsDistinctLDiverse(b, 4));
+  EXPECT_EQ(MaxDistinctL(b), 3u);
+}
+
+TEST(DiversityTest, EntropyLDiversity) {
+  auto uniform = MakeBuckets({{3, 3, 3}}, 3);
+  EXPECT_TRUE(IsEntropyLDiverse(uniform.bucketization, 3.0));
+  EXPECT_NEAR(MaxEntropyL(uniform.bucketization), 3.0, 1e-9);
+
+  auto skewed = MakeBuckets({{7, 1, 1}}, 3);
+  EXPECT_FALSE(IsEntropyLDiverse(skewed.bucketization, 2.0));
+  EXPECT_LT(MaxEntropyL(skewed.bucketization), 2.0);
+}
+
+TEST(DiversityTest, RecursiveCLDiversity) {
+  // Counts sorted: {5, 3, 2}. (c=2, l=2): r1=5 < 2*(3+2)=10 -> diverse.
+  auto b = MakeBuckets({{5, 3, 2}}, 3);
+  EXPECT_TRUE(IsRecursiveCLDiverse(b.bucketization, 2.0, 2));
+  // (c=1, l=2): 5 < 1*5 fails (not strict).
+  EXPECT_FALSE(IsRecursiveCLDiverse(b.bucketization, 1.0, 2));
+  // l larger than the number of distinct values fails.
+  EXPECT_FALSE(IsRecursiveCLDiverse(b.bucketization, 10.0, 4));
+}
+
+TEST(DiversityTest, HomogeneousBucketFailsEverything) {
+  auto b = MakeBuckets({{4, 0}}, 2);
+  EXPECT_EQ(MaxDistinctL(b.bucketization), 1u);
+  EXPECT_FALSE(IsDistinctLDiverse(b.bucketization, 2));
+  EXPECT_FALSE(IsEntropyLDiverse(b.bucketization, 1.5));
+  EXPECT_FALSE(IsRecursiveCLDiverse(b.bucketization, 100.0, 2));
+}
+
+}  // namespace
+}  // namespace cksafe

@@ -1,0 +1,54 @@
+// Death tests for the fatal-assertion layer: CHECK macros must abort with a
+// diagnostic, StatusOr accessors must refuse to yield absent values, and
+// contract violations in core types must be caught rather than corrupting
+// results.
+
+#include <gtest/gtest.h>
+
+#include "cksafe/core/minimize1.h"
+#include "cksafe/data/table.h"
+#include "cksafe/util/check.h"
+#include "cksafe/util/status.h"
+
+namespace cksafe {
+namespace {
+
+TEST(CheckDeathTest, CheckAbortsWithMessage) {
+  EXPECT_DEATH(CKSAFE_CHECK(1 == 2) << "extra context", "CKSAFE_CHECK failed");
+  EXPECT_DEATH(CKSAFE_CHECK_EQ(3, 4), "3.*4");
+  EXPECT_DEATH(CKSAFE_CHECK_LT(5, 5), "CKSAFE_CHECK failed");
+}
+
+TEST(CheckDeathTest, PassingChecksAreSilent) {
+  CKSAFE_CHECK(true) << "never evaluated";
+  CKSAFE_CHECK_EQ(2, 2);
+  CKSAFE_CHECK_LE(2, 3);
+  CKSAFE_DCHECK(true);
+}
+
+TEST(CheckDeathTest, StatusOrValueOnErrorAborts) {
+  StatusOr<int> err(Status::NotFound("nope"));
+  EXPECT_DEATH({ (void)err.value(); }, "StatusOr::value");
+}
+
+TEST(CheckDeathTest, StatusOrFromOkStatusAborts) {
+  EXPECT_DEATH({ StatusOr<int> bad{Status::OK()}; }, "without value");
+}
+
+TEST(CheckDeathTest, TableOutOfRangeAccessAborts) {
+  Table table{Schema({AttributeDef::Numeric("X", 0, 9)})};
+  CKSAFE_CHECK(table.AppendRow({1}).ok());
+  EXPECT_DEATH({ (void)table.at(5, 0); }, "CKSAFE_CHECK failed");
+  EXPECT_DEATH({ (void)table.at(0, 7); }, "CKSAFE_CHECK failed");
+}
+
+TEST(CheckDeathTest, Minimize1ContractViolationsAbort) {
+  // Non-descending counts violate the Lemma 12 precondition.
+  EXPECT_DEATH({ Minimize1Table bad({1, 3}, 2); }, "CKSAFE_CHECK failed");
+  // Querying beyond the table's budget.
+  Minimize1Table table({3, 2}, 2);
+  EXPECT_DEATH({ (void)table.MinProbability(5); }, "CKSAFE_CHECK failed");
+}
+
+}  // namespace
+}  // namespace cksafe

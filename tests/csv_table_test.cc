@@ -1,0 +1,111 @@
+// Generic CSV ingestion tests: schema inference, missing-value handling,
+// error paths, and the default-hierarchy helper the CLI builds on.
+
+#include "cksafe/data/csv_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cksafe/hierarchy/hierarchy.h"
+
+namespace cksafe {
+namespace {
+
+std::string WriteTemp(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+TEST(CsvTableTest, InfersNumericAndCategoricalColumns) {
+  const std::string path = WriteTemp("mixed.csv",
+                                     "Age,City,Score\n"
+                                     "34,Ithaca,10\n"
+                                     "28,Dryden,-3\n"
+                                     "41,Ithaca,7\n");
+  auto table = TableFromCsv(path);
+  ASSERT_TRUE(table.ok()) << table.status();
+  const Schema& schema = table->schema();
+  EXPECT_FALSE(schema.attribute(0).is_categorical());
+  EXPECT_EQ(schema.attribute(0).min_value(), 28);
+  EXPECT_EQ(schema.attribute(0).max_value(), 41);
+  EXPECT_TRUE(schema.attribute(1).is_categorical());
+  EXPECT_EQ(schema.attribute(1).labels(),
+            (std::vector<std::string>{"Ithaca", "Dryden"}));
+  EXPECT_FALSE(schema.attribute(2).is_categorical());
+  EXPECT_EQ(table->num_rows(), 3u);
+  EXPECT_EQ(table->at(1, 2), -3);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTableTest, DropsRowsWithMissingValues) {
+  const std::string path = WriteTemp("missing.csv",
+                                     "Age,Job\n"
+                                     "30,nurse\n"
+                                     "?,clerk\n"
+                                     "45,?\n"
+                                     "50,nurse\n");
+  auto table = TableFromCsv(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+
+  // Disabling the marker keeps every row ('?' becomes a label, and the Age
+  // column degrades to categorical).
+  CsvTableOptions options;
+  options.missing_marker.clear();
+  auto all = TableFromCsv(path, options);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->num_rows(), 4u);
+  EXPECT_TRUE(all->schema().attribute(0).is_categorical());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTableTest, ErrorPaths) {
+  EXPECT_FALSE(TableFromCsv("/nonexistent.csv").ok());
+
+  const std::string ragged = WriteTemp("ragged.csv", "A,B\n1,2\n3\n");
+  EXPECT_EQ(TableFromCsv(ragged).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(ragged.c_str());
+
+  const std::string empty = WriteTemp("only_header.csv", "A,B\n");
+  EXPECT_FALSE(TableFromCsv(empty).ok());
+  std::remove(empty.c_str());
+
+  const std::string wide = WriteTemp("wide.csv",
+                                     "Key\nA\nB\nC\nD\n");
+  CsvTableOptions options;
+  options.max_categories = 3;
+  EXPECT_EQ(TableFromCsv(wide, options).status().code(),
+            StatusCode::kResourceExhausted);
+  std::remove(wide.c_str());
+}
+
+TEST(DefaultHierarchyTest, NumericDoublingLadder) {
+  const AttributeDef age = AttributeDef::Numeric("Age", 17, 90);
+  auto h = MakeDefaultHierarchy(age);
+  // Widths 1, 4, 16, 64 + suppressed -> 5 levels.
+  ASSERT_EQ(h->num_levels(), 5u);
+  EXPECT_EQ(h->GroupOf(17, 0), 0);
+  EXPECT_EQ(h->GroupOf(20, 1), 0);   // [17-20]
+  EXPECT_EQ(h->GroupOf(21, 1), 1);
+  EXPECT_EQ(h->NumGroups(4), 1u);    // suppressed
+  EXPECT_EQ(h->GroupLabel(0, 4), "*");
+}
+
+TEST(DefaultHierarchyTest, SmallDomainAndCategorical) {
+  // Span 3: only the identity interval level fits, plus suppression.
+  auto tiny = MakeDefaultHierarchy(AttributeDef::Numeric("N", 0, 2));
+  EXPECT_EQ(tiny->num_levels(), 2u);
+
+  auto cat = MakeDefaultHierarchy(
+      AttributeDef::Categorical("C", {"x", "y", "z"}));
+  EXPECT_EQ(cat->num_levels(), 2u);
+  EXPECT_EQ(cat->GroupOf(0, 1), cat->GroupOf(2, 1));
+}
+
+}  // namespace
+}  // namespace cksafe

@@ -1,0 +1,97 @@
+// Schema and Table tests.
+
+#include <gtest/gtest.h>
+
+#include "cksafe/data/schema.h"
+#include "cksafe/data/table.h"
+#include "testing_util.h"
+
+namespace cksafe {
+namespace {
+
+using testing::MakeHospitalTable;
+
+TEST(SchemaTest, NumericAttribute) {
+  const AttributeDef age = AttributeDef::Numeric("Age", 17, 90);
+  EXPECT_EQ(age.name(), "Age");
+  EXPECT_FALSE(age.is_categorical());
+  EXPECT_EQ(age.domain_size(), 74u);
+  EXPECT_TRUE(age.IsValidCode(17));
+  EXPECT_TRUE(age.IsValidCode(90));
+  EXPECT_FALSE(age.IsValidCode(16));
+  EXPECT_EQ(*age.CodeOf("42"), 42);
+  EXPECT_FALSE(age.CodeOf("16").ok());
+  EXPECT_FALSE(age.CodeOf("young").ok());
+  EXPECT_EQ(age.LabelOf(42), "42");
+}
+
+TEST(SchemaTest, CategoricalAttribute) {
+  const AttributeDef sex = AttributeDef::Categorical("Sex", {"M", "F"});
+  EXPECT_TRUE(sex.is_categorical());
+  EXPECT_EQ(sex.domain_size(), 2u);
+  EXPECT_EQ(*sex.CodeOf("F"), 1);
+  EXPECT_EQ(*sex.CodeOf("  M "), 0);  // trimmed
+  EXPECT_FALSE(sex.CodeOf("X").ok());
+  EXPECT_EQ(sex.LabelOf(0), "M");
+}
+
+TEST(SchemaTest, IndexLookup) {
+  const Schema schema({AttributeDef::Numeric("Age", 0, 99),
+                       AttributeDef::Categorical("Sex", {"M", "F"})});
+  EXPECT_EQ(schema.num_attributes(), 2u);
+  EXPECT_EQ(*schema.IndexOf("Sex"), 1u);
+  EXPECT_FALSE(schema.IndexOf("Zip").ok());
+}
+
+TEST(TableTest, AppendAndAccess) {
+  Table table{Schema({AttributeDef::Numeric("Age", 0, 99),
+                      AttributeDef::Categorical("Sex", {"M", "F"})})};
+  ASSERT_TRUE(table.AppendRow({30, 1}).ok());
+  ASSERT_TRUE(table.AppendRowFromText({"41", "M"}).ok());
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.at(0, 0), 30);
+  EXPECT_EQ(table.at(1, 1), 0);
+  EXPECT_EQ(table.column(0), (std::vector<int32_t>{30, 41}));
+}
+
+TEST(TableTest, RejectsBadRows) {
+  Table table{Schema({AttributeDef::Numeric("Age", 0, 99),
+                      AttributeDef::Categorical("Sex", {"M", "F"})})};
+  EXPECT_FALSE(table.AppendRow({30}).ok());          // arity
+  EXPECT_FALSE(table.AppendRow({300, 0}).ok());      // out of domain
+  EXPECT_FALSE(table.AppendRow({30, 5}).ok());       // bad categorical code
+  EXPECT_FALSE(table.AppendRowFromText({"x", "M"}).ok());
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(TableTest, RowLabels) {
+  Table table = MakeHospitalTable();
+  EXPECT_EQ(table.RowLabel(3), "Ed");
+  EXPECT_EQ(*table.FindRowByLabel("Hannah"), 6u);
+  EXPECT_FALSE(table.FindRowByLabel("Nobody").ok());
+
+  Table unlabeled{Schema({AttributeDef::Numeric("X", 0, 9)})};
+  ASSERT_TRUE(unlabeled.AppendRow({1}).ok());
+  EXPECT_EQ(unlabeled.RowLabel(0), "p0");
+}
+
+TEST(TableTest, Projection) {
+  const Table table = MakeHospitalTable();
+  auto projected = table.Project({3, 2});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->num_columns(), 2u);
+  EXPECT_EQ(projected->schema().attribute(0).name(), "Disease");
+  EXPECT_EQ(projected->num_rows(), 10u);
+  EXPECT_EQ(projected->at(3, 0), table.at(3, 3));
+  EXPECT_EQ(projected->RowLabel(3), "Ed");  // labels carried over
+  EXPECT_FALSE(table.Project({99}).ok());
+}
+
+TEST(TableTest, RowToString) {
+  const Table table = MakeHospitalTable();
+  EXPECT_EQ(table.RowToString(0),
+            "Bob: Zip=14850, Age=23, Sex=M, Disease=flu");
+}
+
+}  // namespace
+}  // namespace cksafe

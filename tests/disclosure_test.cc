@@ -1,0 +1,221 @@
+// DisclosureAnalyzer tests: the MINIMIZE2 pipeline against the exact
+// engine's brute-force maxima, witness re-scoring, the paper's worked
+// numbers, and the negated-atom adversary.
+
+#include "cksafe/core/disclosure.h"
+
+#include <gtest/gtest.h>
+
+#include "cksafe/exact/exact_engine.h"
+#include "cksafe/util/math_util.h"
+#include "testing_util.h"
+
+namespace cksafe {
+namespace {
+
+using testing::MakeBuckets;
+using testing::MakeHospitalBucketization;
+using testing::MakeHospitalTable;
+using testing::RandomHistograms;
+
+TEST(DisclosureTest, HospitalKZeroIsFrequencyRatio) {
+  const Table table = MakeHospitalTable();
+  const Bucketization b = MakeHospitalBucketization(table);
+  DisclosureAnalyzer analyzer(b);
+  const WorstCaseDisclosure result = analyzer.MaxDisclosureImplications(0);
+  EXPECT_NEAR(result.disclosure, 2.0 / 5.0, kProbabilityEpsilon);
+  EXPECT_TRUE(result.antecedents.empty());
+}
+
+TEST(DisclosureTest, HospitalKOneIsTwoThirds) {
+  // The algorithmic maximum over L^1_basic is 2/3 (self-implication
+  // equivalent to "Ed does not have lung cancer"), not the 10/19 the prose
+  // of Section 2.3 quotes — see DESIGN.md.
+  const Table table = MakeHospitalTable();
+  const Bucketization b = MakeHospitalBucketization(table);
+  DisclosureAnalyzer analyzer(b);
+  const WorstCaseDisclosure result = analyzer.MaxDisclosureImplications(1);
+  EXPECT_NEAR(result.disclosure, 2.0 / 3.0, kProbabilityEpsilon);
+  ASSERT_EQ(result.antecedents.size(), 1u);
+  // Witness is within one bucket: same person, most frequent target value.
+  EXPECT_EQ(result.antecedents[0].person, result.target.person);
+}
+
+TEST(DisclosureTest, HospitalKTwoIsCertainDisclosure) {
+  const Table table = MakeHospitalTable();
+  const Bucketization b = MakeHospitalBucketization(table);
+  DisclosureAnalyzer analyzer(b);
+  EXPECT_NEAR(analyzer.MaxDisclosureImplications(2).disclosure, 1.0,
+              kProbabilityEpsilon);
+}
+
+TEST(DisclosureTest, SkewedBucketBeatsNegationAdversary) {
+  // Bucket {2,1,1,1}: at k=2 implications reach 4/5 while negations only
+  // reach 2/3 — the separation the paper's Figure 5 shows.
+  auto fixture = MakeBuckets({{2, 1, 1, 1}}, 4);
+  DisclosureAnalyzer analyzer(fixture.bucketization);
+  EXPECT_NEAR(analyzer.MaxDisclosureImplications(2).disclosure, 4.0 / 5.0,
+              kProbabilityEpsilon);
+  EXPECT_NEAR(analyzer.MaxDisclosureNegations(2).disclosure, 2.0 / 3.0,
+              kProbabilityEpsilon);
+}
+
+TEST(DisclosureTest, WitnessFormulaRescoresToSameDisclosure) {
+  // The reconstructed worst-case formula, fed back through the exact
+  // engine, must reproduce the DP's disclosure value exactly.
+  const Table table = MakeHospitalTable();
+  const Bucketization b = MakeHospitalBucketization(table);
+  DisclosureAnalyzer analyzer(b);
+  auto engine = ExactEngine::Create(b);
+  ASSERT_TRUE(engine.ok());
+  for (size_t k = 0; k <= 4; ++k) {
+    const WorstCaseDisclosure result = analyzer.MaxDisclosureImplications(k);
+    auto p = engine->ConditionalProbability(result.target, result.ToFormula());
+    ASSERT_TRUE(p.ok()) << "k=" << k;
+    EXPECT_NEAR(*p, result.disclosure, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(DisclosureTest, NegationWitnessRescoresToSameDisclosure) {
+  const Table table = MakeHospitalTable();
+  const Bucketization b = MakeHospitalBucketization(table);
+  DisclosureAnalyzer analyzer(b);
+  auto engine = ExactEngine::Create(b);
+  ASSERT_TRUE(engine.ok());
+  for (size_t k = 0; k <= 4; ++k) {
+    const WorstCaseDisclosure result = analyzer.MaxDisclosureNegations(k);
+    auto p = engine->ConditionalProbability(result.target, result.ToFormula());
+    ASSERT_TRUE(p.ok()) << "k=" << k;
+    EXPECT_NEAR(*p, result.disclosure, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(DisclosureTest, CurvesAreMonotoneAndOrdered) {
+  const Table table = MakeHospitalTable();
+  const Bucketization b = MakeHospitalBucketization(table);
+  DisclosureAnalyzer analyzer(b);
+  const std::vector<double> imp = analyzer.ImplicationCurve(5);
+  const std::vector<double> neg = analyzer.NegationCurve(5);
+  ASSERT_EQ(imp.size(), 6u);
+  ASSERT_EQ(neg.size(), 6u);
+  EXPECT_NEAR(imp[0], neg[0], kProbabilityEpsilon);
+  for (size_t k = 0; k <= 5; ++k) {
+    if (k > 0) {
+      EXPECT_GE(imp[k] + 1e-12, imp[k - 1]) << "k=" << k;
+      EXPECT_GE(neg[k] + 1e-12, neg[k - 1]) << "k=" << k;
+    }
+    // Implications subsume negations (Section 2.2).
+    EXPECT_GE(imp[k] + 1e-12, neg[k]) << "k=" << k;
+    EXPECT_LE(imp[k], 1.0 + 1e-12);
+  }
+}
+
+TEST(DisclosureTest, SaturatesAtDistinctValuesMinusOne) {
+  // A bucket with d distinct values is fully disclosed by d-1 negations.
+  auto fixture = MakeBuckets({{3, 2, 2, 1}}, 4);
+  DisclosureAnalyzer analyzer(fixture.bucketization);
+  EXPECT_LT(analyzer.MaxDisclosureImplications(2).disclosure, 1.0);
+  EXPECT_NEAR(analyzer.MaxDisclosureImplications(3).disclosure, 1.0,
+              kProbabilityEpsilon);
+  EXPECT_NEAR(analyzer.MaxDisclosureNegations(3).disclosure, 1.0,
+              kProbabilityEpsilon);
+}
+
+TEST(DisclosureTest, CkSafetyThresholdIsStrict) {
+  const Table table = MakeHospitalTable();
+  const Bucketization b = MakeHospitalBucketization(table);
+  DisclosureAnalyzer analyzer(b);
+  // Max disclosure at k=1 is exactly 2/3.
+  EXPECT_TRUE(analyzer.IsCkSafe(2.0 / 3.0 + 1e-9, 1));
+  EXPECT_FALSE(analyzer.IsCkSafe(2.0 / 3.0, 1));  // strict "<"
+  EXPECT_FALSE(analyzer.IsCkSafe(0.5, 1));
+}
+
+TEST(DisclosureTest, CacheSharesTablesAcrossEqualHistograms) {
+  // Two buckets with identical count multisets share one MINIMIZE1 table.
+  auto fixture = MakeBuckets({{2, 1, 0}, {0, 2, 1}, {1, 1, 1}}, 3);
+  DisclosureCache cache;
+  DisclosureAnalyzer analyzer(fixture.bucketization, &cache);
+  analyzer.MaxDisclosureImplications(2);
+  EXPECT_EQ(cache.entries(), 2u);  // {2,1} shared, {1,1,1} separate
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+// --- Property sweep: DP equals brute force over random bucketizations ---
+
+struct DisclosureCase {
+  std::vector<std::vector<uint32_t>> histograms;
+  size_t domain;
+  size_t max_k;
+};
+
+class DisclosurePropertyTest
+    : public ::testing::TestWithParam<DisclosureCase> {};
+
+TEST_P(DisclosurePropertyTest, MatchesBruteForceSimpleImplications) {
+  const DisclosureCase& param = GetParam();
+  auto fixture = MakeBuckets(param.histograms, param.domain);
+  auto engine = ExactEngine::Create(fixture.bucketization);
+  ASSERT_TRUE(engine.ok());
+  DisclosureAnalyzer analyzer(fixture.bucketization);
+  for (size_t k = 0; k <= param.max_k; ++k) {
+    const WorstCaseDisclosure dp = analyzer.MaxDisclosureImplications(k);
+    auto brute =
+        engine->MaxDisclosureSimpleImplications(k, /*same_consequent=*/true);
+    ASSERT_TRUE(brute.ok()) << brute.status();
+    EXPECT_NEAR(dp.disclosure, brute->disclosure, 1e-9) << "k=" << k;
+  }
+}
+
+TEST_P(DisclosurePropertyTest, MatchesBruteForceNegations) {
+  const DisclosureCase& param = GetParam();
+  auto fixture = MakeBuckets(param.histograms, param.domain);
+  auto engine = ExactEngine::Create(fixture.bucketization);
+  ASSERT_TRUE(engine.ok());
+  DisclosureAnalyzer analyzer(fixture.bucketization);
+  for (size_t k = 0; k <= param.max_k; ++k) {
+    const WorstCaseDisclosure dp = analyzer.MaxDisclosureNegations(k);
+    auto brute = engine->MaxDisclosureNegations(k);
+    ASSERT_TRUE(brute.ok()) << brute.status();
+    EXPECT_NEAR(dp.disclosure, brute->disclosure, 1e-9) << "k=" << k;
+  }
+}
+
+TEST_P(DisclosurePropertyTest, WitnessRescoresOnRandomInstances) {
+  const DisclosureCase& param = GetParam();
+  auto fixture = MakeBuckets(param.histograms, param.domain);
+  auto engine = ExactEngine::Create(fixture.bucketization);
+  ASSERT_TRUE(engine.ok());
+  DisclosureAnalyzer analyzer(fixture.bucketization);
+  for (size_t k = 0; k <= param.max_k; ++k) {
+    const WorstCaseDisclosure dp = analyzer.MaxDisclosureImplications(k);
+    auto p = engine->ConditionalProbability(dp.target, dp.ToFormula());
+    ASSERT_TRUE(p.ok()) << "k=" << k;
+    EXPECT_NEAR(*p, dp.disclosure, 1e-9) << "k=" << k;
+  }
+}
+
+std::vector<DisclosureCase> MakeDisclosureCases() {
+  std::vector<DisclosureCase> cases = {
+      {{{2, 2, 1}, {2, 1, 1}}, 3, 3},        // two-bucket hospital-like
+      {{{2, 1, 1, 1}}, 4, 3},                // skewed single bucket
+      {{{3, 1}, {1, 3}}, 2, 2},              // mirrored skew
+      {{{1, 1}, {1, 1}, {1, 1}}, 2, 3},      // many tiny buckets
+      {{{4, 1, 0}, {0, 1, 2}}, 3, 2},        // absent values
+  };
+  Rng rng(99);
+  for (int i = 0; i < 4; ++i) {
+    cases.push_back({RandomHistograms(&rng, 2, 3, 4), 3, 2});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomBucketizations, DisclosurePropertyTest,
+    ::testing::ValuesIn(MakeDisclosureCases()),
+    [](const ::testing::TestParamInfo<DisclosureCase>& info) {
+      return "case" + std::to_string(info.index);
+    });
+
+}  // namespace
+}  // namespace cksafe

@@ -1,0 +1,218 @@
+// Knowledge language tests: atom/implication semantics, parser round trips,
+// printer output, negation encoding, and the Theorem 3 completeness
+// construction.
+
+#include <gtest/gtest.h>
+
+#include "cksafe/knowledge/completeness.h"
+#include "cksafe/knowledge/formula.h"
+#include "cksafe/knowledge/parser.h"
+#include "testing_util.h"
+
+namespace cksafe {
+namespace {
+
+using testing::kFlu;
+using testing::kHospitalSensitiveColumn;
+using testing::kLungCancer;
+using testing::kMumps;
+using testing::MakeHospitalTable;
+
+TEST(FormulaTest, AtomSemantics) {
+  const std::vector<int32_t> world = {0, 2, 1};
+  EXPECT_TRUE((Atom{0, 0}).Holds(world));
+  EXPECT_FALSE((Atom{0, 1}).Holds(world));
+  EXPECT_TRUE((Atom{1, 2}).Holds(world));
+  EXPECT_TRUE((Atom{2, 1}).Holds(world));
+}
+
+TEST(FormulaTest, SimpleImplicationSemantics) {
+  const std::vector<int32_t> world = {0, 2};
+  // False antecedent: holds vacuously.
+  EXPECT_TRUE((SimpleImplication{{0, 1}, {1, 0}}).Holds(world));
+  // True antecedent, true consequent.
+  EXPECT_TRUE((SimpleImplication{{0, 0}, {1, 2}}).Holds(world));
+  // True antecedent, false consequent.
+  EXPECT_FALSE((SimpleImplication{{0, 0}, {1, 0}}).Holds(world));
+}
+
+TEST(FormulaTest, BasicImplicationConjunctionAndDisjunction) {
+  const std::vector<int32_t> world = {0, 2, 1};
+  BasicImplication imp;
+  imp.antecedents = {{0, 0}, {1, 2}};  // both true
+  imp.consequents = {{2, 0}, {2, 1}};  // second true
+  EXPECT_TRUE(imp.Holds(world));
+
+  imp.consequents = {{2, 0}, {2, 2}};  // both false
+  EXPECT_FALSE(imp.Holds(world));
+
+  imp.antecedents = {{0, 0}, {1, 0}};  // second false -> vacuous
+  EXPECT_TRUE(imp.Holds(world));
+}
+
+TEST(FormulaTest, ValidationRejectsEmptySides) {
+  BasicImplication no_antecedent;
+  no_antecedent.consequents = {{0, 0}};
+  EXPECT_FALSE(no_antecedent.Validate().ok());
+
+  BasicImplication no_consequent;
+  no_consequent.antecedents = {{0, 0}};
+  EXPECT_FALSE(no_consequent.Validate().ok());
+}
+
+TEST(FormulaTest, NegationEncodingSemantics) {
+  // ¬(t_0 = 1) encoded as (t_0 = 1) -> (t_0 = 0): holds exactly when
+  // t_0 != 1 (a tuple has one sensitive value).
+  const BasicImplication neg = BasicImplication::Negation(Atom{0, 1}, 0);
+  EXPECT_TRUE(neg.IsNegationShape());
+  EXPECT_TRUE(neg.Holds({0}));
+  EXPECT_TRUE(neg.Holds({2}));
+  EXPECT_FALSE(neg.Holds({1}));
+}
+
+TEST(FormulaTest, FormulaConjunction) {
+  KnowledgeFormula formula;
+  formula.AddSimple(SimpleImplication{{0, 0}, {1, 1}});
+  formula.AddNegation(Atom{1, 0}, 1);
+  EXPECT_EQ(formula.k(), 2u);
+  EXPECT_TRUE(formula.Holds({0, 1}));   // implication + negation both hold
+  EXPECT_FALSE(formula.Holds({0, 0}));  // consequent fails, negation fails
+  EXPECT_TRUE(formula.Holds({1, 1}));   // vacuous + negation holds
+}
+
+TEST(ParserTest, ParsesAtomsAndImplications) {
+  const Table table = MakeHospitalTable();
+  KnowledgeParser parser(table, kHospitalSensitiveColumn);
+
+  auto atom = parser.ParseAtom("t[Ed].Disease = lung cancer");
+  ASSERT_TRUE(atom.ok());
+  EXPECT_EQ(atom->person, 3u);
+  EXPECT_EQ(atom->value, kLungCancer);
+
+  auto imp = parser.ParseImplication(
+      "t[Hannah].Disease = flu -> t[Charlie].Disease = flu");
+  ASSERT_TRUE(imp.ok());
+  EXPECT_EQ(imp->antecedents.size(), 1u);
+  EXPECT_EQ(imp->consequents.size(), 1u);
+  EXPECT_EQ(imp->antecedents[0].person, 6u);
+
+  auto multi = parser.ParseImplication(
+      "t[Bob].Disease = flu & t[Ed].Disease = flu -> "
+      "t[Dave].Disease = mumps | t[Frank].Disease = mumps");
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(multi->antecedents.size(), 2u);
+  EXPECT_EQ(multi->consequents.size(), 2u);
+}
+
+TEST(ParserTest, ParsesNegationSugar) {
+  const Table table = MakeHospitalTable();
+  KnowledgeParser parser(table, kHospitalSensitiveColumn);
+  auto neg = parser.ParseImplication("! t[Ed].Disease = mumps");
+  ASSERT_TRUE(neg.ok());
+  EXPECT_TRUE(neg->IsNegationShape());
+  EXPECT_EQ(neg->antecedents[0].value, kMumps);
+}
+
+TEST(ParserTest, ParseFormulaSkipsCommentsAndBlanks) {
+  const Table table = MakeHospitalTable();
+  KnowledgeParser parser(table, kHospitalSensitiveColumn);
+  auto formula = parser.ParseFormula(
+      "# what Alice knows\n"
+      "\n"
+      "! t[Ed].Disease = mumps   # childhood immunity\n"
+      "t[Hannah].Disease = flu -> t[Charlie].Disease = flu\n");
+  ASSERT_TRUE(formula.ok());
+  EXPECT_EQ(formula->k(), 2u);
+}
+
+TEST(ParserTest, RejectsMalformedInput) {
+  const Table table = MakeHospitalTable();
+  KnowledgeParser parser(table, kHospitalSensitiveColumn);
+  EXPECT_FALSE(parser.ParseAtom("Ed has flu").ok());
+  EXPECT_FALSE(parser.ParseAtom("t[Nobody].Disease = flu").ok());
+  EXPECT_FALSE(parser.ParseAtom("t[Ed].Disease = gout").ok());
+  EXPECT_FALSE(parser.ParseAtom("t[Ed].Age = 27").ok());  // not sensitive
+  EXPECT_FALSE(parser.ParseImplication("t[Ed].Disease = flu").ok());
+}
+
+TEST(PrinterTest, RendersAtomsAndFormulas) {
+  const Table table = MakeHospitalTable();
+  KnowledgePrinter printer(table, kHospitalSensitiveColumn);
+  EXPECT_EQ(printer.AtomToString(Atom{3, kFlu}), "t[Ed].Disease=flu");
+
+  KnowledgeFormula formula;
+  formula.AddSimple(SimpleImplication{Atom{6, kFlu}, Atom{1, kFlu}});
+  EXPECT_EQ(printer.FormulaToString(formula),
+            "(t[Hannah].Disease=flu -> t[Charlie].Disease=flu)");
+}
+
+TEST(PrinterParserTest, RoundTrip) {
+  const Table table = MakeHospitalTable();
+  KnowledgePrinter printer(table, kHospitalSensitiveColumn);
+  KnowledgeParser parser(table, kHospitalSensitiveColumn);
+  BasicImplication imp;
+  imp.antecedents = {Atom{0, kFlu}, Atom{3, kLungCancer}};
+  imp.consequents = {Atom{4, kMumps}};
+  auto reparsed = parser.ParseImplication(printer.ImplicationToString(imp));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->antecedents, imp.antecedents);
+  EXPECT_EQ(reparsed->consequents, imp.consequents);
+}
+
+// --- Theorem 3 (completeness) ---
+
+TEST(CompletenessTest, ExpressesArbitraryPredicates) {
+  // Predicate over 3 persons with 3 values: "persons 0 and 1 agree".
+  const WorldPredicate agree = [](const std::vector<int32_t>& w) {
+    return w[0] == w[1];
+  };
+  auto formula = ExpressPredicateAsImplications(3, 3, agree);
+  ASSERT_TRUE(formula.ok());
+  // Verify pointwise equality over all 27 worlds.
+  for (int32_t a = 0; a < 3; ++a) {
+    for (int32_t b = 0; b < 3; ++b) {
+      for (int32_t c = 0; c < 3; ++c) {
+        const std::vector<int32_t> world = {a, b, c};
+        EXPECT_EQ(formula->Holds(world), agree(world))
+            << a << "," << b << "," << c;
+      }
+    }
+  }
+}
+
+TEST(CompletenessTest, ExpressesParityPredicate) {
+  const WorldPredicate parity = [](const std::vector<int32_t>& w) {
+    int sum = 0;
+    for (int32_t v : w) sum += v;
+    return sum % 2 == 0;
+  };
+  auto formula = ExpressPredicateAsImplications(4, 2, parity);
+  ASSERT_TRUE(formula.ok());
+  // 2^4 = 16 worlds, 8 violating -> 8 implications.
+  EXPECT_EQ(formula->k(), 8u);
+  for (uint32_t mask = 0; mask < 16; ++mask) {
+    std::vector<int32_t> world(4);
+    for (size_t p = 0; p < 4; ++p) world[p] = (mask >> p) & 1;
+    EXPECT_EQ(formula->Holds(world), parity(world)) << mask;
+  }
+}
+
+TEST(CompletenessTest, TautologyNeedsNoImplications) {
+  auto formula = ExpressPredicateAsImplications(
+      2, 2, [](const std::vector<int32_t>&) { return true; });
+  ASSERT_TRUE(formula.ok());
+  EXPECT_EQ(formula->k(), 0u);
+}
+
+TEST(CompletenessTest, EnforcesBudgetAndDomainRequirements) {
+  const WorldPredicate any = [](const std::vector<int32_t>&) { return true; };
+  EXPECT_EQ(ExpressPredicateAsImplications(40, 10, any).status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(ExpressPredicateAsImplications(2, 1, any).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ExpressPredicateAsImplications(0, 3, any).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cksafe

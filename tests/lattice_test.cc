@@ -1,0 +1,125 @@
+// Generalization lattice tests: ordering, traversal, encoding, chains.
+
+#include "cksafe/lattice/lattice.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cksafe {
+namespace {
+
+TEST(LatticeTest, BasicShapeOfAdultLattice) {
+  // The paper's evaluation lattice: 6 x 3 x 2 x 2 = 72 nodes, height 9.
+  GeneralizationLattice lattice({6, 3, 2, 2});
+  EXPECT_EQ(lattice.num_nodes(), 72u);
+  EXPECT_EQ(lattice.MaxHeight(), 9u);
+  EXPECT_EQ(lattice.Bottom(), (LatticeNode{0, 0, 0, 0}));
+  EXPECT_EQ(lattice.Top(), (LatticeNode{5, 2, 1, 1}));
+  EXPECT_EQ(lattice.Height(lattice.Top()), 9u);
+}
+
+TEST(LatticeTest, LeqIsComponentwise) {
+  GeneralizationLattice lattice({3, 3});
+  EXPECT_TRUE(lattice.Leq({0, 0}, {2, 2}));
+  EXPECT_TRUE(lattice.Leq({1, 2}, {1, 2}));
+  EXPECT_FALSE(lattice.Leq({2, 0}, {1, 2}));
+  EXPECT_FALSE(lattice.Leq({0, 2}, {2, 1}));
+}
+
+TEST(LatticeTest, ParentsAndChildren) {
+  GeneralizationLattice lattice({3, 2});
+  const auto parents = lattice.Parents({1, 1});
+  ASSERT_EQ(parents.size(), 1u);  // second attribute already at top
+  EXPECT_EQ(parents[0], (LatticeNode{2, 1}));
+
+  const auto children = lattice.Children({1, 1});
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0], (LatticeNode{0, 1}));
+  EXPECT_EQ(children[1], (LatticeNode{1, 0}));
+
+  EXPECT_TRUE(lattice.Parents(lattice.Top()).empty());
+  EXPECT_TRUE(lattice.Children(lattice.Bottom()).empty());
+}
+
+TEST(LatticeTest, EncodeDecodeRoundTrip) {
+  GeneralizationLattice lattice({6, 3, 2, 2});
+  std::set<uint64_t> codes;
+  for (const LatticeNode& node : lattice.AllNodes()) {
+    const uint64_t code = lattice.Encode(node);
+    EXPECT_TRUE(codes.insert(code).second) << "duplicate code " << code;
+    EXPECT_EQ(lattice.Decode(code), node);
+  }
+  EXPECT_EQ(codes.size(), 72u);
+}
+
+TEST(LatticeTest, NodesAtHeightPartitionAllNodes) {
+  GeneralizationLattice lattice({6, 3, 2, 2});
+  size_t total = 0;
+  for (size_t h = 0; h <= lattice.MaxHeight(); ++h) {
+    for (const LatticeNode& node : lattice.NodesAtHeight(h)) {
+      EXPECT_EQ(lattice.Height(node), h);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 72u);
+  EXPECT_EQ(lattice.NodesAtHeight(0).size(), 1u);
+  EXPECT_EQ(lattice.NodesAtHeight(lattice.MaxHeight()).size(), 1u);
+}
+
+TEST(LatticeTest, AllNodesOrderedByHeight) {
+  GeneralizationLattice lattice({4, 3, 2});
+  const auto nodes = lattice.AllNodes();
+  EXPECT_EQ(nodes.size(), 24u);
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LE(lattice.Height(nodes[i - 1]), lattice.Height(nodes[i]));
+  }
+}
+
+TEST(LatticeTest, CanonicalChainIsMaximal) {
+  GeneralizationLattice lattice({6, 3, 2, 2});
+  const auto chain = lattice.CanonicalChain();
+  ASSERT_EQ(chain.size(), lattice.MaxHeight() + 1);
+  EXPECT_EQ(chain.front(), lattice.Bottom());
+  EXPECT_EQ(chain.back(), lattice.Top());
+  for (size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_TRUE(lattice.Leq(chain[i - 1], chain[i]));
+    EXPECT_EQ(lattice.Height(chain[i]), i);
+  }
+}
+
+TEST(LatticeTest, RandomChainIsMaximalAndSeeded) {
+  GeneralizationLattice lattice({6, 3, 2, 2});
+  Rng rng_a(5);
+  Rng rng_b(5);
+  const auto chain_a = lattice.RandomChain(&rng_a);
+  const auto chain_b = lattice.RandomChain(&rng_b);
+  EXPECT_EQ(chain_a, chain_b);
+  ASSERT_EQ(chain_a.size(), lattice.MaxHeight() + 1);
+  for (size_t i = 1; i < chain_a.size(); ++i) {
+    EXPECT_TRUE(lattice.Leq(chain_a[i - 1], chain_a[i]));
+  }
+}
+
+TEST(LatticeTest, ValidateRejectsBadNodes) {
+  GeneralizationLattice lattice({3, 2});
+  EXPECT_TRUE(lattice.Validate({0, 0}).ok());
+  EXPECT_TRUE(lattice.Validate({2, 1}).ok());
+  EXPECT_FALSE(lattice.Validate({3, 0}).ok());
+  EXPECT_FALSE(lattice.Validate({0, -1}).ok());
+  EXPECT_FALSE(lattice.Validate({0}).ok());
+  EXPECT_FALSE(lattice.Validate({0, 0, 0}).ok());
+}
+
+TEST(LatticeTest, FromQuasiIdentifiers) {
+  const AttributeDef sex = AttributeDef::Categorical("Sex", {"M", "F"});
+  std::vector<QuasiIdentifier> qis(1);
+  qis[0] = {0, ShareHierarchy(TreeHierarchy::SuppressionOnly(sex))};
+  const GeneralizationLattice lattice =
+      GeneralizationLattice::FromQuasiIdentifiers(qis);
+  EXPECT_EQ(lattice.num_nodes(), 2u);
+  EXPECT_EQ(lattice.MaxHeight(), 1u);
+}
+
+}  // namespace
+}  // namespace cksafe

@@ -1,0 +1,158 @@
+// MINIMIZE1 (Lemma 12 / Algorithm 1) tests: closed form on hand-computed
+// buckets, equality with exhaustive minimization over *all* atom sets via
+// the exact engine, and structural properties.
+
+#include "cksafe/core/minimize1.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cksafe/exact/exact_engine.h"
+#include "cksafe/util/math_util.h"
+#include "testing_util.h"
+
+namespace cksafe {
+namespace {
+
+using testing::MakeBuckets;
+using testing::RandomHistograms;
+
+// Exhaustive oracle: minimum of Pr(∧ ¬A_i | B) over all sets of m distinct
+// atoms involving the bucket's persons, computed by the exact engine.
+double BruteForceMinNegationConjunction(const ExactEngine& engine, size_t m) {
+  const size_t num_atoms = engine.num_persons() * engine.domain_size();
+  CKSAFE_CHECK_LE(m, num_atoms);
+  double best = 1.0;
+  std::vector<size_t> chosen;
+  const double total = static_cast<double>(engine.num_worlds());
+  std::function<void(size_t, Bitset)> rec = [&](size_t start, Bitset sat) {
+    if (chosen.size() == m) {
+      best = std::min(best, static_cast<double>(sat.Count()) / total);
+      return;
+    }
+    for (size_t a = start; a < num_atoms; ++a) {
+      const Atom atom{static_cast<PersonId>(a / engine.domain_size()),
+                      static_cast<int32_t>(a % engine.domain_size())};
+      chosen.push_back(a);
+      rec(a + 1, sat & engine.AtomWorlds(atom).Not());
+      chosen.pop_back();
+    }
+  };
+  rec(0, Bitset(engine.num_worlds(), /*all_ones=*/true));
+  return best;
+}
+
+TEST(Minimize1Test, HandComputedHospitalMaleBucket) {
+  // Counts {2, 2, 1}, n = 5 (the Figure 3 male bucket).
+  Minimize1Table table({2, 2, 1}, 4);
+  EXPECT_NEAR(table.MinProbability(0), 1.0, kProbabilityEpsilon);
+  // m=1: avoid the most frequent value: (5-2)/5.
+  EXPECT_NEAR(table.MinProbability(1), 3.0 / 5.0, kProbabilityEpsilon);
+  // m=2: structures (2) -> 1/5 vs (1,1) -> (3/5)(2/4) = 3/10; min 1/5.
+  EXPECT_NEAR(table.MinProbability(2), 1.0 / 5.0, kProbabilityEpsilon);
+  // m=3: (3) covers all values -> 0.
+  EXPECT_NEAR(table.MinProbability(3), 0.0, kProbabilityEpsilon);
+  EXPECT_NEAR(table.MinProbability(4), 0.0, kProbabilityEpsilon);
+}
+
+TEST(Minimize1Test, HandComputedSkewedBucket) {
+  // Counts {2, 1, 1, 1}, n = 5: the structure (1,1,1) beats (3) and (2,1)
+  // at m = 3 — spreading atoms over persons exploits the without-
+  // replacement dependence.
+  Minimize1Table table({2, 1, 1, 1}, 3);
+  EXPECT_NEAR(table.MinProbability(3), 1.0 / 10.0, kProbabilityEpsilon);
+  const std::vector<uint32_t> partition = table.WitnessPartition(3);
+  EXPECT_EQ(partition, (std::vector<uint32_t>{1, 1, 1}));
+}
+
+TEST(Minimize1Test, WitnessPartitionIsDescendingAndSumsToM) {
+  Minimize1Table table({5, 3, 2, 1, 1}, 7);
+  for (size_t m = 1; m <= 7; ++m) {
+    const std::vector<uint32_t> partition = table.WitnessPartition(m);
+    EXPECT_EQ(std::accumulate(partition.begin(), partition.end(), 0u), m);
+    for (size_t i = 1; i < partition.size(); ++i) {
+      EXPECT_LE(partition[i], partition[i - 1]) << "m=" << m;
+    }
+  }
+}
+
+TEST(Minimize1Test, NonincreasingInM) {
+  Minimize1Table table({4, 3, 3, 2, 1}, 10);
+  for (size_t m = 1; m <= 10; ++m) {
+    EXPECT_LE(table.MinProbability(m), table.MinProbability(m - 1) + 1e-12)
+        << "m=" << m;
+  }
+}
+
+TEST(Minimize1Test, SingletonBucket) {
+  Minimize1Table table({1}, 3);
+  EXPECT_NEAR(table.MinProbability(0), 1.0, kProbabilityEpsilon);
+  // Any atom on the single person with its (only) value: probability 0.
+  EXPECT_NEAR(table.MinProbability(1), 0.0, kProbabilityEpsilon);
+  EXPECT_NEAR(table.MinProbability(2), 0.0, kProbabilityEpsilon);
+}
+
+TEST(Minimize1Test, UniformBucketMatchesClosedForm) {
+  // Counts {1,1,1,1,1}: structures all evaluate via distinct persons or
+  // stacked values; m=1 -> 4/5, m=2 best is (2) -> 3/5 vs (1,1) ->
+  // (4/5)(3/4) = 3/5; equal by exchangeability.
+  Minimize1Table table({1, 1, 1, 1, 1}, 3);
+  EXPECT_NEAR(table.MinProbability(1), 4.0 / 5.0, kProbabilityEpsilon);
+  EXPECT_NEAR(table.MinProbability(2), 3.0 / 5.0, kProbabilityEpsilon);
+  EXPECT_NEAR(table.MinProbability(3), 2.0 / 5.0, kProbabilityEpsilon);
+}
+
+// --- Property sweep: DP equals the exhaustive minimum on random buckets ---
+
+struct Minimize1Case {
+  std::vector<uint32_t> histogram;  // indexed by value code
+  size_t domain;
+};
+
+class Minimize1PropertyTest
+    : public ::testing::TestWithParam<Minimize1Case> {};
+
+TEST_P(Minimize1PropertyTest, MatchesExhaustiveMinimumOverAtomSets) {
+  const Minimize1Case& param = GetParam();
+  auto fixture = MakeBuckets({param.histogram}, param.domain);
+  auto engine = ExactEngine::Create(fixture.bucketization);
+  ASSERT_TRUE(engine.ok());
+
+  const BucketStats stats =
+      BucketStats::FromHistogram(fixture.bucketization.bucket(0).histogram);
+  const size_t max_m = 3;
+  Minimize1Table table = Minimize1Table::FromStats(stats, max_m);
+  for (size_t m = 0; m <= max_m; ++m) {
+    const double brute = BruteForceMinNegationConjunction(*engine, m);
+    EXPECT_NEAR(table.MinProbability(m), brute, 1e-9)
+        << "m=" << m << " histogram size " << stats.n;
+  }
+}
+
+std::vector<Minimize1Case> MakeMinimize1Cases() {
+  std::vector<Minimize1Case> cases = {
+      {{2, 2, 1}, 3},     // hospital male bucket
+      {{2, 1, 1, 1}, 4},  // skewed
+      {{3, 1}, 2},        // heavy head
+      {{1, 1, 1, 1}, 4},  // uniform
+      {{4, 2, 0}, 3},     // value absent from bucket (code 2)
+      {{1, 0, 3}, 3},     // absent middle value
+  };
+  Rng rng(1234);
+  for (int i = 0; i < 6; ++i) {
+    auto histograms = RandomHistograms(&rng, 1, 3, 5);
+    cases.push_back({histograms[0], 3});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomBuckets, Minimize1PropertyTest,
+    ::testing::ValuesIn(MakeMinimize1Cases()),
+    [](const ::testing::TestParamInfo<Minimize1Case>& info) {
+      return "case" + std::to_string(info.index);
+    });
+
+}  // namespace
+}  // namespace cksafe

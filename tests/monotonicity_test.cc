@@ -1,0 +1,189 @@
+// Property tests for the paper's structural theorems:
+//  * Theorem 14: coarsening a bucketization (merging buckets) never
+//    increases maximum disclosure, for implications and negations alike.
+//  * Lemma 10 spot check: replacing consequents by the target atom never
+//    lowers disclosure, verified exhaustively on small instances.
+//  * Saturation: disclosure reaches 1 once k can exhaust a bucket's values.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cksafe/core/disclosure.h"
+#include "cksafe/exact/exact_engine.h"
+#include "cksafe/util/math_util.h"
+#include "testing_util.h"
+
+namespace cksafe {
+namespace {
+
+using testing::MakeBuckets;
+using testing::RandomHistograms;
+
+// Merges the given histogram list into a single-bucket histogram list.
+std::vector<std::vector<uint32_t>> MergeAll(
+    const std::vector<std::vector<uint32_t>>& histograms) {
+  std::vector<uint32_t> merged(histograms[0].size(), 0);
+  for (const auto& h : histograms) {
+    for (size_t s = 0; s < h.size(); ++s) merged[s] += h[s];
+  }
+  return {merged};
+}
+
+// Merges adjacent pairs (a one-step coarsening in the refinement order).
+std::vector<std::vector<uint32_t>> MergePairs(
+    const std::vector<std::vector<uint32_t>>& histograms) {
+  std::vector<std::vector<uint32_t>> out;
+  for (size_t i = 0; i < histograms.size(); i += 2) {
+    if (i + 1 < histograms.size()) {
+      std::vector<uint32_t> merged(histograms[i].size(), 0);
+      for (size_t s = 0; s < merged.size(); ++s) {
+        merged[s] = histograms[i][s] + histograms[i + 1][s];
+      }
+      out.push_back(std::move(merged));
+    } else {
+      out.push_back(histograms[i]);
+    }
+  }
+  return out;
+}
+
+struct MonotonicityCase {
+  std::vector<std::vector<uint32_t>> histograms;
+  size_t domain;
+};
+
+class MonotonicityPropertyTest
+    : public ::testing::TestWithParam<MonotonicityCase> {};
+
+TEST_P(MonotonicityPropertyTest, MergingBucketsNeverIncreasesDisclosure) {
+  const MonotonicityCase& param = GetParam();
+  auto fine = MakeBuckets(param.histograms, param.domain);
+  auto pairs = MakeBuckets(MergePairs(param.histograms), param.domain);
+  auto coarse = MakeBuckets(MergeAll(param.histograms), param.domain);
+
+  DisclosureAnalyzer fine_a(fine.bucketization);
+  DisclosureAnalyzer pairs_a(pairs.bucketization);
+  DisclosureAnalyzer coarse_a(coarse.bucketization);
+  for (size_t k = 0; k <= 4; ++k) {
+    const double d_fine = fine_a.MaxDisclosureImplications(k).disclosure;
+    const double d_pairs = pairs_a.MaxDisclosureImplications(k).disclosure;
+    const double d_coarse = coarse_a.MaxDisclosureImplications(k).disclosure;
+    EXPECT_LE(d_pairs, d_fine + 1e-12) << "k=" << k;
+    EXPECT_LE(d_coarse, d_pairs + 1e-12) << "k=" << k;
+
+    const double n_fine = fine_a.MaxDisclosureNegations(k).disclosure;
+    const double n_pairs = pairs_a.MaxDisclosureNegations(k).disclosure;
+    const double n_coarse = coarse_a.MaxDisclosureNegations(k).disclosure;
+    EXPECT_LE(n_pairs, n_fine + 1e-12) << "k=" << k;
+    EXPECT_LE(n_coarse, n_pairs + 1e-12) << "k=" << k;
+  }
+}
+
+TEST_P(MonotonicityPropertyTest, DisclosureIsMonotoneInK) {
+  const MonotonicityCase& param = GetParam();
+  auto fixture = MakeBuckets(param.histograms, param.domain);
+  DisclosureAnalyzer analyzer(fixture.bucketization);
+  const std::vector<double> curve = analyzer.ImplicationCurve(6);
+  for (size_t k = 1; k < curve.size(); ++k) {
+    EXPECT_GE(curve[k] + 1e-12, curve[k - 1]) << "k=" << k;
+  }
+}
+
+TEST_P(MonotonicityPropertyTest, ImplicationsDominateNegations) {
+  const MonotonicityCase& param = GetParam();
+  auto fixture = MakeBuckets(param.histograms, param.domain);
+  DisclosureAnalyzer analyzer(fixture.bucketization);
+  const std::vector<double> imp = analyzer.ImplicationCurve(6);
+  const std::vector<double> neg = analyzer.NegationCurve(6);
+  for (size_t k = 0; k < imp.size(); ++k) {
+    EXPECT_GE(imp[k] + 1e-12, neg[k]) << "k=" << k;
+  }
+}
+
+TEST_P(MonotonicityPropertyTest, SaturationAtMaxDistinctMinusOne) {
+  const MonotonicityCase& param = GetParam();
+  auto fixture = MakeBuckets(param.histograms, param.domain);
+  size_t max_d = 0;
+  for (const Bucket& b : fixture.bucketization.buckets()) {
+    size_t d = 0;
+    for (uint32_t c : b.histogram) {
+      if (c > 0) ++d;
+    }
+    max_d = std::max(max_d, d);
+  }
+  DisclosureAnalyzer analyzer(fixture.bucketization);
+  EXPECT_NEAR(analyzer.MaxDisclosureImplications(max_d - 1).disclosure, 1.0,
+              kProbabilityEpsilon);
+  EXPECT_NEAR(analyzer.MaxDisclosureNegations(max_d - 1).disclosure, 1.0,
+              kProbabilityEpsilon);
+}
+
+TEST_P(MonotonicityPropertyTest, DisclosureBoundedByFrequencyRatioAndOne) {
+  const MonotonicityCase& param = GetParam();
+  auto fixture = MakeBuckets(param.histograms, param.domain);
+  DisclosureAnalyzer analyzer(fixture.bucketization);
+  const double floor = fixture.bucketization.MaxFrequencyRatio();
+  const std::vector<double> curve = analyzer.ImplicationCurve(5);
+  for (size_t k = 0; k < curve.size(); ++k) {
+    EXPECT_GE(curve[k] + 1e-12, floor) << "k=" << k;
+    EXPECT_LE(curve[k], 1.0 + 1e-12) << "k=" << k;
+  }
+  EXPECT_NEAR(curve[0], floor, kProbabilityEpsilon);
+}
+
+std::vector<MonotonicityCase> MakeMonotonicityCases() {
+  std::vector<MonotonicityCase> cases = {
+      {{{2, 2, 1, 0}, {2, 1, 1, 1}}, 4},
+      {{{3, 0, 0}, {0, 3, 0}, {0, 0, 3}}, 3},  // homogeneous buckets
+      {{{1, 1, 0}, {0, 1, 1}, {1, 0, 1}}, 3},
+      {{{5, 1}, {1, 5}}, 2},
+  };
+  Rng rng(777);
+  for (int i = 0; i < 8; ++i) {
+    cases.push_back({RandomHistograms(&rng, 4, 4, 6), 4});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTables, MonotonicityPropertyTest,
+    ::testing::ValuesIn(MakeMonotonicityCases()),
+    [](const ::testing::TestParamInfo<MonotonicityCase>& info) {
+      return "case" + std::to_string(info.index);
+    });
+
+// Lemma 10 exhaustively on a small instance: for every pair of simple
+// implications and every target C, replacing both consequents by C does not
+// lower Pr(C | ...).
+TEST(Lemma10Test, ConsequentReplacementNeverLowersDisclosure) {
+  auto fixture = MakeBuckets({{2, 1}, {1, 1}}, 2);
+  auto engine = ExactEngine::Create(fixture.bucketization);
+  ASSERT_TRUE(engine.ok());
+  const size_t atoms = engine->num_persons() * engine->domain_size();
+  auto atom_at = [&](size_t i) {
+    return Atom{static_cast<PersonId>(i / engine->domain_size()),
+                static_cast<int32_t>(i % engine->domain_size())};
+  };
+  for (size_t a0 = 0; a0 < atoms; ++a0) {
+    for (size_t b0 = 0; b0 < atoms; ++b0) {
+      for (size_t c = 0; c < atoms; ++c) {
+        KnowledgeFormula original;
+        original.AddSimple(SimpleImplication{atom_at(a0), atom_at(b0)});
+        KnowledgeFormula replaced;
+        replaced.AddSimple(SimpleImplication{atom_at(a0), atom_at(c)});
+
+        auto p_orig =
+            engine->ConditionalProbability(atom_at(c), original);
+        auto p_repl =
+            engine->ConditionalProbability(atom_at(c), replaced);
+        if (!p_orig.ok() || !p_repl.ok()) continue;  // inconsistent branch
+        EXPECT_LE(*p_orig, *p_repl + 1e-12)
+            << "a0=" << a0 << " b0=" << b0 << " c=" << c;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cksafe

@@ -1,0 +1,171 @@
+// Per-bucket vulnerability tests: the prefix/suffix variant of MINIMIZE2
+// against a target-restricted brute force, and its consistency with the
+// global maximum.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "cksafe/core/disclosure.h"
+#include "cksafe/exact/exact_engine.h"
+#include "cksafe/util/math_util.h"
+#include "testing_util.h"
+
+namespace cksafe {
+namespace {
+
+using testing::MakeBuckets;
+using testing::MakeHospitalBucketization;
+using testing::MakeHospitalTable;
+using testing::RandomHistograms;
+
+// Brute-force oracle: max over multisets of k simple implications and over
+// target atoms belonging to `persons`.
+double BruteForceTargetRestricted(const ExactEngine& engine, size_t k,
+                                  const std::vector<PersonId>& persons) {
+  const size_t num_atoms = engine.num_persons() * engine.domain_size();
+  auto atom_at = [&](size_t index) {
+    return Atom{static_cast<PersonId>(index / engine.domain_size()),
+                static_cast<int32_t>(index % engine.domain_size())};
+  };
+  std::vector<size_t> targets;
+  for (size_t t = 0; t < num_atoms; ++t) {
+    const Atom a = atom_at(t);
+    if (std::find(persons.begin(), persons.end(), a.person) != persons.end()) {
+      targets.push_back(t);
+    }
+  }
+  double best = 0.0;
+  const size_t num_pairs = num_atoms * num_atoms;
+  std::function<void(size_t, size_t, const Bitset&)> rec =
+      [&](size_t start, size_t chosen, const Bitset& sat) {
+        if (chosen == k) {
+          const size_t denom = sat.Count();
+          if (denom == 0) return;
+          for (size_t t : targets) {
+            const double p =
+                static_cast<double>(Bitset::AndCount(
+                    sat, engine.AtomWorlds(atom_at(t)))) /
+                static_cast<double>(denom);
+            best = std::max(best, p);
+          }
+          return;
+        }
+        for (size_t pair = start; pair < num_pairs; ++pair) {
+          Bitset imp =
+              engine.AtomWorlds(atom_at(pair / num_atoms)).Not();
+          imp |= engine.AtomWorlds(atom_at(pair % num_atoms));
+          rec(pair, chosen + 1, sat & imp);
+        }
+      };
+  rec(0, 0, Bitset(engine.num_worlds(), /*all_ones=*/true));
+  return best;
+}
+
+TEST(PerBucketTest, MaxOverBucketsEqualsGlobalMaximum) {
+  const Table table = MakeHospitalTable();
+  const Bucketization b = MakeHospitalBucketization(table);
+  DisclosureAnalyzer analyzer(b);
+  for (size_t k = 0; k <= 4; ++k) {
+    const std::vector<double> per_bucket = analyzer.PerBucketDisclosure(k);
+    ASSERT_EQ(per_bucket.size(), 2u);
+    const double global = analyzer.MaxDisclosureImplications(k).disclosure;
+    EXPECT_NEAR(*std::max_element(per_bucket.begin(), per_bucket.end()),
+                global, 1e-12)
+        << "k=" << k;
+    for (double d : per_bucket) EXPECT_LE(d, global + 1e-12);
+  }
+}
+
+TEST(PerBucketTest, HospitalValuesByHand) {
+  const Table table = MakeHospitalTable();
+  const Bucketization b = MakeHospitalBucketization(table);
+  DisclosureAnalyzer analyzer(b);
+  // k=0: per-bucket frequency ratios 2/5 and 2/5.
+  const std::vector<double> k0 = analyzer.PerBucketDisclosure(0);
+  EXPECT_NEAR(k0[0], 0.4, kProbabilityEpsilon);
+  EXPECT_NEAR(k0[1], 0.4, kProbabilityEpsilon);
+  // k=1: males {2,2,1} -> 2/3; females {2,1,1,1} -> best R uses the
+  // (1,1)-structure within the bucket (4/5); check against the DP.
+  const std::vector<double> k1 = analyzer.PerBucketDisclosure(1);
+  EXPECT_NEAR(k1[0], 2.0 / 3.0, kProbabilityEpsilon);
+  EXPECT_GT(k1[1], 0.4);
+  EXPECT_LT(k1[1], 2.0 / 3.0 + 1e-9);
+}
+
+struct PerBucketCase {
+  std::vector<std::vector<uint32_t>> histograms;
+  size_t domain;
+  size_t max_k;
+};
+
+class PerBucketPropertyTest
+    : public ::testing::TestWithParam<PerBucketCase> {};
+
+TEST_P(PerBucketPropertyTest, MatchesTargetRestrictedBruteForce) {
+  const PerBucketCase& param = GetParam();
+  auto fixture = MakeBuckets(param.histograms, param.domain);
+  auto engine = ExactEngine::Create(fixture.bucketization);
+  ASSERT_TRUE(engine.ok());
+  DisclosureAnalyzer analyzer(fixture.bucketization);
+  for (size_t k = 0; k <= param.max_k; ++k) {
+    const std::vector<double> per_bucket = analyzer.PerBucketDisclosure(k);
+    for (size_t j = 0; j < fixture.bucketization.num_buckets(); ++j) {
+      const double brute = BruteForceTargetRestricted(
+          *engine, k, fixture.bucketization.bucket(j).members);
+      EXPECT_NEAR(per_bucket[j], brute, 1e-9) << "bucket " << j << " k " << k;
+    }
+  }
+}
+
+std::vector<PerBucketCase> MakePerBucketCases() {
+  std::vector<PerBucketCase> cases = {
+      {{{2, 1, 0}, {1, 1, 1}}, 3, 2},
+      {{{3, 1}, {1, 2}}, 2, 2},
+      {{{1, 1}, {2, 0}, {1, 1}}, 2, 1},
+  };
+  Rng rng(2024);
+  for (int i = 0; i < 3; ++i) {
+    cases.push_back({RandomHistograms(&rng, 2, 3, 4), 3, 1});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, PerBucketPropertyTest,
+    ::testing::ValuesIn(MakePerBucketCases()),
+    [](const ::testing::TestParamInfo<PerBucketCase>& info) {
+      return "case" + std::to_string(info.index);
+    });
+
+TEST(PerBucketTest, MaxOverBucketsEqualsGlobalOnRandomInstances) {
+  Rng rng(555);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto fixture =
+        MakeBuckets(RandomHistograms(&rng, 4, 5, 8), 5);
+    DisclosureAnalyzer analyzer(fixture.bucketization);
+    for (size_t k = 0; k <= 3; ++k) {
+      const std::vector<double> per_bucket = analyzer.PerBucketDisclosure(k);
+      EXPECT_NEAR(*std::max_element(per_bucket.begin(), per_bucket.end()),
+                  analyzer.MaxDisclosureImplications(k).disclosure, 1e-12)
+          << "trial " << trial << " k " << k;
+    }
+  }
+}
+
+TEST(PerBucketTest, MonotoneInK) {
+  auto fixture = MakeBuckets({{3, 2, 1, 1}, {2, 2, 2, 1}}, 4);
+  DisclosureAnalyzer analyzer(fixture.bucketization);
+  std::vector<double> prev = analyzer.PerBucketDisclosure(0);
+  for (size_t k = 1; k <= 4; ++k) {
+    const std::vector<double> cur = analyzer.PerBucketDisclosure(k);
+    for (size_t j = 0; j < cur.size(); ++j) {
+      EXPECT_GE(cur[j] + 1e-12, prev[j]) << "bucket " << j << " k " << k;
+    }
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace cksafe

@@ -1,0 +1,162 @@
+// Release-format tests: Figure-2-style generalized tables and Anatomy
+// two-table releases, including the Section 2.1 equivalence — the
+// bucketization reconstructed from either release carries the same
+// per-bucket sensitive histograms as the original.
+
+#include "cksafe/anon/release.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "cksafe/util/csv.h"
+#include "testing_util.h"
+
+namespace cksafe {
+namespace {
+
+using testing::kHospitalSensitiveColumn;
+using testing::MakeHospitalBucketization;
+using testing::MakeHospitalTable;
+
+std::vector<QuasiIdentifier> HospitalQis(const Table& table) {
+  std::vector<QuasiIdentifier> qis(3);
+  qis[0] = {0, ShareHierarchy(TreeHierarchy::SuppressionOnly(
+                   table.schema().attribute(0)))};  // Zip
+  auto age = IntervalHierarchy::Create(table.schema().attribute(1), {1, 3},
+                                       /*add_suppressed_top=*/true);
+  CKSAFE_CHECK(age.ok());
+  qis[1] = {1, ShareHierarchy(*std::move(age))};
+  qis[2] = {2, ShareHierarchy(TreeHierarchy::SuppressionOnly(
+                   table.schema().attribute(2)))};  // Sex
+  return qis;
+}
+
+TEST(GeneralizedReleaseTest, Figure2ShapeOnHospital) {
+  // Zip suppressed, Age suppressed, Sex kept: exactly the paper's Figure 2
+  // (two buckets of five with permuted diseases).
+  const Table table = MakeHospitalTable();
+  const auto qis = HospitalQis(table);
+  auto release = BuildGeneralizedRelease(table, qis, {1, 2, 0},
+                                         kHospitalSensitiveColumn, 7);
+  ASSERT_TRUE(release.ok()) << release.status();
+  EXPECT_EQ(release->header,
+            (std::vector<std::string>{"Zip", "Age", "Sex", "Disease"}));
+  ASSERT_EQ(release->rows.size(), 10u);
+  // First five rows: the male bucket with masked quasi-identifiers.
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(release->rows[i][0], "*");
+    EXPECT_EQ(release->rows[i][1], "*");
+    EXPECT_EQ(release->rows[i][2], "M");
+  }
+  for (size_t i = 5; i < 10; ++i) {
+    EXPECT_EQ(release->rows[i][2], "F");
+  }
+
+  // The released disease multiset per bucket matches Figure 2's.
+  std::multiset<std::string> male_diseases;
+  for (size_t i = 0; i < 5; ++i) male_diseases.insert(release->rows[i][3]);
+  EXPECT_EQ(male_diseases,
+            (std::multiset<std::string>{"flu", "flu", "lung cancer",
+                                        "lung cancer", "mumps"}));
+}
+
+TEST(GeneralizedReleaseTest, PermutationIsSeededAndWithinBuckets) {
+  const Table table = MakeHospitalTable();
+  const auto qis = HospitalQis(table);
+  auto a = BuildGeneralizedRelease(table, qis, {1, 2, 0},
+                                   kHospitalSensitiveColumn, 1);
+  auto b = BuildGeneralizedRelease(table, qis, {1, 2, 0},
+                                   kHospitalSensitiveColumn, 1);
+  auto c = BuildGeneralizedRelease(table, qis, {1, 2, 0},
+                                   kHospitalSensitiveColumn, 2);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->rows, b->rows);
+  // Different seed: same multisets, (almost surely) different order.
+  std::multiset<std::string> ma, mc;
+  for (size_t i = 0; i < 5; ++i) {
+    ma.insert(a->rows[i][3]);
+    mc.insert(c->rows[i][3]);
+  }
+  EXPECT_EQ(ma, mc);
+}
+
+TEST(GeneralizedReleaseTest, CsvRoundTrip) {
+  const Table table = MakeHospitalTable();
+  const auto qis = HospitalQis(table);
+  auto release = BuildGeneralizedRelease(table, qis, {1, 1, 1},
+                                         kHospitalSensitiveColumn, 3);
+  ASSERT_TRUE(release.ok());
+  const std::string path = ::testing::TempDir() + "/generalized.csv";
+  ASSERT_TRUE(release->WriteCsv(path).ok());
+  auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->size(), 11u);  // header + 10 rows
+  EXPECT_EQ((*read)[0], release->header);
+  std::remove(path.c_str());
+
+  EXPECT_NE(release->Preview(3).find("more rows"), std::string::npos);
+}
+
+TEST(AnatomyReleaseTest, TwoTableShape) {
+  const Table table = MakeHospitalTable();
+  const auto qis = HospitalQis(table);
+  const Bucketization bucketization = MakeHospitalBucketization(table);
+  auto release = BuildAnatomyRelease(table, qis, bucketization,
+                                     kHospitalSensitiveColumn);
+  ASSERT_TRUE(release.ok()) << release.status();
+
+  // QIT: one row per record, exact quasi-identifiers, bucket ids.
+  ASSERT_EQ(release->qit_rows.size(), 10u);
+  EXPECT_EQ(release->qit_header,
+            (std::vector<std::string>{"record", "Zip", "Age", "Sex",
+                                      "bucket"}));
+  EXPECT_EQ(release->qit_rows[0][1], "14850");  // exact zip, not generalized
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(release->qit_rows[i][4], "0");
+  for (size_t i = 5; i < 10; ++i) EXPECT_EQ(release->qit_rows[i][4], "1");
+
+  // ST: per-bucket counts; reconstruct histograms and compare.
+  std::map<std::pair<std::string, std::string>, uint32_t> st;
+  for (const auto& row : release->st_rows) {
+    st[{row[0], row[1]}] = static_cast<uint32_t>(std::stoul(row[2]));
+  }
+  auto count_of = [&](const std::string& bucket, const std::string& value) {
+    auto it = st.find({bucket, value});
+    return it == st.end() ? 0u : it->second;
+  };
+  EXPECT_EQ(count_of("0", "flu"), 2u);
+  EXPECT_EQ(count_of("0", "lung cancer"), 2u);
+  EXPECT_EQ(count_of("0", "mumps"), 1u);
+  EXPECT_EQ(count_of("1", "flu"), 2u);
+  EXPECT_EQ(count_of("1", "ovarian cancer"), 1u);
+  EXPECT_EQ(count_of("1", "mumps"), 0u);  // zero counts omitted
+
+  const std::string qit_path = ::testing::TempDir() + "/qit.csv";
+  const std::string st_path = ::testing::TempDir() + "/st.csv";
+  ASSERT_TRUE(release->WriteCsv(qit_path, st_path).ok());
+  auto qit = ReadCsvFile(qit_path);
+  auto st_read = ReadCsvFile(st_path);
+  ASSERT_TRUE(qit.ok() && st_read.ok());
+  EXPECT_EQ(qit->size(), 11u);
+  EXPECT_EQ(st_read->size(), release->st_rows.size() + 1);
+  std::remove(qit_path.c_str());
+  std::remove(st_path.c_str());
+}
+
+TEST(AnatomyReleaseTest, RejectsMismatchedInputs) {
+  const Table table = MakeHospitalTable();
+  const auto qis = HospitalQis(table);
+  Bucketization wrong_domain(3);
+  Bucket b;
+  b.members = {0};
+  b.histogram = {1, 0, 0};
+  ASSERT_TRUE(wrong_domain.AddBucket(std::move(b)).ok());
+  EXPECT_FALSE(BuildAnatomyRelease(table, qis, wrong_domain,
+                                   kHospitalSensitiveColumn)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace cksafe

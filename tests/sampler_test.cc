@@ -1,0 +1,182 @@
+// Monte Carlo engine tests: agreement with the exact engine within sampling
+// error, determinism, acceptance-rate estimation, and graceful failure on
+// over-selective knowledge.
+
+#include "cksafe/exact/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "cksafe/exact/exact_engine.h"
+#include "testing_util.h"
+
+namespace cksafe {
+namespace {
+
+using testing::kFlu;
+using testing::kLungCancer;
+using testing::kMumps;
+using testing::MakeBuckets;
+using testing::MakeHospitalBucketization;
+using testing::MakeHospitalTable;
+
+class SamplerTest : public ::testing::Test {
+ protected:
+  SamplerTest()
+      : table_(MakeHospitalTable()),
+        bucketization_(MakeHospitalBucketization(table_)) {}
+
+  Atom AtomOf(const std::string& person, int32_t disease) {
+    auto row = table_.FindRowByLabel(person);
+    CKSAFE_CHECK(row.ok());
+    return Atom{*row, disease};
+  }
+
+  Table table_;
+  Bucketization bucketization_;
+};
+
+TEST_F(SamplerTest, MatchesExactWithinFourSigma) {
+  SamplerOptions options;
+  options.samples = 100'000;
+  MonteCarloEngine sampler(bucketization_, options);
+  auto exact_engine = ExactEngine::Create(bucketization_);
+  ASSERT_TRUE(exact_engine.ok());
+
+  // The paper's worked queries.
+  struct Query {
+    Atom target;
+    KnowledgeFormula phi;
+  };
+  std::vector<Query> queries;
+  queries.push_back({AtomOf("Ed", kLungCancer), KnowledgeFormula()});
+  {
+    KnowledgeFormula phi;
+    phi.AddNegation(AtomOf("Ed", kMumps), kFlu);
+    queries.push_back({AtomOf("Ed", kLungCancer), phi});
+  }
+  {
+    KnowledgeFormula phi;
+    phi.AddSimple(
+        SimpleImplication{AtomOf("Hannah", kFlu), AtomOf("Charlie", kFlu)});
+    queries.push_back({AtomOf("Charlie", kFlu), phi});
+  }
+
+  for (const Query& q : queries) {
+    auto exact = exact_engine->ConditionalProbability(q.target, q.phi);
+    ASSERT_TRUE(exact.ok());
+    auto sampled = sampler.EstimateConditionalProbability(q.target, q.phi);
+    ASSERT_TRUE(sampled.ok()) << sampled.status();
+    EXPECT_GT(sampled->accepted, 1000u);
+    EXPECT_NEAR(sampled->estimate, *exact,
+                4.0 * sampled->std_error + 1e-3);
+  }
+}
+
+TEST_F(SamplerTest, PosteriorMatrixMatchesExact) {
+  SamplerOptions options;
+  options.samples = 60'000;
+  MonteCarloEngine sampler(bucketization_, options);
+  auto exact_engine = ExactEngine::Create(bucketization_);
+  ASSERT_TRUE(exact_engine.ok());
+
+  KnowledgeFormula phi;
+  phi.AddNegation(AtomOf("Ed", kMumps), kFlu);
+  auto posterior = sampler.EstimatePosteriors(phi);
+  ASSERT_TRUE(posterior.ok()) << posterior.status();
+  ASSERT_EQ(posterior->persons.size(), 10u);
+
+  for (size_t i = 0; i < posterior->persons.size(); ++i) {
+    double row_sum = 0.0;
+    for (size_t s = 0; s < posterior->probability[i].size(); ++s) {
+      const Atom atom{posterior->persons[i], static_cast<int32_t>(s)};
+      auto exact = exact_engine->ConditionalProbability(atom, phi);
+      ASSERT_TRUE(exact.ok());
+      EXPECT_NEAR(posterior->probability[i][s], *exact, 0.02);
+      row_sum += posterior->probability[i][s];
+    }
+    EXPECT_NEAR(row_sum, 1.0, 1e-9);  // exact by construction
+  }
+
+  Atom argmax;
+  const double max_disclosure = posterior->MaxDisclosure(&argmax);
+  auto exact_risk = exact_engine->DisclosureRisk(phi);
+  ASSERT_TRUE(exact_risk.ok());
+  EXPECT_NEAR(max_disclosure, exact_risk->disclosure, 0.02);
+}
+
+TEST_F(SamplerTest, DeterministicPerSeed) {
+  SamplerOptions options;
+  options.samples = 5'000;
+  MonteCarloEngine a(bucketization_, options);
+  MonteCarloEngine b(bucketization_, options);
+  KnowledgeFormula phi;
+  phi.AddNegation(AtomOf("Ed", kMumps), kFlu);
+  auto ra = a.EstimateConditionalProbability(AtomOf("Ed", kLungCancer), phi);
+  auto rb = b.EstimateConditionalProbability(AtomOf("Ed", kLungCancer), phi);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->estimate, rb->estimate);
+  EXPECT_EQ(ra->accepted, rb->accepted);
+
+  options.seed += 1;
+  MonteCarloEngine c(bucketization_, options);
+  auto rc = c.EstimateConditionalProbability(AtomOf("Ed", kLungCancer), phi);
+  ASSERT_TRUE(rc.ok());
+  EXPECT_NE(ra->accepted, rc->accepted);
+}
+
+TEST_F(SamplerTest, FormulaProbabilityMatchesCountingRatio) {
+  SamplerOptions options;
+  options.samples = 100'000;
+  MonteCarloEngine sampler(bucketization_, options);
+  auto exact_engine = ExactEngine::Create(bucketization_);
+  ASSERT_TRUE(exact_engine.ok());
+
+  KnowledgeFormula phi;
+  phi.AddSimple(
+      SimpleImplication{AtomOf("Hannah", kFlu), AtomOf("Charlie", kFlu)});
+  const double exact = static_cast<double>(exact_engine->CountWorlds(phi)) /
+                       static_cast<double>(exact_engine->num_worlds());
+  EXPECT_NEAR(sampler.EstimateFormulaProbability(phi), exact, 0.01);
+}
+
+TEST_F(SamplerTest, OverSelectiveKnowledgeFailsGracefully) {
+  // Pin down nine of ten patients: essentially no sampled world matches.
+  KnowledgeFormula phi;
+  for (const char* name : {"Bob", "Charlie"}) {
+    // Force both onto mumps -> inconsistent with the bucket histogram.
+    phi.AddNegation(AtomOf(name, kFlu), kMumps);
+    phi.AddNegation(AtomOf(name, kLungCancer), kMumps);
+  }
+  SamplerOptions options;
+  options.samples = 2'000;
+  MonteCarloEngine sampler(bucketization_, options);
+  auto result =
+      sampler.EstimateConditionalProbability(AtomOf("Ed", kFlu), phi);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SamplerScaleTest, HandlesInstancesBeyondTheExactEngine) {
+  // 40 tuples in two skewed buckets: ~10^20 consistent worlds, far past the
+  // exact engine's cap, yet sampling still audits a formula.
+  auto fixture =
+      MakeBuckets({{10, 5, 3, 2}, {2, 3, 5, 10}}, 4);
+  ExactEngineOptions exact_options;
+  exact_options.max_worlds = 1u << 20;
+  EXPECT_FALSE(ExactEngine::Create(fixture.bucketization, exact_options).ok());
+
+  SamplerOptions options;
+  options.samples = 20'000;
+  MonteCarloEngine sampler(fixture.bucketization, options);
+  KnowledgeFormula phi;
+  phi.AddNegation(Atom{0, 0}, 1);  // person 0 does not have value 0
+  auto p = sampler.EstimateConditionalProbability(Atom{0, 1}, phi);
+  ASSERT_TRUE(p.ok()) << p.status();
+  // Person 0 sits in bucket {10,5,3,2}; ruling out value 0 gives
+  // Pr(v1) = 5 / (20 - 10) = 0.5.
+  EXPECT_NEAR(p->estimate, 0.5, 5.0 * p->std_error + 1e-3);
+}
+
+}  // namespace
+}  // namespace cksafe

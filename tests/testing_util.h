@@ -1,0 +1,133 @@
+// Shared fixtures for the cksafe test suite: the paper's running example
+// (Figures 1-3) and random instance generators for property tests.
+
+#ifndef CKSAFE_TESTS_TESTING_UTIL_H_
+#define CKSAFE_TESTS_TESTING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "cksafe/anon/bucketization.h"
+#include "cksafe/data/table.h"
+#include "cksafe/util/random.h"
+
+namespace cksafe {
+namespace testing {
+
+/// Disease codes of the hospital fixture, in schema order.
+enum HospitalDisease : int32_t {
+  kFlu = 0,
+  kLungCancer = 1,
+  kMumps = 2,
+  kBreastCancer = 3,
+  kOvarianCancer = 4,
+  kHeartDisease = 5,
+};
+
+inline constexpr size_t kHospitalSensitiveColumn = 3;  // Disease
+
+/// The paper's Figure 1 table: 10 named patients, schema
+/// (Zip, Age, Sex, Disease).
+inline Table MakeHospitalTable() {
+  Schema schema({
+      AttributeDef::Categorical("Zip", {"14850", "14853"}),
+      AttributeDef::Numeric("Age", 21, 29),
+      AttributeDef::Categorical("Sex", {"M", "F"}),
+      AttributeDef::Categorical("Disease",
+                                {"flu", "lung cancer", "mumps", "breast cancer",
+                                 "ovarian cancer", "heart disease"}),
+  });
+  Table table(std::move(schema));
+  struct Row {
+    const char* name;
+    const char* zip;
+    int32_t age;
+    const char* sex;
+    int32_t disease;
+  };
+  const Row rows[] = {
+      {"Bob", "14850", 23, "M", kFlu},
+      {"Charlie", "14850", 24, "M", kFlu},
+      {"Dave", "14850", 25, "M", kLungCancer},
+      {"Ed", "14850", 27, "M", kLungCancer},
+      {"Frank", "14853", 29, "M", kMumps},
+      {"Gloria", "14850", 21, "F", kFlu},
+      {"Hannah", "14850", 22, "F", kFlu},
+      {"Irma", "14853", 24, "F", kBreastCancer},
+      {"Jessica", "14853", 26, "F", kOvarianCancer},
+      {"Karen", "14853", 28, "F", kHeartDisease},
+  };
+  for (const Row& r : rows) {
+    const auto zip = table.schema().attribute(0).CodeOf(r.zip);
+    const auto sex = table.schema().attribute(2).CodeOf(r.sex);
+    CKSAFE_CHECK(zip.ok() && sex.ok());
+    CKSAFE_CHECK(table.AppendRow({*zip, r.age, *sex, r.disease}).ok());
+  }
+  for (size_t i = 0; i < std::size(rows); ++i) {
+    table.SetRowLabel(static_cast<PersonId>(i), rows[i].name);
+  }
+  return table;
+}
+
+/// The Figure 2/3 bucketization of the hospital table: one bucket per Sex
+/// (males rows 0-4, females rows 5-9).
+inline Bucketization MakeHospitalBucketization(const Table& table) {
+  auto b = BucketizeExplicit(table, {{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}},
+                             kHospitalSensitiveColumn);
+  CKSAFE_CHECK(b.ok()) << b.status().ToString();
+  return *std::move(b);
+}
+
+/// A single-column table whose sensitive values realize the given
+/// histograms; bucket i holds consecutive rows. Used to build arbitrary
+/// bucketizations for property tests.
+struct SyntheticBuckets {
+  Table table;
+  Bucketization bucketization;
+};
+
+inline SyntheticBuckets MakeBuckets(
+    const std::vector<std::vector<uint32_t>>& histograms, size_t domain_size) {
+  std::vector<std::string> labels;
+  for (size_t s = 0; s < domain_size; ++s) {
+    labels.push_back("v" + std::to_string(s));
+  }
+  Table table{Schema({AttributeDef::Categorical("S", labels)})};
+  std::vector<std::vector<PersonId>> groups;
+  PersonId next = 0;
+  for (const auto& histogram : histograms) {
+    CKSAFE_CHECK_EQ(histogram.size(), domain_size);
+    std::vector<PersonId> members;
+    for (size_t s = 0; s < domain_size; ++s) {
+      for (uint32_t i = 0; i < histogram[s]; ++i) {
+        CKSAFE_CHECK(table.AppendRow({static_cast<int32_t>(s)}).ok());
+        members.push_back(next++);
+      }
+    }
+    groups.push_back(std::move(members));
+  }
+  auto bucketization = BucketizeExplicit(table, groups, 0);
+  CKSAFE_CHECK(bucketization.ok()) << bucketization.status().ToString();
+  return SyntheticBuckets{std::move(table), *std::move(bucketization)};
+}
+
+/// Random histogram list for property tests; keeps the world count small
+/// enough for the exact engine.
+inline std::vector<std::vector<uint32_t>> RandomHistograms(
+    Rng* rng, size_t num_buckets, size_t domain_size, uint32_t max_bucket) {
+  std::vector<std::vector<uint32_t>> histograms(num_buckets);
+  for (auto& histogram : histograms) {
+    histogram.assign(domain_size, 0);
+    const uint32_t size =
+        1 + static_cast<uint32_t>(rng->NextBelow(max_bucket));
+    for (uint32_t i = 0; i < size; ++i) {
+      ++histogram[rng->NextBelow(domain_size)];
+    }
+  }
+  return histograms;
+}
+
+}  // namespace testing
+}  // namespace cksafe
+
+#endif  // CKSAFE_TESTS_TESTING_UTIL_H_

@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+
 #include "cksafe/adult/adult.h"
 #include "cksafe/anon/bucketization.h"
 #include "cksafe/anon/diversity.h"
@@ -64,6 +67,49 @@ BENCHMARK(BM_IncognitoCkSafety)
     ->Args({0, 60, 3})
     ->Args({1, 90, 1})
     ->Args({0, 90, 1});
+
+// The parallel batch-evaluation subsystem: same Incognito search, same
+// lattice, predicate evaluations of each BFS level fanned out over a
+// thread pool with one shared (sharded) DisclosureCache. Output is
+// asserted identical to the sequential search every iteration; compare
+// real_time across the threads argument for the speedup.
+void BM_ParallelIncognitoCkSafety(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const double c = 0.6;
+  const size_t k = 3;
+  const GeneralizationLattice lattice =
+      GeneralizationLattice::FromQuasiIdentifiers(AdultQis());
+
+  DisclosureCache baseline_cache;
+  const LatticeSearchResult baseline = FindMinimalSafeNodes(
+      lattice, CkSafetyPredicate(&baseline_cache, c, k), true);
+
+  // The caller participates in ParallelFor, so a total of `threads` workers
+  // means a pool of threads - 1 (kept across iterations to amortize spawn).
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads - 1);
+  for (auto _ : state) {
+    DisclosureCache cache;
+    LatticeSearchOptions options;
+    options.pool = pool.get();
+    auto result =
+        FindMinimalSafeNodes(lattice, CkSafetyPredicate(&cache, c, k), options);
+    CKSAFE_CHECK(result.minimal_safe_nodes == baseline.minimal_safe_nodes)
+        << "parallel search diverged from sequential output";
+    CKSAFE_CHECK_EQ(result.stats.evaluations, baseline.stats.evaluations);
+    benchmark::DoNotOptimize(result.minimal_safe_nodes.size());
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.SetLabel("pool of " + std::to_string(threads) +
+                 " threads incl. caller, shared sharded cache");
+}
+BENCHMARK(BM_ParallelIncognitoCkSafety)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
 
 void BM_IncognitoBaselines(benchmark::State& state) {
   // 0: k-anonymity, 1: entropy ℓ-diversity, 2: (c,k)-safety.

@@ -25,8 +25,11 @@
 #ifndef CKSAFE_CORE_DISCLOSURE_H_
 #define CKSAFE_CORE_DISCLOSURE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -57,34 +60,55 @@ struct WorstCaseDisclosure {
 /// Buckets with equal histograms share one O(k^3) table, and the cache can
 /// be reused across bucketizations — this is the paper's §3.3.3 remark that
 /// re-running after adding x new buckets costs O(|B*|·k + x·k^3).
+///
+/// Thread safe: the key space is sharded over independently locked maps, so
+/// one cache may be shared by concurrent DisclosureAnalyzers (the parallel
+/// lattice search shares one across all worker threads). Tables are handed
+/// out as shared_ptr, so a budget upgrade replacing a shard's entry never
+/// invalidates tables already handed out — the historical reference-
+/// invalidation hazard of the unique_ptr design (see DESIGN.md §5.2).
 class DisclosureCache {
  public:
   /// Returns a table for `stats` valid up to atom budget `max_k`,
-  /// computing (or upgrading a smaller cached table) on miss.
-  ///
-  /// Lifetime: the returned reference is invalidated by a later call with a
-  /// *larger* max_k for the same histogram (the table is replaced by the
-  /// upgraded one). Callers must fetch all tables for one computation at a
-  /// single budget before dereferencing, which is what DisclosureAnalyzer
-  /// does.
-  const Minimize1Table& GetOrCompute(const BucketStats& stats, size_t max_k);
+  /// computing (or upgrading a smaller cached table) on miss. The returned
+  /// table stays valid for the shared_ptr's lifetime regardless of later
+  /// upgrades or Clear().
+  std::shared_ptr<const Minimize1Table> GetOrCompute(const BucketStats& stats,
+                                                     size_t max_k);
 
-  size_t entries() const { return tables_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  size_t entries() const;
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   void Clear();
 
  private:
-  std::unordered_map<std::string, std::unique_ptr<Minimize1Table>> tables_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  // 16 shards: enough to make lock collisions rare at the pool sizes the
+  // search uses (≤ hardware threads) without bloating the empty cache.
+  static constexpr size_t kNumShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<const Minimize1Table>>
+        tables;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  std::array<Shard, kNumShards> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 /// Computes worst-case disclosure for one bucketization.
+///
+/// The const methods only read immutable per-bucket statistics and go
+/// through the (thread-safe) cache, so one analyzer may be queried from
+/// several threads, and distinct analyzers sharing one cache may run
+/// concurrently.
 class DisclosureAnalyzer {
  public:
-  /// `cache` may be shared across analyzers; pass nullptr for a private
-  /// cache. The bucketization must outlive the analyzer and be non-empty.
+  /// `cache` may be shared across analyzers (and across threads); pass
+  /// nullptr for a private cache. The bucketization must outlive the
+  /// analyzer and be non-empty.
   explicit DisclosureAnalyzer(const Bucketization& bucketization,
                               DisclosureCache* cache = nullptr);
 
@@ -114,7 +138,8 @@ class DisclosureAnalyzer {
   const std::vector<BucketStats>& bucket_stats() const { return stats_; }
 
  private:
-  const Minimize1Table& Table(size_t bucket_index, size_t max_k) const;
+  std::shared_ptr<const Minimize1Table> Table(size_t bucket_index,
+                                              size_t max_k) const;
 
   /// Materializes the atoms of a bucket's witness partition; atoms for
   /// person j use the bucket's top-k_j value codes. Appends to `out`,

@@ -19,12 +19,35 @@
 #include <vector>
 
 #include "cksafe/lattice/lattice.h"
+#include "cksafe/util/thread_pool.h"
 
 namespace cksafe {
 
 /// Monotone safety predicate over lattice nodes: if it holds at a node it
-/// must hold at every coarser node.
+/// must hold at every coarser node. When the search runs multi-threaded the
+/// predicate is invoked concurrently and must be thread safe — a
+/// (c,k)-safety predicate qualifies when its DisclosureCache is shared (the
+/// cache is internally synchronized) and each invocation builds its own
+/// DisclosureAnalyzer.
 using NodePredicate = std::function<bool(const LatticeNode&)>;
+
+/// Tuning for FindMinimalSafeNodes. The result is bit-identical across all
+/// settings: parallelism batches each BFS level's unpruned predicate
+/// evaluations, which are independent by construction (pruning information
+/// only ever flows from lower levels to strictly higher ones).
+struct LatticeSearchOptions {
+  /// Incognito behaviour: ancestors of safe nodes are marked safe without
+  /// evaluating the predicate. Off = exhaustive ablation baseline.
+  bool use_pruning = true;
+
+  /// Worker threads evaluating the predicate, including the calling
+  /// thread; <= 1 means fully sequential. Ignored when `pool` is set.
+  size_t num_threads = 1;
+
+  /// Optional externally owned pool (e.g. shared across searches). When
+  /// null and num_threads > 1, the search spins up a transient pool.
+  ThreadPool* pool = nullptr;
+};
 
 /// Counters describing the work a search performed.
 struct LatticeSearchStats {
@@ -43,6 +66,15 @@ struct LatticeSearchResult {
 /// With `use_pruning` (the Incognito behaviour) ancestors of safe nodes are
 /// marked safe without evaluating the predicate; without it every node is
 /// evaluated (the ablation baseline for the search benchmark).
+///
+/// Deterministic: minimal_safe_nodes (content and order) and every
+/// LatticeSearchStats counter are identical whatever options.num_threads /
+/// options.pool are — see the determinism test and DESIGN.md §5.3.
+LatticeSearchResult FindMinimalSafeNodes(const GeneralizationLattice& lattice,
+                                         const NodePredicate& is_safe,
+                                         const LatticeSearchOptions& options);
+
+/// Sequential convenience overload (the seed API).
 LatticeSearchResult FindMinimalSafeNodes(const GeneralizationLattice& lattice,
                                          const NodePredicate& is_safe,
                                          bool use_pruning = true);

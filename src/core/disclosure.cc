@@ -19,25 +19,49 @@ KnowledgeFormula WorstCaseDisclosure::ToFormula() const {
   return formula;
 }
 
-const Minimize1Table& DisclosureCache::GetOrCompute(const BucketStats& stats,
-                                                    size_t max_k) {
+DisclosureCache::Shard& DisclosureCache::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
+}
+
+std::shared_ptr<const Minimize1Table> DisclosureCache::GetOrCompute(
+    const BucketStats& stats, size_t max_k) {
   const std::string key = stats.CountsKey();
-  auto it = tables_.find(key);
-  if (it != tables_.end() && it->second->max_k() >= max_k) {
-    ++hits_;
-    return *it->second;
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.tables.find(key);
+    if (it != shard.tables.end() && it->second->max_k() >= max_k) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
-  ++misses_;
-  auto table = std::make_unique<Minimize1Table>(stats.counts, max_k);
-  auto& slot = tables_[key];
-  slot = std::move(table);
-  return *slot;
+  // Compute outside the lock so a slow O(k^3) build does not serialize the
+  // shard. Two threads may race to build the same table; the loser's copy
+  // is dropped unless it has the larger budget.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto table = std::make_shared<const Minimize1Table>(stats.counts, max_k);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.tables[key];
+  if (slot == nullptr || slot->max_k() < max_k) slot = std::move(table);
+  return slot;  // covers max_k either way: ours, or a larger racing upgrade
+}
+
+size_t DisclosureCache::entries() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.tables.size();
+  }
+  return total;
 }
 
 void DisclosureCache::Clear() {
-  tables_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.tables.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
 }
 
 DisclosureAnalyzer::DisclosureAnalyzer(const Bucketization& bucketization,
@@ -49,8 +73,8 @@ DisclosureAnalyzer::DisclosureAnalyzer(const Bucketization& bucketization,
       << "cannot analyze an empty bucketization";
 }
 
-const Minimize1Table& DisclosureAnalyzer::Table(size_t bucket_index,
-                                                size_t max_k) const {
+std::shared_ptr<const Minimize1Table> DisclosureAnalyzer::Table(
+    size_t bucket_index, size_t max_k) const {
   return cache_->GetOrCompute(stats_[bucket_index], max_k);
 }
 
@@ -77,9 +101,10 @@ WorstCaseDisclosure DisclosureAnalyzer::MaxDisclosureImplications(
   const size_t m = bucketization_.num_buckets();
 
   // Pre-fetch MINIMIZE1 tables (budget k+1: the target atom A joins the k
-  // antecedents in its own bucket).
-  std::vector<const Minimize1Table*> tables(m);
-  for (size_t i = 0; i < m; ++i) tables[i] = &Table(i, k + 1);
+  // antecedents in its own bucket). The shared_ptrs pin the tables for the
+  // whole computation even if a concurrent analyzer upgrades the cache.
+  std::vector<std::shared_ptr<const Minimize1Table>> tables(m);
+  for (size_t i = 0; i < m; ++i) tables[i] = Table(i, k + 1);
 
   // MINIMIZE2 as a backward DP over buckets.
   //   placed[i][h]: min prod over buckets i.. with h atoms left, A already
@@ -232,8 +257,8 @@ bool DisclosureAnalyzer::IsCkSafe(double c, size_t k) const {
 std::vector<double> DisclosureAnalyzer::PerBucketDisclosure(size_t k) const {
   const size_t m = bucketization_.num_buckets();
   const size_t width = k + 1;
-  std::vector<const Minimize1Table*> tables(m);
-  for (size_t i = 0; i < m; ++i) tables[i] = &Table(i, k + 1);
+  std::vector<std::shared_ptr<const Minimize1Table>> tables(m);
+  for (size_t i = 0; i < m; ++i) tables[i] = Table(i, k + 1);
 
   // prefix[i][h]: min over distributions of h antecedent atoms among
   // buckets [0, i); suffix[i][h]: among buckets [i, m).

@@ -1,5 +1,7 @@
 #include "cksafe/search/lattice_search.h"
 
+#include <cstdint>
+#include <memory>
 #include <unordered_set>
 
 namespace cksafe {
@@ -18,27 +20,59 @@ void MarkAncestorsSafe(const GeneralizationLattice& lattice,
   }
 }
 
+// Evaluates is_safe on every node of `batch`, fanning out over `pool`
+// (serial when pool is null). Results are positional, so downstream
+// consumption can stay in deterministic batch order.
+std::vector<uint8_t> EvaluateBatch(const std::vector<LatticeNode>& batch,
+                                   const NodePredicate& is_safe,
+                                   ThreadPool* pool) {
+  std::vector<uint8_t> safe(batch.size(), 0);
+  ParallelFor(pool, batch.size(),
+              [&](size_t i) { safe[i] = is_safe(batch[i]) ? 1 : 0; });
+  return safe;
+}
+
 }  // namespace
 
 LatticeSearchResult FindMinimalSafeNodes(const GeneralizationLattice& lattice,
                                          const NodePredicate& is_safe,
-                                         bool use_pruning) {
+                                         const LatticeSearchOptions& options) {
+  // Resolve the threading mode: an owned transient pool only when asked for
+  // parallelism without providing one. The pool contributes *extra* threads
+  // on top of the calling thread (which participates in ParallelFor), so
+  // num_threads = T maps to a pool of T - 1 workers.
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr && options.num_threads > 1) {
+    owned_pool = std::make_unique<ThreadPool>(options.num_threads - 1);
+    pool = owned_pool.get();
+  }
+
   LatticeSearchResult result;
-  if (use_pruning) {
+  if (options.use_pruning) {
+    // Incognito sweep, one BFS level at a time. Ancestor marking only ever
+    // targets strictly higher levels, so within one level the surviving
+    // nodes' evaluations are independent: batching them over the pool
+    // reproduces the sequential visit/evaluation/pruning counts exactly.
     std::unordered_set<uint64_t> implied_safe;
     for (size_t h = 0; h <= lattice.MaxHeight(); ++h) {
-      for (const LatticeNode& node : lattice.NodesAtHeight(h)) {
+      std::vector<LatticeNode> batch;
+      for (LatticeNode& node : lattice.NodesAtHeight(h)) {
         ++result.stats.nodes_visited;
         if (implied_safe.count(lattice.Encode(node)) > 0) {
           ++result.stats.implied_safe;
           continue;
         }
         ++result.stats.evaluations;
-        if (!is_safe(node)) continue;
+        batch.push_back(std::move(node));
+      }
+      const std::vector<uint8_t> safe = EvaluateBatch(batch, is_safe, pool);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (!safe[i]) continue;
         // Bottom-up invariant: a safe strict descendant would have marked
         // this node implied-safe, so this node is minimal.
-        result.minimal_safe_nodes.push_back(node);
-        MarkAncestorsSafe(lattice, node, &implied_safe);
+        result.minimal_safe_nodes.push_back(batch[i]);
+        MarkAncestorsSafe(lattice, batch[i], &implied_safe);
       }
     }
     return result;
@@ -46,11 +80,12 @@ LatticeSearchResult FindMinimalSafeNodes(const GeneralizationLattice& lattice,
 
   // Ablation path: evaluate everything, then filter minimal safe nodes.
   std::unordered_set<uint64_t> safe;
-  std::vector<LatticeNode> all = lattice.AllNodes();
-  for (const LatticeNode& node : all) {
-    ++result.stats.nodes_visited;
-    ++result.stats.evaluations;
-    if (is_safe(node)) safe.insert(lattice.Encode(node));
+  const std::vector<LatticeNode> all = lattice.AllNodes();
+  result.stats.nodes_visited += all.size();
+  result.stats.evaluations += all.size();
+  const std::vector<uint8_t> is_node_safe = EvaluateBatch(all, is_safe, pool);
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (is_node_safe[i]) safe.insert(lattice.Encode(all[i]));
   }
   for (const LatticeNode& node : all) {
     if (safe.count(lattice.Encode(node)) == 0) continue;
@@ -64,6 +99,14 @@ LatticeSearchResult FindMinimalSafeNodes(const GeneralizationLattice& lattice,
     if (!has_safe_child) result.minimal_safe_nodes.push_back(node);
   }
   return result;
+}
+
+LatticeSearchResult FindMinimalSafeNodes(const GeneralizationLattice& lattice,
+                                         const NodePredicate& is_safe,
+                                         bool use_pruning) {
+  LatticeSearchOptions options;
+  options.use_pruning = use_pruning;
+  return FindMinimalSafeNodes(lattice, is_safe, options);
 }
 
 std::optional<size_t> ChainBinarySearch(const std::vector<LatticeNode>& chain,

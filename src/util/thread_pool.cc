@@ -1,0 +1,115 @@
+#include "cksafe/util/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "cksafe/util/check.h"
+
+namespace cksafe {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  CKSAFE_CHECK_GT(num_threads, 0u);
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    CKSAFE_CHECK(!shutting_down_) << "Submit after shutdown";
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(
+          lock, [this] { return !queue_.empty() || shutting_down_; });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Self-scheduling loop shared by the pool workers and the caller. The
+  // batch tracks its own completion so the caller waits only for these
+  // iterations, not for unrelated tasks on a shared pool; shared_ptr keeps
+  // the state alive for helpers that wake up after the caller has returned
+  // from its own loop but before they observe an empty range.
+  struct Batch {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> finished{0};
+    size_t n;
+    const std::function<void(size_t)>& fn;
+    std::mutex mu;
+    std::condition_variable done;
+    explicit Batch(size_t n, const std::function<void(size_t)>& fn)
+        : n(n), fn(fn) {}
+  };
+  auto batch = std::make_shared<Batch>(n, fn);
+  auto run = [](const std::shared_ptr<Batch>& b) {
+    for (;;) {
+      const size_t i = b->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= b->n) return;
+      b->fn(i);
+      if (b->finished.fetch_add(1, std::memory_order_acq_rel) + 1 == b->n) {
+        std::unique_lock<std::mutex> lock(b->mu);
+        b->done.notify_all();
+      }
+    }
+  };
+
+  const size_t helpers = std::min(pool->num_threads(), n - 1);
+  for (size_t t = 0; t < helpers; ++t) {
+    pool->Submit([batch, run] { run(batch); });
+  }
+  run(batch);  // caller participates
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->done.wait(lock, [&] {
+    return batch->finished.load(std::memory_order_acquire) == batch->n;
+  });
+}
+
+}  // namespace cksafe

@@ -43,8 +43,8 @@ TEST(BucketStatsTest, CountsKeyIgnoresValueIdentity) {
 TEST(DisclosureCacheTest, UpgradesTablesToLargerBudgets) {
   DisclosureCache cache;
   const BucketStats stats = BucketStats::FromHistogram({3, 2, 1});
-  const Minimize1Table& small = cache.GetOrCompute(stats, 2);
-  EXPECT_EQ(small.max_k(), 2u);
+  const auto small = cache.GetOrCompute(stats, 2);
+  EXPECT_EQ(small->max_k(), 2u);
   EXPECT_EQ(cache.misses(), 1u);
 
   // Same budget or smaller: hit.
@@ -53,15 +53,42 @@ TEST(DisclosureCacheTest, UpgradesTablesToLargerBudgets) {
   EXPECT_EQ(cache.hits(), 2u);
 
   // Larger budget: recompute (upgrade), values consistent with before.
-  const Minimize1Table& big = cache.GetOrCompute(stats, 6);
+  const auto big = cache.GetOrCompute(stats, 6);
   EXPECT_EQ(cache.misses(), 2u);
-  EXPECT_GE(big.max_k(), 6u);
+  EXPECT_GE(big->max_k(), 6u);
   Minimize1Table fresh({3, 2, 1}, 6);
   for (size_t m = 0; m <= 6; ++m) {
-    EXPECT_NEAR(big.MinProbability(m), fresh.MinProbability(m), 1e-15);
+    EXPECT_NEAR(big->MinProbability(m), fresh.MinProbability(m), 1e-15);
   }
   cache.Clear();
   EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(DisclosureCacheTest, UpgradeDoesNotInvalidateOutstandingTables) {
+  // Regression: with the original unique_ptr cache, upgrading a histogram's
+  // table to a larger budget destroyed the old table while callers could
+  // still hold a reference to it (the documented lifetime hazard). Tables
+  // are now refcounted, so a pre-upgrade handle stays valid and correct.
+  DisclosureCache cache;
+  const BucketStats stats = BucketStats::FromHistogram({4, 3, 2, 1});
+  const auto before = cache.GetOrCompute(stats, 2);
+  const double p0 = before->MinProbability(0);
+  const double p2 = before->MinProbability(2);
+
+  const auto upgraded = cache.GetOrCompute(stats, 8);
+  EXPECT_GE(upgraded->max_k(), 8u);
+  EXPECT_NE(before.get(), upgraded.get());
+
+  // The old handle still dereferences to the same values.
+  EXPECT_EQ(before->max_k(), 2u);
+  EXPECT_NEAR(before->MinProbability(0), p0, 1e-15);
+  EXPECT_NEAR(before->MinProbability(2), p2, 1e-15);
+  EXPECT_NEAR(upgraded->MinProbability(2), p2, 1e-15);
+
+  // Clear() drops the cache's references but not the caller's.
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_NEAR(before->MinProbability(2), p2, 1e-15);
 }
 
 TEST(Minimize2EdgeTest, WitnessSpansBucketsWhenTargetBucketSaturates) {

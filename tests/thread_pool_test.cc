@@ -1,0 +1,106 @@
+// ThreadPool and ParallelFor tests: task completion, Wait() semantics,
+// batch completion on shared pools, and the serial fallback.
+
+#include "cksafe/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace cksafe {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitCoversInFlightTasksNotJustTheQueue) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&done] {
+      // Long enough that Wait() is reached while tasks are mid-flight.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      done.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+TEST(ParallelForTest, VisitsEachIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  ParallelFor(&pool, kN, [&](size_t i) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, NullPoolRunsSerially) {
+  // With no pool the iterations run in order on the calling thread, so a
+  // non-atomic accumulator is race-free by construction.
+  std::vector<size_t> order;
+  ParallelFor(nullptr, 10, [&](size_t i) { order.push_back(i); });
+  std::vector<size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForTest, ZeroIterationsIsANoop) {
+  ThreadPool pool(2);
+  ParallelFor(&pool, 0, [&](size_t) { FAIL() << "must not be called"; });
+  ParallelFor(nullptr, 0, [&](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelForTest, PoolIsReusableAcrossBatches) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<size_t> sum{0};
+    ParallelFor(&pool, 100, [&](size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 4950u) << "round " << round;
+  }
+}
+
+TEST(ParallelForTest, ConcurrentBatchesOnASharedPoolStayIndependent) {
+  // Two caller threads share one pool; each batch must wait only for its
+  // own iterations and still complete all of them.
+  ThreadPool pool(4);
+  std::atomic<size_t> sum_a{0};
+  std::atomic<size_t> sum_b{0};
+  std::thread other([&] {
+    ParallelFor(&pool, 500, [&](size_t i) { sum_b.fetch_add(i + 1); });
+  });
+  ParallelFor(&pool, 500, [&](size_t i) { sum_a.fetch_add(i + 1); });
+  other.join();
+  EXPECT_EQ(sum_a.load(), 125250u);
+  EXPECT_EQ(sum_b.load(), 125250u);
+}
+
+}  // namespace
+}  // namespace cksafe

@@ -35,9 +35,31 @@ struct BucketStats {
   /// Builds stats from a histogram indexed by sensitive code.
   static BucketStats FromHistogram(const std::vector<uint32_t>& histogram);
 
-  /// Cache key: the MINIMIZE1 table depends only on the sorted counts, so
-  /// buckets with equal count multisets share DP tables.
-  std::string CountsKey() const;
+  /// Delta-friendly updates for streaming: adds/removes one occurrence of
+  /// `code`, restoring the (count descending, code ascending) order and the
+  /// prefix sums in O(d). The result is identical to rebuilding via
+  /// FromHistogram from the updated histogram. RemoveValue CHECK-fails when
+  /// the code is absent.
+  void AddValue(int32_t code);
+  void RemoveValue(int32_t code);
+
+  /// The MINIMIZE1 table depends only on the sorted `counts`, so buckets
+  /// with equal count multisets share DP tables; `counts` itself is the
+  /// DisclosureCache key (hashed without serialization, see CountsHash).
+};
+
+/// Hash over sorted count vectors for DisclosureCache's table map. FNV-1a
+/// over the raw 32-bit counts: no per-lookup string serialization or
+/// allocation.
+struct CountsHash {
+  size_t operator()(const std::vector<uint32_t>& counts) const {
+    uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+    for (uint32_t c : counts) {
+      h ^= c;
+      h *= 1099511628211ULL;  // FNV prime
+    }
+    return static_cast<size_t>(h);
+  }
 };
 
 /// Stats for every bucket of a bucketization, in bucket order.

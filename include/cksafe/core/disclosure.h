@@ -37,6 +37,7 @@
 #include "cksafe/anon/bucketization.h"
 #include "cksafe/core/bucket_stats.h"
 #include "cksafe/core/minimize1.h"
+#include "cksafe/core/minimize2.h"
 #include "cksafe/knowledge/formula.h"
 
 namespace cksafe {
@@ -59,7 +60,9 @@ struct WorstCaseDisclosure {
 ///
 /// Buckets with equal histograms share one O(k^3) table, and the cache can
 /// be reused across bucketizations — this is the paper's §3.3.3 remark that
-/// re-running after adding x new buckets costs O(|B*|·k + x·k^3).
+/// re-running after adding x new buckets costs O(|B*|·k + x·k^3). Keys are
+/// the count vectors themselves hashed in place (CountsHash): a lookup
+/// serializes nothing and allocates nothing.
 ///
 /// Thread safe: the key space is sharded over independently locked maps, so
 /// one cache may be shared by concurrent DisclosureAnalyzers (the parallel
@@ -69,12 +72,18 @@ struct WorstCaseDisclosure {
 /// invalidation hazard of the unique_ptr design (see DESIGN.md §5.2).
 class DisclosureCache {
  public:
-  /// Returns a table for `stats` valid up to atom budget `max_k`,
-  /// computing (or upgrading a smaller cached table) on miss. The returned
-  /// table stays valid for the shared_ptr's lifetime regardless of later
-  /// upgrades or Clear().
+  /// Returns a table for the bucket with the given sorted counts, valid up
+  /// to atom budget `max_k`, computing (or upgrading a smaller cached
+  /// table) on miss. The returned table stays valid for the shared_ptr's
+  /// lifetime regardless of later upgrades or Clear() — the reuse API the
+  /// streaming IncrementalAnalyzer pins its per-bucket tables through.
+  std::shared_ptr<const Minimize1Table> GetOrCompute(
+      const std::vector<uint32_t>& sorted_counts, size_t max_k);
+
   std::shared_ptr<const Minimize1Table> GetOrCompute(const BucketStats& stats,
-                                                     size_t max_k);
+                                                     size_t max_k) {
+    return GetOrCompute(stats.counts, max_k);
+  }
 
   size_t entries() const;
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
@@ -87,11 +96,12 @@ class DisclosureCache {
   static constexpr size_t kNumShards = 16;
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<std::string, std::shared_ptr<const Minimize1Table>>
+    std::unordered_map<std::vector<uint32_t>,
+                       std::shared_ptr<const Minimize1Table>, CountsHash>
         tables;
   };
 
-  Shard& ShardFor(const std::string& key);
+  Shard& ShardFor(const std::vector<uint32_t>& key);
 
   std::array<Shard, kNumShards> shards_;
   std::atomic<uint64_t> hits_{0};
@@ -141,18 +151,53 @@ class DisclosureAnalyzer {
   std::shared_ptr<const Minimize1Table> Table(size_t bucket_index,
                                               size_t max_k) const;
 
-  /// Materializes the atoms of a bucket's witness partition; atoms for
-  /// person j use the bucket's top-k_j value codes. Appends to `out`,
-  /// optionally skipping the (person 0, top value) atom which serves as
-  /// the target A.
-  void AppendWitnessAtoms(size_t bucket_index, const std::vector<uint32_t>& partition,
-                          bool skip_target_atom, std::vector<Atom>* out) const;
+  /// Per-bucket MINIMIZE2 inputs with tables pinned at budget `max_k`.
+  std::vector<Minimize2Bucket> Minimize2Inputs(size_t max_k) const;
 
   const Bucketization& bucketization_;
   std::vector<BucketStats> stats_;
   mutable DisclosureCache local_cache_;
   DisclosureCache* cache_;
 };
+
+/// Materializes the atoms of one bucket's witness partition; atoms for
+/// person j use the bucket's top-k_j value codes. Appends to `out`,
+/// optionally skipping the (person 0, top value) atom which serves as the
+/// target A. Shared by DisclosureAnalyzer and the streaming
+/// IncrementalAnalyzer so both reconstruct identical witnesses.
+void AppendBucketWitnessAtoms(const std::vector<PersonId>& members,
+                              const BucketStats& stats,
+                              const std::vector<uint32_t>& partition,
+                              bool skip_target_atom, std::vector<Atom>* out);
+
+/// Assembles a WorstCaseDisclosure from MINIMIZE2 witness placements.
+/// `members` / `stats` / `tables` are indexed by bucket.
+WorstCaseDisclosure AssembleImplicationWitness(
+    double r_min, const std::vector<Minimize2Placement>& placements,
+    const std::vector<const std::vector<PersonId>*>& members,
+    const std::vector<const BucketStats*>& stats,
+    const std::vector<Minimize2Bucket>& buckets);
+
+/// The negated-atom worst case restricted to one bucket: best disclosure,
+/// the index (into stats.value_codes) of the target value, and the number
+/// e of negated values. Scanning buckets in order with a strict ">" over
+/// these per-bucket bests reproduces the global MaxDisclosureNegations.
+struct BucketNegationBest {
+  double disclosure = -1.0;
+  size_t value_index = 0;
+  size_t negated = 0;
+};
+BucketNegationBest ComputeBucketNegationBest(const BucketStats& stats,
+                                             size_t k);
+
+/// The global negated-atom worst case: per-bucket bests scanned in bucket
+/// order (strict ">", so the earliest maximizing bucket wins) with the
+/// witness assembled from the winner. Shared by DisclosureAnalyzer and the
+/// streaming IncrementalAnalyzer — the single implementation is what keeps
+/// the two bit-identical.
+WorstCaseDisclosure MaxNegationsOverBuckets(
+    const std::vector<const BucketStats*>& stats,
+    const std::vector<const std::vector<PersonId>*>& members, size_t k);
 
 }  // namespace cksafe
 

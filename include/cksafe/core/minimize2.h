@@ -1,0 +1,106 @@
+// MINIMIZE2 (Algorithm 2) as a *forward* sweep over buckets, shared by the
+// one-shot DisclosureAnalyzer and the streaming IncrementalAnalyzer.
+//
+// The DP minimizes R = Pr(¬A ∧ ∧_i ¬A_i | B) / Pr(A | B) over distributions
+// of k antecedent atoms (plus the target atom A) among buckets. Processing
+// buckets left to right keeps two rows per prefix length:
+//
+//   no_a[i][h]   min product over buckets [0, i) distributing h atoms,
+//                target atom A not yet placed;
+//   with_a[i][h] same but A placed in one of the first i buckets (its
+//                bucket contributes MINIMIZE1(t + 1) · n_b / n_b(s^0_b)).
+//
+// Row i depends only on row i - 1 and bucket i - 1, so after a mutation of
+// bucket j only rows j + 1 .. m need recomputation — the workhorse behind
+// the paper's §3.3.3 incremental-re-analysis remark. Recomputed rows run
+// the exact same float operations a from-scratch sweep would, making the
+// incremental engine bit-identical to a fresh analysis by induction on rows
+// (see DESIGN.md §7.2 and the streaming differential test).
+
+#ifndef CKSAFE_CORE_MINIMIZE2_H_
+#define CKSAFE_CORE_MINIMIZE2_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cksafe/core/minimize1.h"
+
+namespace cksafe {
+
+/// Per-bucket inputs of the MINIMIZE2 sweep. `ratio` is the 1/Pr(A|B)
+/// factor n_b / n_b(s^0_b) of the bucket that receives the target atom.
+struct Minimize2Bucket {
+  std::shared_ptr<const Minimize1Table> table;
+  double ratio = 0.0;
+};
+
+/// One bucket's share of a reconstructed worst-case witness: `atoms`
+/// antecedent atoms, plus the target atom A when `has_target`.
+struct Minimize2Placement {
+  uint32_t atoms = 0;
+  bool has_target = false;
+};
+
+/// The forward MINIMIZE2 sweep for one atom budget k, with row-granular
+/// recomputation and recorded argmins for witness reconstruction.
+class Minimize2Forward {
+ public:
+  explicit Minimize2Forward(size_t k);
+
+  size_t k() const { return k_; }
+  size_t num_buckets() const { return num_rows_ == 0 ? 0 : num_rows_ - 1; }
+
+  /// Brings the sweep up to date with `buckets`. Rows 0 .. first_dirty
+  /// (covering bucket prefixes [0, first_dirty)) are kept from the previous
+  /// call and must correspond to an unchanged bucket prefix; rows
+  /// first_dirty + 1 .. |buckets| are recomputed. Pass first_dirty = 0 (or
+  /// anything >= the previous bucket count on pure appends) accordingly;
+  /// a from-scratch computation is Recompute(buckets, 0).
+  void Recompute(const std::vector<Minimize2Bucket>& buckets,
+                 size_t first_dirty);
+
+  /// R_min = with_a[m][k]: the minimized ratio whose disclosure is
+  /// 1 / (1 + R_min). Infinity iff no feasible placement exists (only when
+  /// there are no buckets).
+  double RMin() const;
+
+  /// Per-bucket witness decomposition attaining RMin(). CHECK-fails when
+  /// RMin() is infeasible.
+  std::vector<Minimize2Placement> WitnessPlacements() const;
+
+  /// Read access to the no-target row i (h = 0..k): the prefix products
+  /// consumed by the per-bucket disclosure sweep. Row i covers buckets
+  /// [0, i).
+  const double* NoARow(size_t i) const;
+
+ private:
+  size_t RowIndex(size_t i, size_t h) const { return i * (k_ + 1) + h; }
+
+  size_t k_;
+  size_t num_rows_ = 0;  // buckets + 1 once computed
+  std::vector<double> no_a_;
+  std::vector<double> with_a_;
+  // Argmins per row (row 0 unused): atoms assigned to bucket i - 1, and
+  // whether the target was placed there (with_a only).
+  std::vector<uint8_t> no_choice_t_;
+  std::vector<uint8_t> wa_choice_t_;
+  std::vector<uint8_t> wa_choice_branch_;
+};
+
+/// Backward companion of the no-target rows: suffix[i][h] (flattened with
+/// width k + 1) is the min product distributing h atoms among buckets
+/// [i, m). Used by the per-bucket disclosure sweep.
+std::vector<double> ComputeNoASuffix(const std::vector<Minimize2Bucket>& buckets,
+                                     size_t k);
+
+/// Definition 5 per bucket: element j is the worst-case disclosure with the
+/// target atom constrained to bucket j, combining `prefix`'s no-target rows
+/// with `suffix` (from ComputeNoASuffix over the same buckets and k).
+std::vector<double> PerBucketDisclosureSweep(
+    const std::vector<Minimize2Bucket>& buckets, size_t k,
+    const Minimize2Forward& prefix, const std::vector<double>& suffix);
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_CORE_MINIMIZE2_H_

@@ -47,6 +47,19 @@ struct LatticeSearchOptions {
   /// Optional externally owned pool (e.g. shared across searches). When
   /// null and num_threads > 1, the search spins up a transient pool.
   ThreadPool* pool = nullptr;
+
+  /// Warm start for sequential release: candidate nodes (typically the
+  /// previous release's minimal-safe frontier) evaluated before the
+  /// bottom-up sweep. Safe seeds prune all their strict ancestors exactly
+  /// like any safe node discovered by the sweep, and their evaluations are
+  /// memoized for the sweep itself — when the frontier is stable the sweep
+  /// re-evaluates only the strictly-below region. Seeding changes candidate
+  /// *order* only: minimal_safe_nodes is identical with any (or no) seed,
+  /// because seeds never enter the result directly — minimality is still
+  /// decided by the sweep (correctness does not assume safety is preserved
+  /// across releases). Requires use_pruning; nodes that do not validate
+  /// against the lattice are ignored.
+  std::vector<LatticeNode> seed_frontier;
 };
 
 /// Counters describing the work a search performed.
@@ -54,6 +67,9 @@ struct LatticeSearchStats {
   uint64_t nodes_visited = 0;   ///< nodes considered
   uint64_t evaluations = 0;     ///< predicate evaluations actually run
   uint64_t implied_safe = 0;    ///< nodes skipped by monotonicity pruning
+  uint64_t seed_evaluations = 0;  ///< of `evaluations`, spent on the warm
+                                  ///< start (0 without seed_frontier)
+  uint64_t seed_reused = 0;     ///< sweep evaluations answered by the memo
 };
 
 /// All ⪯-minimal safe nodes plus search statistics.

@@ -33,6 +33,18 @@ struct PublisherOptions {
   bool use_pruning = true;
 };
 
+/// Carry-over state for sequential releases of a growing table: the shared
+/// MINIMIZE1 table cache (histograms recur across releases, making §3.3.3's
+/// amortization real) and the previous release's minimal-safe frontier used
+/// to warm-start the next lattice search. Reuse is purely an optimization:
+/// every release is re-verified from the data it covers, so results are
+/// identical to publishing with a fresh session.
+struct PublishSession {
+  DisclosureCache cache;
+  std::vector<LatticeNode> seed_frontier;
+  uint64_t releases = 0;
+};
+
 /// Result of a successful publishing run.
 struct PublishedRelease {
   LatticeNode node;                 ///< chosen generalization levels
@@ -57,6 +69,14 @@ class Publisher {
   StatusOr<PublishedRelease> Publish(const Table& table,
                                      const std::vector<QuasiIdentifier>& qis,
                                      size_t sensitive_column) const;
+
+  /// Sequential-release variant: reuses `session`'s table cache, warm-starts
+  /// the search from its frontier, and on success stores the new frontier
+  /// back. The release is identical to the session-less overload's.
+  StatusOr<PublishedRelease> Publish(const Table& table,
+                                     const std::vector<QuasiIdentifier>& qis,
+                                     size_t sensitive_column,
+                                     PublishSession* session) const;
 
   /// Renders the release for human inspection (bucket table + audit).
   static std::string Summary(const PublishedRelease& release,

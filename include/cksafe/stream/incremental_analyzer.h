@@ -1,0 +1,133 @@
+// Incremental streaming (c,k)-safety analysis.
+//
+// IncrementalAnalyzer maintains a live bucketization under tuple/bucket
+// deltas and answers the DisclosureAnalyzer queries without re-deriving
+// state for unchanged buckets. It realizes the paper's §3.3.3 remark: after
+// adding x buckets, re-analysis costs O(|B*|·k) for the affected DP rows
+// plus O(x·k³) for histograms never seen before (amortized O(x) when they
+// repeat, via the shared DisclosureCache), instead of a full O(n + |B*|·k²
+// + H·k³) recomputation.
+//
+// Every answer is bit-identical to a fresh DisclosureAnalyzer over
+// CurrentBucketization(): both drive the same Minimize2Forward sweep, and a
+// delta at bucket j only recomputes DP rows > j, which re-runs exactly the
+// float operations a from-scratch sweep performs on those rows (rows <= j
+// are unchanged by construction). The streaming differential test enforces
+// this with exact double equality after every delta of random streams.
+
+#ifndef CKSAFE_STREAM_INCREMENTAL_ANALYZER_H_
+#define CKSAFE_STREAM_INCREMENTAL_ANALYZER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cksafe/anon/bucketization.h"
+#include "cksafe/core/disclosure.h"
+
+namespace cksafe {
+
+/// Work counters for the incremental engine (what a delta actually cost).
+struct IncrementalStats {
+  uint64_t deltas = 0;            ///< mutations applied
+  uint64_t rows_recomputed = 0;   ///< MINIMIZE2 rows rebuilt across queries
+  uint64_t rows_reused = 0;       ///< rows served from the running sweep
+  uint64_t tables_refetched = 0;  ///< per-bucket MINIMIZE1 table re-pins
+};
+
+class IncrementalAnalyzer {
+ public:
+  /// `cache` may be shared (it is internally synchronized); nullptr for a
+  /// private cache. Queries require at least one bucket.
+  explicit IncrementalAnalyzer(size_t sensitive_domain_size,
+                               DisclosureCache* cache = nullptr);
+
+  // --- Delta interface ---------------------------------------------------
+
+  /// Appends a bucket holding `values` (sensitive codes, one per tuple) for
+  /// freshly assigned PersonIds; returns its bucket index. O(|values|) plus
+  /// deferred O(k²) DP work for the one new row at the next query.
+  size_t AddBucket(const std::vector<int32_t>& values);
+
+  /// Adds tuples with the given sensitive codes to an existing bucket.
+  /// O(|values|·d) stats upkeep; DP rows > `bucket` are recomputed lazily.
+  void AddTuples(size_t bucket, const std::vector<int32_t>& values);
+
+  /// Removes one tuple per value from an existing bucket (retention expiry
+  /// / right-to-erasure deltas). The most recently added PersonIds of the
+  /// bucket retire. CHECK-fails when a value is absent or the bucket would
+  /// become empty — remove the bucket instead.
+  void RemoveTuples(size_t bucket, const std::vector<int32_t>& values);
+
+  /// Removes a bucket (its PersonIds retire; later buckets shift down one
+  /// index, exactly as if the bucket had never arrived).
+  void RemoveBucket(size_t bucket);
+
+  // --- Queries (each bit-identical to a fresh DisclosureAnalyzer) --------
+
+  WorstCaseDisclosure MaxDisclosureImplications(size_t k);
+  WorstCaseDisclosure MaxDisclosureNegations(size_t k);
+  bool IsCkSafe(double c, size_t k);
+  std::vector<double> PerBucketDisclosure(size_t k);
+
+  // --- Introspection -----------------------------------------------------
+
+  size_t num_buckets() const { return buckets_.size(); }
+  size_t num_tuples() const { return num_tuples_; }
+  size_t sensitive_domain_size() const { return sensitive_domain_size_; }
+  const BucketStats& bucket_stats(size_t bucket) const;
+  const std::vector<PersonId>& bucket_members(size_t bucket) const;
+  const IncrementalStats& stats() const { return stats_; }
+  DisclosureCache* cache() { return cache_; }
+
+  /// Materializes the current state as a Bucketization (same buckets, same
+  /// member order, same PersonIds) — the reference object the differential
+  /// tests hand to a fresh DisclosureAnalyzer. O(n); not on the hot path.
+  Bucketization CurrentBucketization() const;
+
+ private:
+  struct BucketState {
+    std::vector<PersonId> members;
+    std::vector<uint32_t> histogram;  // indexed by sensitive code
+    BucketStats stats;
+    /// Pinned MINIMIZE1 table; refetched when the histogram changes or a
+    /// query needs a larger budget. Never downgraded.
+    std::shared_ptr<const Minimize1Table> table;
+  };
+
+  /// Cached query state for one atom budget k.
+  struct KState {
+    explicit KState(size_t k) : dp(k) {}
+    Minimize2Forward dp;
+    /// Smallest bucket index mutated since dp was last brought up to date;
+    /// == num_buckets() when clean.
+    size_t first_dirty = 0;
+    std::vector<double> suffix;  // ComputeNoASuffix result
+    bool suffix_valid = false;
+  };
+
+  /// Marks bucket `bucket` (and everything after it) dirty.
+  void Invalidate(size_t bucket);
+
+  /// Builds the MINIMIZE2 input vector at table budget k + 1, re-pinning
+  /// tables only for buckets whose histogram changed or whose pinned budget
+  /// is too small.
+  std::vector<Minimize2Bucket> Inputs(size_t k);
+
+  /// Brings the KState for `k` up to date and returns it.
+  KState& UpToDate(size_t k, const std::vector<Minimize2Bucket>& inputs);
+
+  size_t sensitive_domain_size_;
+  size_t num_tuples_ = 0;
+  PersonId next_person_ = 0;
+  std::vector<BucketState> buckets_;
+  std::map<size_t, KState> k_states_;
+  mutable DisclosureCache local_cache_;
+  DisclosureCache* cache_;
+  IncrementalStats stats_;
+};
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_STREAM_INCREMENTAL_ANALYZER_H_

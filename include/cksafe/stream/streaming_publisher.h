@@ -1,0 +1,61 @@
+// Sequential release of a growing table (the workload of Riboni et al.'s
+// sequential-release adversary study and Xiao/Tao/Koudas' transparent
+// anonymization, applied to the paper's (c,k)-safety check).
+//
+// Each PublishNext() re-runs the full Incognito search over ALL rows seen
+// so far — safety of release r is never inferred from release r - 1, since
+// bucket growth is not assumed to preserve safety in either direction. The
+// streaming win is amortization, not trust: the PublishSession carries the
+// MINIMIZE1 table cache (histograms recur heavily between consecutive
+// releases — §3.3.3) and the previous minimal-safe frontier, which seeds
+// the lattice search so the stable part of the frontier prunes without
+// re-evaluating the lattice top. Every release is bit-identical to what a
+// cold Publisher::Publish on the same prefix would emit.
+
+#ifndef CKSAFE_STREAM_STREAMING_PUBLISHER_H_
+#define CKSAFE_STREAM_STREAMING_PUBLISHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cksafe/data/table.h"
+#include "cksafe/hierarchy/hierarchy.h"
+#include "cksafe/search/publisher.h"
+
+namespace cksafe {
+
+/// One release of the stream.
+struct StreamingRelease {
+  size_t sequence = 0;  ///< 0-based release number
+  size_t num_rows = 0;  ///< rows covered (all rows seen so far)
+  PublishedRelease release;
+};
+
+class StreamingPublisher {
+ public:
+  /// `initial` supplies the schema and any rows already accumulated; `qis`
+  /// and `sensitive_column` are fixed for the stream's lifetime.
+  StreamingPublisher(Table initial, std::vector<QuasiIdentifier> qis,
+                     size_t sensitive_column, PublisherOptions options);
+
+  /// Appends a batch of rows (cells per row, schema order).
+  Status AddBatch(const std::vector<std::vector<int32_t>>& rows);
+
+  /// Publishes a release covering every row seen so far, warm-started from
+  /// the previous release. NotFound when no safe generalization exists.
+  StatusOr<StreamingRelease> PublishNext();
+
+  const Table& table() const { return table_; }
+  const PublishSession& session() const { return session_; }
+
+ private:
+  Table table_;
+  std::vector<QuasiIdentifier> qis_;
+  size_t sensitive_column_;
+  Publisher publisher_;
+  PublishSession session_;
+};
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_STREAM_STREAMING_PUBLISHER_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "cksafe/util/check.h"
+
 namespace cksafe {
 
 uint32_t BucketStats::TopSum(size_t j) const {
@@ -43,13 +45,72 @@ BucketStats BucketStats::FromHistogram(const std::vector<uint32_t>& histogram) {
   return stats;
 }
 
-std::string BucketStats::CountsKey() const {
-  std::string key;
-  key.reserve(counts.size() * sizeof(uint32_t));
-  for (uint32_t c : counts) {
-    key.append(reinterpret_cast<const char*>(&c), sizeof(c));
+namespace {
+
+// Re-sorts entry `pos` after its count changed, preserving the global
+// (count descending, code ascending) order, and rebuilds the prefix sums.
+void RestoreOrder(BucketStats* stats, size_t pos) {
+  const uint32_t count = stats->counts[pos];
+  const int32_t code = stats->value_codes[pos];
+  auto before = [&](size_t i) {
+    // True iff entry i must precede (count, code).
+    if (stats->counts[i] != count) return stats->counts[i] > count;
+    return stats->value_codes[i] < code;
+  };
+  // Bubble left while the predecessor should come after us...
+  while (pos > 0 && !before(pos - 1)) {
+    std::swap(stats->counts[pos], stats->counts[pos - 1]);
+    std::swap(stats->value_codes[pos], stats->value_codes[pos - 1]);
+    --pos;
   }
-  return key;
+  // ...or right while the successor should come before us.
+  while (pos + 1 < stats->counts.size() && before(pos + 1)) {
+    std::swap(stats->counts[pos], stats->counts[pos + 1]);
+    std::swap(stats->value_codes[pos], stats->value_codes[pos + 1]);
+    ++pos;
+  }
+  stats->prefix.resize(stats->counts.size() + 1);
+  stats->prefix[0] = 0;
+  for (size_t j = 0; j < stats->counts.size(); ++j) {
+    stats->prefix[j + 1] = stats->prefix[j] + stats->counts[j];
+  }
+}
+
+}  // namespace
+
+void BucketStats::AddValue(int32_t code) {
+  ++n;
+  for (size_t i = 0; i < value_codes.size(); ++i) {
+    if (value_codes[i] == code) {
+      ++counts[i];
+      RestoreOrder(this, i);
+      return;
+    }
+  }
+  counts.push_back(1);
+  value_codes.push_back(code);
+  RestoreOrder(this, counts.size() - 1);
+}
+
+void BucketStats::RemoveValue(int32_t code) {
+  for (size_t i = 0; i < value_codes.size(); ++i) {
+    if (value_codes[i] != code) continue;
+    CKSAFE_CHECK_GT(n, 0u);
+    --n;
+    if (--counts[i] == 0) {
+      counts.erase(counts.begin() + i);
+      value_codes.erase(value_codes.begin() + i);
+      prefix.resize(counts.size() + 1);
+      prefix[0] = 0;
+      for (size_t j = 0; j < counts.size(); ++j) {
+        prefix[j + 1] = prefix[j] + counts[j];
+      }
+    } else {
+      RestoreOrder(this, i);
+    }
+    return;
+  }
+  CKSAFE_CHECK(false) << "RemoveValue: code " << code << " absent from bucket";
 }
 
 std::vector<BucketStats> ComputeBucketStats(const Bucketization& b) {

@@ -19,17 +19,17 @@ KnowledgeFormula WorstCaseDisclosure::ToFormula() const {
   return formula;
 }
 
-DisclosureCache::Shard& DisclosureCache::ShardFor(const std::string& key) {
-  return shards_[std::hash<std::string>{}(key) % kNumShards];
+DisclosureCache::Shard& DisclosureCache::ShardFor(
+    const std::vector<uint32_t>& key) {
+  return shards_[CountsHash{}(key) % kNumShards];
 }
 
 std::shared_ptr<const Minimize1Table> DisclosureCache::GetOrCompute(
-    const BucketStats& stats, size_t max_k) {
-  const std::string key = stats.CountsKey();
-  Shard& shard = ShardFor(key);
+    const std::vector<uint32_t>& sorted_counts, size_t max_k) {
+  Shard& shard = ShardFor(sorted_counts);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.tables.find(key);
+    auto it = shard.tables.find(sorted_counts);
     if (it != shard.tables.end() && it->second->max_k() >= max_k) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
@@ -39,9 +39,9 @@ std::shared_ptr<const Minimize1Table> DisclosureCache::GetOrCompute(
   // shard. Two threads may race to build the same table; the loser's copy
   // is dropped unless it has the larger budget.
   misses_.fetch_add(1, std::memory_order_relaxed);
-  auto table = std::make_shared<const Minimize1Table>(stats.counts, max_k);
+  auto table = std::make_shared<const Minimize1Table>(sorted_counts, max_k);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto& slot = shard.tables[key];
+  auto& slot = shard.tables[sorted_counts];
   if (slot == nullptr || slot->max_k() < max_k) slot = std::move(table);
   return slot;  // covers max_k either way: ours, or a larger racing upgrade
 }
@@ -64,6 +64,102 @@ void DisclosureCache::Clear() {
   misses_.store(0, std::memory_order_relaxed);
 }
 
+void AppendBucketWitnessAtoms(const std::vector<PersonId>& members,
+                              const BucketStats& stats,
+                              const std::vector<uint32_t>& partition,
+                              bool skip_target_atom, std::vector<Atom>* out) {
+  CKSAFE_CHECK_LE(partition.size(), members.size());
+  for (size_t person_i = 0; person_i < partition.size(); ++person_i) {
+    const PersonId person = members[person_i];
+    // Clamp to d: beyond that the structure is already impossible
+    // (probability 0) and no distinct values remain (see minimize1.h).
+    const size_t values = std::min<size_t>(partition[person_i], stats.d());
+    for (size_t j = 0; j < values; ++j) {
+      if (skip_target_atom && person_i == 0 && j == 0) continue;
+      out->push_back(Atom{person, stats.value_codes[j]});
+    }
+  }
+}
+
+WorstCaseDisclosure AssembleImplicationWitness(
+    double r_min, const std::vector<Minimize2Placement>& placements,
+    const std::vector<const std::vector<PersonId>*>& members,
+    const std::vector<const BucketStats*>& stats,
+    const std::vector<Minimize2Bucket>& buckets) {
+  WorstCaseDisclosure result;
+  result.disclosure = 1.0 / (1.0 + r_min);
+  for (size_t i = 0; i < placements.size(); ++i) {
+    const Minimize2Placement& p = placements[i];
+    if (p.has_target) {
+      // A lives in bucket i together with p.atoms antecedent atoms.
+      result.target = Atom{(*members[i])[0], stats[i]->value_codes[0]};
+      AppendBucketWitnessAtoms(*members[i], *stats[i],
+                               buckets[i].table->WitnessPartition(p.atoms + 1),
+                               /*skip_target_atom=*/true, &result.antecedents);
+    } else if (p.atoms > 0) {
+      AppendBucketWitnessAtoms(*members[i], *stats[i],
+                               buckets[i].table->WitnessPartition(p.atoms),
+                               /*skip_target_atom=*/false, &result.antecedents);
+    }
+  }
+  return result;
+}
+
+WorstCaseDisclosure MaxNegationsOverBuckets(
+    const std::vector<const BucketStats*>& stats,
+    const std::vector<const std::vector<PersonId>*>& members, size_t k) {
+  CKSAFE_CHECK_EQ(stats.size(), members.size());
+  WorstCaseDisclosure best;
+  best.disclosure = -1.0;
+  size_t best_bucket = 0;
+  BucketNegationBest best_local;
+  for (size_t i = 0; i < stats.size(); ++i) {
+    const BucketNegationBest local = ComputeBucketNegationBest(*stats[i], k);
+    if (local.disclosure > best.disclosure) {
+      best.disclosure = local.disclosure;
+      best_bucket = i;
+      best_local = local;
+    }
+  }
+  CKSAFE_CHECK_GE(best.disclosure, 0.0);
+  const BucketStats& winner = *stats[best_bucket];
+  const PersonId person = (*members[best_bucket])[0];
+  best.target = Atom{person, winner.value_codes[best_local.value_index]};
+  for (size_t j = 0; j < best_local.negated + 1 &&
+                     best.antecedents.size() < best_local.negated;
+       ++j) {
+    if (j == best_local.value_index) continue;
+    best.antecedents.push_back(Atom{person, winner.value_codes[j]});
+  }
+  return best;
+}
+
+BucketNegationBest ComputeBucketNegationBest(const BucketStats& stats,
+                                             size_t k) {
+  BucketNegationBest best;
+  for (size_t t = 0; t < stats.d(); ++t) {
+    // Negate the e most frequent values other than t, where
+    // e = min(k, d - 1); negating values absent from the bucket changes
+    // nothing.
+    const size_t e = std::min<size_t>(k, stats.d() - 1);
+    uint32_t eliminated;
+    if (t < e + 1) {
+      eliminated = stats.prefix[e + 1] - stats.counts[t];
+    } else {
+      eliminated = stats.prefix[e];
+    }
+    const double denom = static_cast<double>(stats.n) - eliminated;
+    CKSAFE_CHECK_GT(denom, 0.0);
+    const double disclosure = static_cast<double>(stats.counts[t]) / denom;
+    if (disclosure > best.disclosure) {
+      best.disclosure = disclosure;
+      best.value_index = t;
+      best.negated = e;
+    }
+  }
+  return best;
+}
+
 DisclosureAnalyzer::DisclosureAnalyzer(const Bucketization& bucketization,
                                        DisclosureCache* cache)
     : bucketization_(bucketization),
@@ -78,176 +174,46 @@ std::shared_ptr<const Minimize1Table> DisclosureAnalyzer::Table(
   return cache_->GetOrCompute(stats_[bucket_index], max_k);
 }
 
-void DisclosureAnalyzer::AppendWitnessAtoms(
-    size_t bucket_index, const std::vector<uint32_t>& partition,
-    bool skip_target_atom, std::vector<Atom>* out) const {
-  const Bucket& bucket = bucketization_.bucket(bucket_index);
-  const BucketStats& stats = stats_[bucket_index];
-  CKSAFE_CHECK_LE(partition.size(), bucket.members.size());
-  for (size_t person_i = 0; person_i < partition.size(); ++person_i) {
-    const PersonId person = bucket.members[person_i];
-    // Clamp to d: beyond that the structure is already impossible
-    // (probability 0) and no distinct values remain (see minimize1.h).
-    const size_t values = std::min<size_t>(partition[person_i], stats.d());
-    for (size_t j = 0; j < values; ++j) {
-      if (skip_target_atom && person_i == 0 && j == 0) continue;
-      out->push_back(Atom{person, stats.value_codes[j]});
-    }
+std::vector<Minimize2Bucket> DisclosureAnalyzer::Minimize2Inputs(
+    size_t max_k) const {
+  // Budget max_k = k + 1: the target atom A joins the k antecedents in its
+  // own bucket. The shared_ptrs pin the tables for the whole computation
+  // even if a concurrent analyzer upgrades the cache.
+  std::vector<Minimize2Bucket> inputs(stats_.size());
+  for (size_t i = 0; i < stats_.size(); ++i) {
+    inputs[i].table = Table(i, max_k);
+    inputs[i].ratio = static_cast<double>(stats_[i].n) /
+                      static_cast<double>(stats_[i].counts[0]);
   }
+  return inputs;
 }
 
 WorstCaseDisclosure DisclosureAnalyzer::MaxDisclosureImplications(
     size_t k) const {
-  const size_t m = bucketization_.num_buckets();
-
-  // Pre-fetch MINIMIZE1 tables (budget k+1: the target atom A joins the k
-  // antecedents in its own bucket). The shared_ptrs pin the tables for the
-  // whole computation even if a concurrent analyzer upgrades the cache.
-  std::vector<std::shared_ptr<const Minimize1Table>> tables(m);
-  for (size_t i = 0; i < m; ++i) tables[i] = Table(i, k + 1);
-
-  // MINIMIZE2 as a backward DP over buckets.
-  //   placed[i][h]: min prod over buckets i.. with h atoms left, A already
-  //                 placed in an earlier bucket.
-  //   pending[i][h]: same but A still to be placed in bucket >= i.
-  // Choices record (t = atoms assigned to bucket i, branch).
-  const size_t width = k + 1;
-  std::vector<double> placed((m + 1) * width, kInf);
-  std::vector<double> pending((m + 1) * width, kInf);
-  // branch: 0 = A not here (pending stays pending), 1 = A placed here.
-  std::vector<uint8_t> placed_choice(m * width, 0);
-  std::vector<uint8_t> pending_choice_t(m * width, 0);
-  std::vector<uint8_t> pending_choice_branch(m * width, 0);
-
-  placed[m * width + 0] = 1.0;  // all atoms distributed, A placed
-  for (size_t i = m; i-- > 0;) {
-    for (size_t h = 0; h < width; ++h) {
-      // placed: distribute t of the h remaining atoms into bucket i.
-      double best = kInf;
-      uint8_t best_t = 0;
-      for (size_t t = 0; t <= h; ++t) {
-        const double tail = placed[(i + 1) * width + (h - t)];
-        if (tail == kInf) continue;
-        const double u = tables[i]->MinProbability(t);
-        const double candidate = u * tail;
-        if (candidate < best) {
-          best = candidate;
-          best_t = static_cast<uint8_t>(t);
-        }
-      }
-      placed[i * width + h] = best;
-      placed_choice[i * width + h] = best_t;
-
-      // pending: either A goes into bucket i (with t other atoms, so the
-      // bucket minimizes over t + 1 atoms and contributes the 1/Pr(A|B)
-      // factor n_b / n_b(s^0_b)), or A goes later.
-      double best_p = kInf;
-      uint8_t best_p_t = 0;
-      uint8_t best_p_branch = 0;
-      const double ratio =
-          static_cast<double>(stats_[i].n) / static_cast<double>(stats_[i].counts[0]);
-      for (size_t t = 0; t <= h; ++t) {
-        const double tail_placed = placed[(i + 1) * width + (h - t)];
-        if (tail_placed != kInf) {
-          const double v = tables[i]->MinProbability(t + 1);
-          const double candidate = v * ratio * tail_placed;
-          if (candidate < best_p) {
-            best_p = candidate;
-            best_p_t = static_cast<uint8_t>(t);
-            best_p_branch = 1;
-          }
-        }
-        const double tail_pending = pending[(i + 1) * width + (h - t)];
-        if (tail_pending != kInf) {
-          const double u = tables[i]->MinProbability(t);
-          const double candidate = u * tail_pending;
-          if (candidate < best_p) {
-            best_p = candidate;
-            best_p_t = static_cast<uint8_t>(t);
-            best_p_branch = 0;
-          }
-        }
-      }
-      pending[i * width + h] = best_p;
-      pending_choice_t[i * width + h] = best_p_t;
-      pending_choice_branch[i * width + h] = best_p_branch;
-    }
-  }
-
-  const double r_min = pending[0 * width + k];
+  const std::vector<Minimize2Bucket> inputs = Minimize2Inputs(k + 1);
+  Minimize2Forward dp(k);
+  dp.Recompute(inputs, 0);
+  const double r_min = dp.RMin();
   CKSAFE_CHECK(r_min != kInf) << "no feasible atom placement";
-  WorstCaseDisclosure result;
-  result.disclosure = 1.0 / (1.0 + r_min);
 
-  // Reconstruct the witness: walk the recorded choices forward.
-  bool a_placed = false;
-  size_t h = k;
-  for (size_t i = 0; i < m; ++i) {
-    if (!a_placed) {
-      const uint8_t t = pending_choice_t[i * width + h];
-      const uint8_t branch = pending_choice_branch[i * width + h];
-      if (branch == 1) {
-        // A lives in bucket i together with t antecedent atoms.
-        const std::vector<uint32_t> partition =
-            tables[i]->WitnessPartition(t + 1);
-        result.target = Atom{bucketization_.bucket(i).members[0],
-                             stats_[i].value_codes[0]};
-        AppendWitnessAtoms(i, partition, /*skip_target_atom=*/true,
-                           &result.antecedents);
-        a_placed = true;
-      } else if (t > 0) {
-        AppendWitnessAtoms(i, tables[i]->WitnessPartition(t),
-                           /*skip_target_atom=*/false, &result.antecedents);
-      }
-      h -= t;
-    } else {
-      const uint8_t t = placed_choice[i * width + h];
-      if (t > 0) {
-        AppendWitnessAtoms(i, tables[i]->WitnessPartition(t),
-                           /*skip_target_atom=*/false, &result.antecedents);
-      }
-      h -= t;
-    }
+  std::vector<const std::vector<PersonId>*> members(stats_.size());
+  std::vector<const BucketStats*> stats(stats_.size());
+  for (size_t i = 0; i < stats_.size(); ++i) {
+    members[i] = &bucketization_.bucket(i).members;
+    stats[i] = &stats_[i];
   }
-  CKSAFE_CHECK(a_placed);
-  CKSAFE_CHECK_EQ(h, 0u);
-  return result;
+  return AssembleImplicationWitness(r_min, dp.WitnessPlacements(), members,
+                                    stats, inputs);
 }
 
 WorstCaseDisclosure DisclosureAnalyzer::MaxDisclosureNegations(size_t k) const {
-  WorstCaseDisclosure best;
-  best.disclosure = -1.0;
+  std::vector<const BucketStats*> stats(stats_.size());
+  std::vector<const std::vector<PersonId>*> members(stats_.size());
   for (size_t i = 0; i < stats_.size(); ++i) {
-    const BucketStats& stats = stats_[i];
-    const Bucket& bucket = bucketization_.bucket(i);
-    for (size_t t = 0; t < stats.d(); ++t) {
-      // Negate the e most frequent values other than t, where
-      // e = min(k, d - 1); negating values absent from the bucket changes
-      // nothing.
-      const size_t e = std::min<size_t>(k, stats.d() - 1);
-      uint32_t eliminated;
-      if (t < e + 1) {
-        eliminated = stats.prefix[e + 1] - stats.counts[t];
-      } else {
-        eliminated = stats.prefix[e];
-      }
-      const double denom = static_cast<double>(stats.n) - eliminated;
-      CKSAFE_CHECK_GT(denom, 0.0);
-      const double disclosure = static_cast<double>(stats.counts[t]) / denom;
-      if (disclosure > best.disclosure) {
-        best.disclosure = disclosure;
-        const PersonId person = bucket.members[0];
-        best.target = Atom{person, stats.value_codes[t]};
-        best.antecedents.clear();
-        for (size_t j = 0; j < e + 1 && best.antecedents.size() < e; ++j) {
-          if (j == t) continue;
-          best.antecedents.push_back(Atom{person, stats.value_codes[j]});
-        }
-      }
-    }
+    stats[i] = &stats_[i];
+    members[i] = &bucketization_.bucket(i).members;
   }
-  CKSAFE_CHECK_GE(best.disclosure, 0.0);
-  return best;
+  return MaxNegationsOverBuckets(stats, members, k);
 }
 
 bool DisclosureAnalyzer::IsCkSafe(double c, size_t k) const {
@@ -255,64 +221,11 @@ bool DisclosureAnalyzer::IsCkSafe(double c, size_t k) const {
 }
 
 std::vector<double> DisclosureAnalyzer::PerBucketDisclosure(size_t k) const {
-  const size_t m = bucketization_.num_buckets();
-  const size_t width = k + 1;
-  std::vector<std::shared_ptr<const Minimize1Table>> tables(m);
-  for (size_t i = 0; i < m; ++i) tables[i] = Table(i, k + 1);
-
-  // prefix[i][h]: min over distributions of h antecedent atoms among
-  // buckets [0, i); suffix[i][h]: among buckets [i, m).
-  std::vector<double> prefix((m + 1) * width, kInf);
-  std::vector<double> suffix((m + 1) * width, kInf);
-  prefix[0 * width + 0] = 1.0;
-  for (size_t i = 0; i < m; ++i) {
-    for (size_t h = 0; h < width; ++h) {
-      double best = kInf;
-      for (size_t t = 0; t <= h; ++t) {
-        const double head = prefix[i * width + (h - t)];
-        if (head == kInf) continue;
-        best = std::min(best, tables[i]->MinProbability(t) * head);
-      }
-      prefix[(i + 1) * width + h] = best;
-    }
-  }
-  suffix[m * width + 0] = 1.0;
-  for (size_t i = m; i-- > 0;) {
-    for (size_t h = 0; h < width; ++h) {
-      double best = kInf;
-      for (size_t t = 0; t <= h; ++t) {
-        const double tail = suffix[(i + 1) * width + (h - t)];
-        if (tail == kInf) continue;
-        best = std::min(best, tables[i]->MinProbability(t) * tail);
-      }
-      suffix[i * width + h] = best;
-    }
-  }
-
-  std::vector<double> result(m);
-  for (size_t j = 0; j < m; ++j) {
-    // others[h] = min product when h atoms go to buckets other than j.
-    std::vector<double> others(width, kInf);
-    for (size_t h = 0; h < width; ++h) {
-      for (size_t a = 0; a <= h; ++a) {
-        const double head = prefix[j * width + a];
-        const double tail = suffix[(j + 1) * width + (h - a)];
-        if (head == kInf || tail == kInf) continue;
-        others[h] = std::min(others[h], head * tail);
-      }
-    }
-    const double ratio = static_cast<double>(stats_[j].n) /
-                         static_cast<double>(stats_[j].counts[0]);
-    double r_min = kInf;
-    for (size_t t = 0; t <= k; ++t) {
-      if (others[k - t] == kInf) continue;
-      r_min = std::min(r_min,
-                       tables[j]->MinProbability(t + 1) * ratio * others[k - t]);
-    }
-    CKSAFE_CHECK(r_min != kInf);
-    result[j] = 1.0 / (1.0 + r_min);
-  }
-  return result;
+  const std::vector<Minimize2Bucket> inputs = Minimize2Inputs(k + 1);
+  Minimize2Forward prefix(k);
+  prefix.Recompute(inputs, 0);
+  return PerBucketDisclosureSweep(inputs, k, prefix,
+                                  ComputeNoASuffix(inputs, k));
 }
 
 std::vector<double> DisclosureAnalyzer::ImplicationCurve(size_t max_k) const {

@@ -1,0 +1,191 @@
+#include "cksafe/core/minimize2.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "cksafe/util/check.h"
+
+namespace cksafe {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Minimize2Forward::Minimize2Forward(size_t k) : k_(k) {
+  CKSAFE_CHECK_LE(k, 255u) << "atom budget too large for choice storage";
+}
+
+void Minimize2Forward::Recompute(const std::vector<Minimize2Bucket>& buckets,
+                                 size_t first_dirty) {
+  const size_t m = buckets.size();
+  const size_t width = k_ + 1;
+  const size_t rows = m + 1;
+  // Row i is derived from row i - 1 and bucket i - 1; a change to bucket j
+  // invalidates rows > j, so resume at row first_dirty + 1 — but never
+  // beyond what a previous sweep actually computed (row 0, the constant
+  // boundary, always counts as computed). Rows kept from a previous sweep
+  // are valid exactly when their bucket prefix is unchanged, which is the
+  // caller's contract.
+  const size_t prev_rows = std::max<size_t>(num_rows_, 1);
+  const size_t start = std::min(std::min(first_dirty, m) + 1, prev_rows);
+
+  no_a_.resize(rows * width);
+  with_a_.resize(rows * width);
+  no_choice_t_.resize(rows * width);
+  wa_choice_t_.resize(rows * width);
+  wa_choice_branch_.resize(rows * width);
+  num_rows_ = rows;
+
+  // Boundary: the empty bucket prefix has the empty product and no way to
+  // have placed the target atom.
+  no_a_[RowIndex(0, 0)] = 1.0;
+  for (size_t h = 1; h < width; ++h) no_a_[RowIndex(0, h)] = kInf;
+  for (size_t h = 0; h < width; ++h) with_a_[RowIndex(0, h)] = kInf;
+
+  for (size_t i = start; i <= m; ++i) {
+    const Minimize1Table& table = *buckets[i - 1].table;
+    const double ratio = buckets[i - 1].ratio;
+    for (size_t h = 0; h < width; ++h) {
+      double best = kInf;
+      uint8_t best_t = 0;
+      for (size_t t = 0; t <= h; ++t) {
+        const double head = no_a_[RowIndex(i - 1, h - t)];
+        if (head == kInf) continue;
+        const double candidate = table.MinProbability(t) * head;
+        if (candidate < best) {
+          best = candidate;
+          best_t = static_cast<uint8_t>(t);
+        }
+      }
+      no_a_[RowIndex(i, h)] = best;
+      no_choice_t_[RowIndex(i, h)] = best_t;
+
+      // with_a: either the target atom was placed in an earlier bucket
+      // (branch 0), or it joins bucket i - 1 with t antecedents, minimizing
+      // over t + 1 atoms and contributing the 1/Pr(A|B) ratio (branch 1).
+      double best_w = kInf;
+      uint8_t best_w_t = 0;
+      uint8_t best_w_branch = 0;
+      for (size_t t = 0; t <= h; ++t) {
+        const double head_with = with_a_[RowIndex(i - 1, h - t)];
+        if (head_with != kInf) {
+          const double candidate = table.MinProbability(t) * head_with;
+          if (candidate < best_w) {
+            best_w = candidate;
+            best_w_t = static_cast<uint8_t>(t);
+            best_w_branch = 0;
+          }
+        }
+        const double head_no = no_a_[RowIndex(i - 1, h - t)];
+        if (head_no != kInf) {
+          const double candidate =
+              table.MinProbability(t + 1) * ratio * head_no;
+          if (candidate < best_w) {
+            best_w = candidate;
+            best_w_t = static_cast<uint8_t>(t);
+            best_w_branch = 1;
+          }
+        }
+      }
+      with_a_[RowIndex(i, h)] = best_w;
+      wa_choice_t_[RowIndex(i, h)] = best_w_t;
+      wa_choice_branch_[RowIndex(i, h)] = best_w_branch;
+    }
+  }
+}
+
+double Minimize2Forward::RMin() const {
+  CKSAFE_CHECK_GT(num_rows_, 0u) << "Recompute before querying";
+  return with_a_[RowIndex(num_rows_ - 1, k_)];
+}
+
+std::vector<Minimize2Placement> Minimize2Forward::WitnessPlacements() const {
+  CKSAFE_CHECK(RMin() != kInf) << "no feasible atom placement";
+  const size_t m = num_buckets();
+  std::vector<Minimize2Placement> placements(m);
+  size_t h = k_;
+  bool in_with_a = true;
+  for (size_t i = m; i >= 1; --i) {
+    uint8_t t;
+    if (in_with_a) {
+      t = wa_choice_t_[RowIndex(i, h)];
+      if (wa_choice_branch_[RowIndex(i, h)] == 1) {
+        placements[i - 1].has_target = true;
+        in_with_a = false;
+      }
+    } else {
+      t = no_choice_t_[RowIndex(i, h)];
+    }
+    placements[i - 1].atoms = t;
+    h -= t;
+  }
+  CKSAFE_CHECK(!in_with_a);
+  CKSAFE_CHECK_EQ(h, 0u);
+  return placements;
+}
+
+const double* Minimize2Forward::NoARow(size_t i) const {
+  CKSAFE_CHECK_LT(i, num_rows_);
+  return no_a_.data() + RowIndex(i, 0);
+}
+
+std::vector<double> ComputeNoASuffix(const std::vector<Minimize2Bucket>& buckets,
+                                     size_t k) {
+  const size_t m = buckets.size();
+  const size_t width = k + 1;
+  std::vector<double> suffix((m + 1) * width, kInf);
+  suffix[m * width + 0] = 1.0;
+  for (size_t i = m; i-- > 0;) {
+    for (size_t h = 0; h < width; ++h) {
+      double best = kInf;
+      for (size_t t = 0; t <= h; ++t) {
+        const double tail = suffix[(i + 1) * width + (h - t)];
+        if (tail == kInf) continue;
+        best = std::min(best, buckets[i].table->MinProbability(t) * tail);
+      }
+      suffix[i * width + h] = best;
+    }
+  }
+  return suffix;
+}
+
+std::vector<double> PerBucketDisclosureSweep(
+    const std::vector<Minimize2Bucket>& buckets, size_t k,
+    const Minimize2Forward& prefix, const std::vector<double>& suffix) {
+  const size_t m = buckets.size();
+  const size_t width = k + 1;
+  CKSAFE_CHECK_EQ(prefix.num_buckets(), m);
+  CKSAFE_CHECK_EQ(prefix.k(), k);
+  CKSAFE_CHECK_EQ(suffix.size(), (m + 1) * width);
+
+  std::vector<double> result(m);
+  std::vector<double> others(width);
+  for (size_t j = 0; j < m; ++j) {
+    // others[h] = min product when h atoms go to buckets other than j.
+    const double* head_row = prefix.NoARow(j);
+    std::fill(others.begin(), others.end(),
+              std::numeric_limits<double>::infinity());
+    for (size_t h = 0; h < width; ++h) {
+      for (size_t a = 0; a <= h; ++a) {
+        const double head = head_row[a];
+        const double tail = suffix[(j + 1) * width + (h - a)];
+        if (head == std::numeric_limits<double>::infinity() ||
+            tail == std::numeric_limits<double>::infinity()) {
+          continue;
+        }
+        others[h] = std::min(others[h], head * tail);
+      }
+    }
+    double r_min = std::numeric_limits<double>::infinity();
+    for (size_t t = 0; t <= k; ++t) {
+      if (others[k - t] == std::numeric_limits<double>::infinity()) continue;
+      r_min = std::min(r_min, buckets[j].table->MinProbability(t + 1) *
+                                  buckets[j].ratio * others[k - t]);
+    }
+    CKSAFE_CHECK(r_min != std::numeric_limits<double>::infinity());
+    result[j] = 1.0 / (1.0 + r_min);
+  }
+  return result;
+}
+
+}  // namespace cksafe

@@ -11,15 +11,24 @@ namespace cksafe {
 StatusOr<PublishedRelease> Publisher::Publish(
     const Table& table, const std::vector<QuasiIdentifier>& qis,
     size_t sensitive_column) const {
+  PublishSession local_session;
+  return Publish(table, qis, sensitive_column, &local_session);
+}
+
+StatusOr<PublishedRelease> Publisher::Publish(
+    const Table& table, const std::vector<QuasiIdentifier>& qis,
+    size_t sensitive_column, PublishSession* session) const {
+  CKSAFE_CHECK(session != nullptr);
   if (table.num_rows() == 0) {
     return Status::InvalidArgument("cannot publish an empty table");
   }
   const GeneralizationLattice lattice =
       GeneralizationLattice::FromQuasiIdentifiers(qis);
 
-  // One shared MINIMIZE1 cache across all nodes: buckets recur across
-  // lattice nodes, so this is the paper's incremental-recomputation win.
-  DisclosureCache cache;
+  // One shared MINIMIZE1 cache across all nodes (and, via the session,
+  // across sequential releases): buckets recur across lattice nodes, so
+  // this is the paper's incremental-recomputation win.
+  DisclosureCache& cache = session->cache;
   Status first_error = Status::OK();
   auto is_safe = [&](const LatticeNode& node) {
     auto bucketization = BucketizeAtNode(table, qis, node, sensitive_column);
@@ -31,8 +40,11 @@ StatusOr<PublishedRelease> Publisher::Publish(
     return analyzer.IsCkSafe(options_.c, options_.k);
   };
 
+  LatticeSearchOptions search_options;
+  search_options.use_pruning = options_.use_pruning;
+  if (options_.use_pruning) search_options.seed_frontier = session->seed_frontier;
   LatticeSearchResult search =
-      FindMinimalSafeNodes(lattice, is_safe, options_.use_pruning);
+      FindMinimalSafeNodes(lattice, is_safe, search_options);
   CKSAFE_RETURN_IF_ERROR(first_error);
   if (search.minimal_safe_nodes.empty()) {
     return Status::NotFound(StrFormat(
@@ -60,6 +72,8 @@ StatusOr<PublishedRelease> Publisher::Publish(
       BucketizeAtNode(table, qis, *best_node, sensitive_column));
   DisclosureAnalyzer analyzer(bucketization, &cache);
 
+  session->seed_frontier = search.minimal_safe_nodes;
+  ++session->releases;
   PublishedRelease release{*best_node,
                            bucketization,
                            ComputeUtility(table, qis, *best_node, bucketization),

@@ -1,0 +1,196 @@
+#include "cksafe/stream/incremental_analyzer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "cksafe/util/check.h"
+
+namespace cksafe {
+
+IncrementalAnalyzer::IncrementalAnalyzer(size_t sensitive_domain_size,
+                                         DisclosureCache* cache)
+    : sensitive_domain_size_(sensitive_domain_size),
+      cache_(cache != nullptr ? cache : &local_cache_) {
+  CKSAFE_CHECK_GT(sensitive_domain_size, 0u);
+}
+
+size_t IncrementalAnalyzer::AddBucket(const std::vector<int32_t>& values) {
+  CKSAFE_CHECK(!values.empty()) << "bucket must be non-empty";
+  BucketState state;
+  state.histogram.assign(sensitive_domain_size_, 0);
+  for (int32_t code : values) {
+    CKSAFE_CHECK_GE(code, 0);
+    CKSAFE_CHECK_LT(static_cast<size_t>(code), sensitive_domain_size_);
+    state.members.push_back(next_person_++);
+    ++state.histogram[code];
+    state.stats.AddValue(code);
+  }
+  num_tuples_ += values.size();
+  const size_t index = buckets_.size();
+  buckets_.push_back(std::move(state));
+  Invalidate(index);
+  return index;
+}
+
+void IncrementalAnalyzer::AddTuples(size_t bucket,
+                                    const std::vector<int32_t>& values) {
+  CKSAFE_CHECK_LT(bucket, buckets_.size());
+  if (values.empty()) return;
+  BucketState& state = buckets_[bucket];
+  for (int32_t code : values) {
+    CKSAFE_CHECK_GE(code, 0);
+    CKSAFE_CHECK_LT(static_cast<size_t>(code), sensitive_domain_size_);
+    state.members.push_back(next_person_++);
+    ++state.histogram[code];
+    state.stats.AddValue(code);
+  }
+  num_tuples_ += values.size();
+  state.table = nullptr;  // histogram changed: re-pin at next query
+  Invalidate(bucket);
+}
+
+void IncrementalAnalyzer::RemoveTuples(size_t bucket,
+                                       const std::vector<int32_t>& values) {
+  CKSAFE_CHECK_LT(bucket, buckets_.size());
+  if (values.empty()) return;
+  BucketState& state = buckets_[bucket];
+  CKSAFE_CHECK_LT(values.size(), state.members.size())
+      << "RemoveTuples would empty the bucket; use RemoveBucket";
+  for (int32_t code : values) {
+    CKSAFE_CHECK_GE(code, 0);
+    CKSAFE_CHECK_LT(static_cast<size_t>(code), sensitive_domain_size_);
+    CKSAFE_CHECK_GT(state.histogram[code], 0u)
+        << "RemoveTuples: value " << code << " absent from bucket " << bucket;
+    --state.histogram[code];
+    state.stats.RemoveValue(code);
+    state.members.pop_back();
+  }
+  num_tuples_ -= values.size();
+  state.table = nullptr;  // histogram changed: re-pin at next query
+  Invalidate(bucket);
+}
+
+void IncrementalAnalyzer::RemoveBucket(size_t bucket) {
+  CKSAFE_CHECK_LT(bucket, buckets_.size());
+  num_tuples_ -= buckets_[bucket].members.size();
+  buckets_.erase(buckets_.begin() + bucket);
+  Invalidate(bucket);
+}
+
+void IncrementalAnalyzer::Invalidate(size_t bucket) {
+  ++stats_.deltas;
+  for (auto& [k, state] : k_states_) {
+    state.first_dirty = std::min(state.first_dirty, bucket);
+    state.suffix_valid = false;
+  }
+}
+
+const BucketStats& IncrementalAnalyzer::bucket_stats(size_t bucket) const {
+  CKSAFE_CHECK_LT(bucket, buckets_.size());
+  return buckets_[bucket].stats;
+}
+
+const std::vector<PersonId>& IncrementalAnalyzer::bucket_members(
+    size_t bucket) const {
+  CKSAFE_CHECK_LT(bucket, buckets_.size());
+  return buckets_[bucket].members;
+}
+
+Bucketization IncrementalAnalyzer::CurrentBucketization() const {
+  Bucketization b(sensitive_domain_size_);
+  for (const BucketState& state : buckets_) {
+    Bucket bucket;
+    bucket.members = state.members;
+    bucket.histogram = state.histogram;
+    const Status status = b.AddBucket(std::move(bucket));
+    CKSAFE_CHECK(status.ok()) << status.ToString();
+  }
+  return b;
+}
+
+std::vector<Minimize2Bucket> IncrementalAnalyzer::Inputs(size_t k) {
+  const size_t budget = k + 1;  // target atom joins the antecedents
+  std::vector<Minimize2Bucket> inputs(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    BucketState& state = buckets_[i];
+    if (state.table == nullptr || state.table->max_k() < budget) {
+      state.table = cache_->GetOrCompute(state.stats, budget);
+      ++stats_.tables_refetched;
+    }
+    inputs[i].table = state.table;
+    inputs[i].ratio = static_cast<double>(state.stats.n) /
+                      static_cast<double>(state.stats.counts[0]);
+  }
+  return inputs;
+}
+
+IncrementalAnalyzer::KState& IncrementalAnalyzer::UpToDate(
+    size_t k, const std::vector<Minimize2Bucket>& inputs) {
+  auto it = k_states_.find(k);
+  if (it == k_states_.end()) {
+    it = k_states_.emplace(k, KState(k)).first;
+    it->second.first_dirty = 0;
+  }
+  KState& state = it->second;
+  const size_t m = inputs.size();
+  if (state.first_dirty < m || state.dp.num_buckets() != m) {
+    const size_t kept =
+        std::min({state.first_dirty, state.dp.num_buckets(), m});
+    stats_.rows_reused += kept;
+    stats_.rows_recomputed += m - kept;
+    state.dp.Recompute(inputs, state.first_dirty);
+    state.first_dirty = m;
+  } else {
+    stats_.rows_reused += m;
+  }
+  return state;
+}
+
+WorstCaseDisclosure IncrementalAnalyzer::MaxDisclosureImplications(size_t k) {
+  CKSAFE_CHECK_GT(buckets_.size(), 0u)
+      << "cannot analyze an empty bucketization";
+  const std::vector<Minimize2Bucket> inputs = Inputs(k);
+  KState& state = UpToDate(k, inputs);
+  const double r_min = state.dp.RMin();
+  CKSAFE_CHECK(r_min != std::numeric_limits<double>::infinity())
+      << "no feasible atom placement";
+
+  std::vector<const std::vector<PersonId>*> members(buckets_.size());
+  std::vector<const BucketStats*> stats(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    members[i] = &buckets_[i].members;
+    stats[i] = &buckets_[i].stats;
+  }
+  return AssembleImplicationWitness(r_min, state.dp.WitnessPlacements(),
+                                    members, stats, inputs);
+}
+
+WorstCaseDisclosure IncrementalAnalyzer::MaxDisclosureNegations(size_t k) {
+  CKSAFE_CHECK_GT(buckets_.size(), 0u)
+      << "cannot analyze an empty bucketization";
+  std::vector<const BucketStats*> stats(buckets_.size());
+  std::vector<const std::vector<PersonId>*> members(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    stats[i] = &buckets_[i].stats;
+    members[i] = &buckets_[i].members;
+  }
+  return MaxNegationsOverBuckets(stats, members, k);
+}
+
+bool IncrementalAnalyzer::IsCkSafe(double c, size_t k) {
+  return MaxDisclosureImplications(k).disclosure < c;
+}
+
+std::vector<double> IncrementalAnalyzer::PerBucketDisclosure(size_t k) {
+  CKSAFE_CHECK_GT(buckets_.size(), 0u)
+      << "cannot analyze an empty bucketization";
+  const std::vector<Minimize2Bucket> inputs = Inputs(k);
+  KState& state = UpToDate(k, inputs);
+  if (!state.suffix_valid) {
+    state.suffix = ComputeNoASuffix(inputs, k);
+    state.suffix_valid = true;
+  }
+  return PerBucketDisclosureSweep(inputs, k, state.dp, state.suffix);
+}
+
+}  // namespace cksafe

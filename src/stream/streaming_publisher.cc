@@ -1,0 +1,32 @@
+#include "cksafe/stream/streaming_publisher.h"
+
+#include <utility>
+
+namespace cksafe {
+
+StreamingPublisher::StreamingPublisher(Table initial,
+                                       std::vector<QuasiIdentifier> qis,
+                                       size_t sensitive_column,
+                                       PublisherOptions options)
+    : table_(std::move(initial)),
+      qis_(std::move(qis)),
+      sensitive_column_(sensitive_column),
+      publisher_(options) {}
+
+Status StreamingPublisher::AddBatch(
+    const std::vector<std::vector<int32_t>>& rows) {
+  for (const std::vector<int32_t>& row : rows) {
+    CKSAFE_RETURN_IF_ERROR(table_.AppendRow(row));
+  }
+  return Status::OK();
+}
+
+StatusOr<StreamingRelease> StreamingPublisher::PublishNext() {
+  const size_t sequence = static_cast<size_t>(session_.releases);
+  CKSAFE_ASSIGN_OR_RETURN(
+      PublishedRelease release,
+      publisher_.Publish(table_, qis_, sensitive_column_, &session_));
+  return StreamingRelease{sequence, table_.num_rows(), std::move(release)};
+}
+
+}  // namespace cksafe

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "cksafe/core/disclosure.h"
 #include "cksafe/util/math_util.h"
 #include "testing_util.h"
@@ -30,14 +32,84 @@ TEST(BucketStatsTest, SortsCountsDescendingWithStableCodes) {
   EXPECT_EQ(stats.TopSum(99), 11u);  // clamped to d
 }
 
-TEST(BucketStatsTest, CountsKeyIgnoresValueIdentity) {
+TEST(BucketStatsTest, CacheKeyIgnoresValueIdentity) {
   // Two histograms with the same count multiset share a key (and hence a
-  // MINIMIZE1 table); a different multiset does not.
+  // MINIMIZE1 table); a different multiset does not. The key is the sorted
+  // count vector itself, so equality is exact vector equality.
   const BucketStats a = BucketStats::FromHistogram({3, 1, 0});
   const BucketStats b = BucketStats::FromHistogram({0, 1, 3});
   const BucketStats c = BucketStats::FromHistogram({2, 2, 0});
-  EXPECT_EQ(a.CountsKey(), b.CountsKey());
-  EXPECT_NE(a.CountsKey(), c.CountsKey());
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_NE(a.counts, c.counts);
+
+  DisclosureCache cache;
+  EXPECT_EQ(cache.GetOrCompute(a, 3).get(), cache.GetOrCompute(b, 3).get());
+  EXPECT_NE(cache.GetOrCompute(a, 3).get(), cache.GetOrCompute(c, 3).get());
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(BucketStatsTest, CacheKeyCollisionsStayDistinct) {
+  // Count vectors whose hashes may collide (same multiset-sum, same length,
+  // permuted positions, length-extension shapes) must still map to distinct
+  // tables: the map compares full keys, a hash collision only costs a probe.
+  const std::vector<std::vector<uint32_t>> keys = {
+      {4},       {3, 1},    {2, 2},    {2, 1, 1}, {1, 1, 1, 1},
+      {4, 3, 1}, {4, 1, 3}, {1, 3, 4}, {8},       {7, 1},
+  };
+  DisclosureCache cache;
+  std::vector<const Minimize1Table*> tables;
+  for (const auto& counts : keys) {
+    // Keys must be descending for the DP; sort a copy where needed.
+    std::vector<uint32_t> sorted = counts;
+    std::sort(sorted.rbegin(), sorted.rend());
+    tables.push_back(cache.GetOrCompute(sorted, 2).get());
+  }
+  // {4,3,1} and its permutations all normalize to one key; everything else
+  // is pairwise distinct.
+  EXPECT_EQ(tables[5], tables[6]);
+  EXPECT_EQ(tables[5], tables[7]);
+  EXPECT_EQ(cache.entries(), 8u);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (size_t j = i + 1; j < keys.size(); ++j) {
+      if (i == 5 || i == 6 || i == 7) {
+        if (j == 5 || j == 6 || j == 7) continue;
+      }
+      EXPECT_NE(tables[i], tables[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(BucketStatsTest, AddValueMatchesFromHistogramRebuild) {
+  // Delta updates must be *identical* (not just equivalent) to a rebuild:
+  // the streaming analyzer's bit-identity rests on it.
+  Rng rng(424242);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t domain = 1 + rng.NextBelow(6);
+    std::vector<uint32_t> histogram(domain, 0);
+    BucketStats stats;  // empty bucket: n = 0, no counts
+    for (int step = 0; step < 30; ++step) {
+      const bool remove = stats.n > 0 && rng.NextBelow(3) == 0;
+      if (remove) {
+        // Pick a present code.
+        std::vector<int32_t> present;
+        for (size_t s = 0; s < domain; ++s) {
+          if (histogram[s] > 0) present.push_back(static_cast<int32_t>(s));
+        }
+        const int32_t code = present[rng.NextBelow(present.size())];
+        --histogram[code];
+        stats.RemoveValue(code);
+      } else {
+        const int32_t code = static_cast<int32_t>(rng.NextBelow(domain));
+        ++histogram[code];
+        stats.AddValue(code);
+      }
+      const BucketStats rebuilt = BucketStats::FromHistogram(histogram);
+      ASSERT_EQ(stats.n, rebuilt.n) << "trial " << trial << " step " << step;
+      ASSERT_EQ(stats.counts, rebuilt.counts);
+      ASSERT_EQ(stats.value_codes, rebuilt.value_codes);
+      ASSERT_EQ(stats.prefix, rebuilt.prefix);
+    }
+  }
 }
 
 TEST(DisclosureCacheTest, UpgradesTablesToLargerBudgets) {

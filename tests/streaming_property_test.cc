@@ -1,0 +1,312 @@
+// Differential oracle for the incremental streaming engine.
+//
+// The contract under test: after EVERY delta of an arbitrary
+// insert/remove stream, IncrementalAnalyzer answers exactly — bit for bit,
+// not approximately — what a fresh DisclosureAnalyzer over the same
+// bucketization answers, and (on tiny tables, k <= 2) what the exact
+// world-enumeration oracle computes. The warm-started lattice search and
+// the StreamingPublisher are covered by the same standard: identical output
+// to their cold counterparts, with strictly less work on stable frontiers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cksafe/adult/adult.h"
+#include "cksafe/anon/bucketization.h"
+#include "cksafe/core/disclosure.h"
+#include "cksafe/exact/exact_engine.h"
+#include "cksafe/search/lattice_search.h"
+#include "cksafe/search/publisher.h"
+#include "cksafe/stream/incremental_analyzer.h"
+#include "cksafe/stream/streaming_publisher.h"
+#include "cksafe/util/random.h"
+#include "testing_util.h"
+
+namespace cksafe {
+namespace {
+
+std::vector<int32_t> RandomValues(Rng* rng, size_t domain, size_t max_count) {
+  const size_t count = 1 + rng->NextBelow(max_count);
+  std::vector<int32_t> values(count);
+  for (auto& v : values) v = static_cast<int32_t>(rng->NextBelow(domain));
+  return values;
+}
+
+// Applies one random delta.
+void RandomDelta(Rng* rng, size_t domain, IncrementalAnalyzer* inc) {
+  const uint64_t pick = rng->NextBelow(5);
+  if (pick == 0 && inc->num_buckets() > 1) {
+    inc->RemoveBucket(rng->NextBelow(inc->num_buckets()));
+  } else if (pick == 1 && inc->num_buckets() > 0) {
+    inc->AddTuples(rng->NextBelow(inc->num_buckets()),
+                   RandomValues(rng, domain, 3));
+  } else if (pick == 2 && inc->num_buckets() > 0) {
+    // Remove up to 2 tuples from a bucket that stays non-empty, picking
+    // values actually present (one at a time: each removal shifts stats).
+    const size_t bucket = rng->NextBelow(inc->num_buckets());
+    size_t removable = inc->bucket_members(bucket).size() - 1;
+    while (removable > 0 && rng->NextBelow(2) == 0) {
+      const BucketStats& stats = inc->bucket_stats(bucket);
+      inc->RemoveTuples(bucket,
+                        {stats.value_codes[rng->NextBelow(stats.d())]});
+      --removable;
+    }
+  } else {
+    inc->AddBucket(RandomValues(rng, domain, 5));
+  }
+}
+
+// Exact equality of worst-case adversaries — doubles compared with ==.
+void ExpectIdentical(const WorstCaseDisclosure& a,
+                     const WorstCaseDisclosure& b) {
+  EXPECT_EQ(a.disclosure, b.disclosure);
+  EXPECT_EQ(a.target, b.target);
+  EXPECT_EQ(a.antecedents, b.antecedents);
+}
+
+TEST(StreamingDifferentialTest, RandomStreamsMatchFreshAnalyzerBitForBit) {
+  constexpr size_t kDomain = 4;
+  Rng rng(20260726);
+  for (int trial = 0; trial < 6; ++trial) {
+    IncrementalAnalyzer inc(kDomain);
+    inc.AddBucket(RandomValues(&rng, kDomain, 5));
+    for (int step = 0; step < 25; ++step) {
+      RandomDelta(&rng, kDomain, &inc);
+      const Bucketization reference = inc.CurrentBucketization();
+      DisclosureAnalyzer fresh(reference);
+      for (size_t k = 0; k <= 4; ++k) {
+        ExpectIdentical(inc.MaxDisclosureImplications(k),
+                        fresh.MaxDisclosureImplications(k));
+        ExpectIdentical(inc.MaxDisclosureNegations(k),
+                        fresh.MaxDisclosureNegations(k));
+        // Per-bucket vulnerabilities: element-wise ==.
+        const std::vector<double> inc_pb = inc.PerBucketDisclosure(k);
+        const std::vector<double> fresh_pb = fresh.PerBucketDisclosure(k);
+        ASSERT_EQ(inc_pb.size(), fresh_pb.size());
+        for (size_t j = 0; j < inc_pb.size(); ++j) {
+          EXPECT_EQ(inc_pb[j], fresh_pb[j])
+              << "trial " << trial << " step " << step << " k=" << k
+              << " bucket " << j;
+        }
+        for (double c : {0.3, 0.6, 0.9}) {
+          EXPECT_EQ(inc.IsCkSafe(c, k), fresh.IsCkSafe(c, k));
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamingDifferentialTest, QueriesBetweenDeltasReuseAllRows) {
+  IncrementalAnalyzer inc(3);
+  inc.AddBucket({0, 0, 1, 2});
+  inc.AddBucket({1, 1, 2});
+  inc.MaxDisclosureImplications(2);
+  const uint64_t recomputed = inc.stats().rows_recomputed;
+  // Re-query without a delta: the running sweep answers without rebuilding.
+  inc.MaxDisclosureImplications(2);
+  inc.IsCkSafe(0.5, 2);
+  inc.PerBucketDisclosure(2);
+  EXPECT_EQ(inc.stats().rows_recomputed, recomputed);
+  EXPECT_GT(inc.stats().rows_reused, 0u);
+}
+
+TEST(StreamingDifferentialTest, AppendOnlyStreamsRecomputeOnlyNewRows) {
+  IncrementalAnalyzer inc(3);
+  for (int i = 0; i < 10; ++i) inc.AddBucket({0, 0, 1, 2});
+  inc.MaxDisclosureImplications(3);
+  const uint64_t after_warmup = inc.stats().rows_recomputed;
+  // Each appended bucket costs exactly one new DP row at this k.
+  for (int i = 0; i < 5; ++i) {
+    inc.AddBucket({1, 2, 2});
+    inc.MaxDisclosureImplications(3);
+  }
+  EXPECT_EQ(inc.stats().rows_recomputed, after_warmup + 5);
+  // And the MINIMIZE1 tables for repeated histograms come from the cache:
+  // two distinct histograms -> at most two table builds at this budget.
+  EXPECT_EQ(inc.cache()->misses(), 2u);
+}
+
+TEST(StreamingDifferentialTest, MatchesExactOracleOnTinyStreams) {
+  constexpr size_t kDomain = 3;
+  Rng rng(77);
+  for (int trial = 0; trial < 4; ++trial) {
+    IncrementalAnalyzer inc(kDomain);
+    inc.AddBucket(RandomValues(&rng, kDomain, 3));
+    for (int step = 0; step < 10; ++step) {
+      RandomDelta(&rng, kDomain, &inc);
+      if (inc.num_tuples() > 8) {
+        // Keep the world count enumerable: drop a bucket and continue.
+        while (inc.num_buckets() > 1) inc.RemoveBucket(0);
+        continue;
+      }
+      const Bucketization reference = inc.CurrentBucketization();
+      auto engine = ExactEngine::Create(reference);
+      ASSERT_TRUE(engine.ok()) << engine.status();
+      for (size_t k = 0; k <= 2; ++k) {
+        const WorstCaseDisclosure dp = inc.MaxDisclosureImplications(k);
+        auto brute = engine->MaxDisclosureSimpleImplications(
+            k, /*same_consequent=*/true);
+        ASSERT_TRUE(brute.ok()) << brute.status();
+        EXPECT_NEAR(dp.disclosure, brute->disclosure, 1e-9)
+            << "trial " << trial << " step " << step << " k=" << k;
+        // The incremental witness really attains its claimed value.
+        auto rescored =
+            engine->ConditionalProbability(dp.target, dp.ToFormula());
+        ASSERT_TRUE(rescored.ok()) << rescored.status();
+        EXPECT_NEAR(*rescored, dp.disclosure, 1e-9);
+
+        const WorstCaseDisclosure neg = inc.MaxDisclosureNegations(k);
+        auto brute_neg = engine->MaxDisclosureNegations(k);
+        ASSERT_TRUE(brute_neg.ok()) << brute_neg.status();
+        EXPECT_NEAR(neg.disclosure, brute_neg->disclosure, 1e-9);
+      }
+    }
+  }
+}
+
+// --- Warm-started lattice search ------------------------------------------
+
+NodePredicate HospitalCkSafety(const Table& table,
+                               const std::vector<QuasiIdentifier>& qis,
+                               DisclosureCache* cache, double c, size_t k) {
+  return [&table, &qis, cache, c, k](const LatticeNode& node) {
+    auto b = BucketizeAtNode(table, qis, node,
+                             testing::kHospitalSensitiveColumn);
+    CKSAFE_CHECK(b.ok());
+    return DisclosureAnalyzer(*b, cache).IsCkSafe(c, k);
+  };
+}
+
+std::vector<QuasiIdentifier> HospitalQis(const Table& table) {
+  std::vector<QuasiIdentifier> qis(3);
+  qis[0] = {0, ShareHierarchy(TreeHierarchy::SuppressionOnly(
+                   table.schema().attribute(0)))};
+  auto age = IntervalHierarchy::Create(table.schema().attribute(1), {1, 3},
+                                       /*add_suppressed_top=*/true);
+  CKSAFE_CHECK(age.ok());
+  qis[1] = {1, ShareHierarchy(*std::move(age))};
+  qis[2] = {2, ShareHierarchy(TreeHierarchy::SuppressionOnly(
+                   table.schema().attribute(2)))};
+  return qis;
+}
+
+TEST(WarmStartSearchTest, SeededSearchIsIdenticalAndDoesLessWork) {
+  const Table table = testing::MakeHospitalTable();
+  const auto qis = HospitalQis(table);
+  const GeneralizationLattice lattice =
+      GeneralizationLattice::FromQuasiIdentifiers(qis);
+
+  DisclosureCache cache;
+  const NodePredicate is_safe =
+      HospitalCkSafety(table, qis, &cache, 0.75, 1);
+  const LatticeSearchResult cold =
+      FindMinimalSafeNodes(lattice, is_safe, LatticeSearchOptions{});
+  ASSERT_FALSE(cold.minimal_safe_nodes.empty());
+
+  // Seed with the converged frontier: identical nodes (content and order),
+  // and the sweep itself never re-evaluates a seed.
+  LatticeSearchOptions warm;
+  warm.seed_frontier = cold.minimal_safe_nodes;
+  const LatticeSearchResult seeded =
+      FindMinimalSafeNodes(lattice, is_safe, warm);
+  EXPECT_EQ(seeded.minimal_safe_nodes, cold.minimal_safe_nodes);
+  EXPECT_EQ(seeded.stats.seed_evaluations, cold.minimal_safe_nodes.size());
+  EXPECT_EQ(seeded.stats.seed_reused, cold.minimal_safe_nodes.size());
+  EXPECT_LE(seeded.stats.evaluations, cold.stats.evaluations +
+                                          seeded.stats.seed_evaluations);
+
+  // A garbage seed (unsafe node, wrong arity) costs evaluations but cannot
+  // change the result.
+  LatticeSearchOptions noisy;
+  noisy.seed_frontier = {lattice.Bottom(), {9, 9, 9, 9, 9}};
+  const LatticeSearchResult junk =
+      FindMinimalSafeNodes(lattice, is_safe, noisy);
+  EXPECT_EQ(junk.minimal_safe_nodes, cold.minimal_safe_nodes);
+}
+
+TEST(WarmStartSearchTest, StableFrontierSkipsTheLatticeTop) {
+  // With the previous frontier safe and unchanged, everything strictly
+  // above it prunes; the warm sweep evaluates only nodes not above the
+  // frontier.
+  const Table table = testing::MakeHospitalTable();
+  const auto qis = HospitalQis(table);
+  const GeneralizationLattice lattice =
+      GeneralizationLattice::FromQuasiIdentifiers(qis);
+  DisclosureCache cache;
+  const NodePredicate is_safe =
+      HospitalCkSafety(table, qis, &cache, 0.75, 1);
+  const LatticeSearchResult cold =
+      FindMinimalSafeNodes(lattice, is_safe, LatticeSearchOptions{});
+
+  LatticeSearchOptions warm;
+  warm.seed_frontier = cold.minimal_safe_nodes;
+  const LatticeSearchResult seeded =
+      FindMinimalSafeNodes(lattice, is_safe, warm);
+  // Work in the sweep proper (total minus warm start) must shrink.
+  EXPECT_LT(seeded.stats.evaluations - seeded.stats.seed_evaluations,
+            cold.stats.evaluations);
+  EXPECT_GE(seeded.stats.implied_safe, cold.stats.implied_safe);
+}
+
+// --- Streaming publisher --------------------------------------------------
+
+TEST(StreamingPublisherTest, EachReleaseIsBitIdenticalToColdPublish) {
+  const Table adult = GenerateSyntheticAdult(240, 11);
+  auto qis = AdultQuasiIdentifiers();
+  ASSERT_TRUE(qis.ok());
+  PublisherOptions options;
+  options.c = 0.85;
+  options.k = 2;
+
+  // Start from the first 120 rows, then stream 3 batches of 40.
+  Table initial(adult.schema());
+  size_t cursor = 0;
+  auto row_cells = [&](size_t row) {
+    std::vector<int32_t> cells(adult.num_columns());
+    for (size_t c = 0; c < adult.num_columns(); ++c) {
+      cells[c] = adult.at(static_cast<PersonId>(row), c);
+    }
+    return cells;
+  };
+  for (; cursor < 120; ++cursor) {
+    ASSERT_TRUE(initial.AppendRow(row_cells(cursor)).ok());
+  }
+
+  StreamingPublisher stream(std::move(initial), *qis, kAdultOccupationColumn,
+                            options);
+  const Publisher cold_publisher(options);
+  for (int batch = 0; batch < 4; ++batch) {
+    if (batch > 0) {
+      std::vector<std::vector<int32_t>> rows;
+      for (int i = 0; i < 40 && cursor < adult.num_rows(); ++i, ++cursor) {
+        rows.push_back(row_cells(cursor));
+      }
+      ASSERT_TRUE(stream.AddBatch(rows).ok());
+    }
+    auto warm = stream.PublishNext();
+    ASSERT_TRUE(warm.ok()) << warm.status();
+    EXPECT_EQ(warm->sequence, static_cast<size_t>(batch));
+    EXPECT_EQ(warm->num_rows, stream.table().num_rows());
+
+    auto cold = cold_publisher.Publish(stream.table(), *qis,
+                                       kAdultOccupationColumn);
+    ASSERT_TRUE(cold.ok()) << cold.status();
+    EXPECT_EQ(warm->release.node, cold->node);
+    EXPECT_EQ(warm->release.minimal_safe_nodes, cold->minimal_safe_nodes);
+    EXPECT_EQ(warm->release.worst_case.disclosure,
+              cold->worst_case.disclosure);
+    EXPECT_EQ(warm->release.published_sensitive, cold->published_sensitive);
+    // The warm search may not do more sweep work than the cold one.
+    EXPECT_LE(warm->release.search_stats.evaluations -
+                  warm->release.search_stats.seed_evaluations,
+              cold->search_stats.evaluations);
+  }
+  EXPECT_EQ(stream.session().releases, 4u);
+  // The session cache persisted across releases.
+  EXPECT_GT(stream.session().cache.hits(), 0u);
+}
+
+}  // namespace
+}  // namespace cksafe

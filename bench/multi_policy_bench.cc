@@ -1,0 +1,186 @@
+// Benchmarks for the profile + multi-policy subsystem (experiment E8 in
+// DESIGN.md): one-sweep disclosure profiles vs. the historical per-k
+// MINIMIZE2 loop, and the shared multi-policy lattice search vs. N
+// independent per-policy searches. Every timed win is CHECKed correct
+// first: the one-sweep curve must equal the per-k loop's curve exactly,
+// and the multi-policy per-policy frontiers must equal the independent
+// searches' (the full differential contract lives in
+// tests/multi_policy_search_test.cc).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "cksafe/adult/adult.h"
+#include "cksafe/anon/bucketization.h"
+#include "cksafe/core/disclosure.h"
+#include "cksafe/search/lattice_search.h"
+
+namespace cksafe {
+namespace {
+
+constexpr size_t kRows = 5000;
+constexpr size_t kMaxK = 12;
+
+const Table& AdultTable() {
+  static const Table* table = new Table(GenerateSyntheticAdult(kRows, 7));
+  return *table;
+}
+
+const std::vector<QuasiIdentifier>& AdultQis() {
+  static const auto* qis = [] {
+    auto q = AdultQuasiIdentifiers();
+    CKSAFE_CHECK(q.ok());
+    return new std::vector<QuasiIdentifier>(*std::move(q));
+  }();
+  return *qis;
+}
+
+const Bucketization& Fig5Bucketization() {
+  static const Bucketization* b = [] {
+    auto made = BucketizeAtNode(AdultTable(), AdultQis(), AdultFigure5Node(),
+                                kAdultOccupationColumn);
+    CKSAFE_CHECK(made.ok());
+    return new Bucketization(*std::move(made));
+  }();
+  return *b;
+}
+
+// The implication curve, mode 0: the historical per-k loop — one full
+// MINIMIZE2 sweep per budget (max_k + 1 sweeps); mode 1: the one-sweep
+// profile. Both modes share warmed MINIMIZE1 tables so the measured gap
+// is pure sweep count.
+void BM_ProfileVsPerKLoop(benchmark::State& state) {
+  const bool one_sweep = state.range(0) == 1;
+  const Bucketization& bucketization = Fig5Bucketization();
+  DisclosureCache cache;
+  DisclosureAnalyzer analyzer(bucketization, &cache);
+
+  // Reference: the per-k point queries (what the old loop computed).
+  std::vector<double> reference(kMaxK + 1);
+  for (size_t k = 0; k <= kMaxK; ++k) {
+    reference[k] = analyzer.MaxDisclosureImplications(k).disclosure;
+  }
+
+  for (auto _ : state) {
+    std::vector<double> curve;
+    if (one_sweep) {
+      curve = analyzer.ImplicationCurve(kMaxK);
+    } else {
+      curve.resize(kMaxK + 1);
+      for (size_t k = 0; k <= kMaxK; ++k) {
+        curve[k] = analyzer.MaxDisclosureImplications(k).disclosure;
+      }
+    }
+    CKSAFE_CHECK(curve == reference) << "curve diverged from per-k queries";
+    benchmark::DoNotOptimize(curve.data());
+  }
+  state.counters["sweeps_per_curve"] =
+      static_cast<double>(one_sweep ? 1 : kMaxK + 1);
+  state.SetLabel(one_sweep ? "one-sweep profile"
+                           : "per-k loop (historical ImplicationCurve)");
+}
+BENCHMARK(BM_ProfileVsPerKLoop)->Unit(benchmark::kMillisecond)->Arg(0)->Arg(1);
+
+const std::vector<CkPolicy>& TenantPolicies() {
+  // Four tenants, strictest first: (0.5, 4) dominates the rest, the shape
+  // cross-policy pruning exploits.
+  static const auto* policies = new std::vector<CkPolicy>{
+      {0.5, 4}, {0.6, 3}, {0.7, 2}, {0.8, 1}};
+  return *policies;
+}
+
+// Multi-policy search, mode 0: N independent FindMinimalSafeNodes runs
+// (one per policy, shared table cache — the strongest per-tenant
+// baseline); mode 1: one FindMinimalSafeNodesMultiPolicy sweep. The
+// frontier equality CHECK runs every iteration.
+void BM_MultiPolicySearch(benchmark::State& state) {
+  const bool multi = state.range(0) == 1;
+  const size_t num_policies = static_cast<size_t>(state.range(1));
+  const Table& table = AdultTable();
+  const auto& qis = AdultQis();
+  const GeneralizationLattice lattice =
+      GeneralizationLattice::FromQuasiIdentifiers(qis);
+  std::vector<CkPolicy> policies(TenantPolicies().begin(),
+                                 TenantPolicies().begin() + num_policies);
+  size_t max_k = 0;
+  for (const CkPolicy& policy : policies) max_k = std::max(max_k, policy.k);
+
+  // Reference frontiers from independent runs (cold, outside timing).
+  std::vector<std::vector<LatticeNode>> reference;
+  for (const CkPolicy& policy : policies) {
+    DisclosureCache cache;
+    const NodePredicate is_safe = [&](const LatticeNode& node) {
+      auto b = BucketizeAtNode(table, qis, node, kAdultOccupationColumn);
+      CKSAFE_CHECK(b.ok());
+      return DisclosureAnalyzer(*b, &cache).IsCkSafe(policy.c, policy.k);
+    };
+    reference.push_back(
+        FindMinimalSafeNodes(lattice, is_safe, LatticeSearchOptions{})
+            .minimal_safe_nodes);
+  }
+
+  uint64_t shared_profiles = 0;
+  uint64_t point_evaluations = 0;
+  for (auto _ : state) {
+    if (multi) {
+      DisclosureCache cache;
+      const NodeProfiler profile_of =
+          [&](const LatticeNode& node) -> std::optional<DisclosureProfile> {
+        auto b = BucketizeAtNode(table, qis, node, kAdultOccupationColumn);
+        CKSAFE_CHECK(b.ok());
+        // Classification reads only the implication curve.
+        DisclosureProfile profile;
+        profile.implication =
+            DisclosureAnalyzer(*b, &cache).ImplicationCurve(max_k);
+        return profile;
+      };
+      const MultiPolicySearchResult result = FindMinimalSafeNodesMultiPolicy(
+          lattice, profile_of, policies, MultiPolicySearchOptions{});
+      shared_profiles = result.stats.profiles_computed;
+      for (size_t p = 0; p < policies.size(); ++p) {
+        CKSAFE_CHECK(result.per_policy[p].minimal_safe_nodes == reference[p])
+            << "multi-policy frontier diverged from independent search";
+      }
+    } else {
+      point_evaluations = 0;
+      // One table cache shared across the N runs — stronger than the
+      // realistic per-tenant-session baseline, so the measured speedup is
+      // all sweep/bucketization sharing, not MINIMIZE1 reuse.
+      DisclosureCache cache;
+      for (size_t p = 0; p < policies.size(); ++p) {
+        const CkPolicy& policy = policies[p];
+        const NodePredicate is_safe = [&](const LatticeNode& node) {
+          auto b = BucketizeAtNode(table, qis, node, kAdultOccupationColumn);
+          CKSAFE_CHECK(b.ok());
+          return DisclosureAnalyzer(*b, &cache).IsCkSafe(policy.c, policy.k);
+        };
+        const LatticeSearchResult result =
+            FindMinimalSafeNodes(lattice, is_safe, LatticeSearchOptions{});
+        point_evaluations += result.stats.evaluations;
+        CKSAFE_CHECK(result.minimal_safe_nodes == reference[p]);
+      }
+    }
+  }
+  if (multi) {
+    state.counters["profiles"] = static_cast<double>(shared_profiles);
+  } else {
+    state.counters["evaluations"] = static_cast<double>(point_evaluations);
+  }
+  state.counters["policies"] = static_cast<double>(num_policies);
+  state.SetLabel(multi ? "one shared multi-policy sweep"
+                       : "independent per-policy searches");
+}
+BENCHMARK(BM_MultiPolicySearch)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({0, 4})
+    ->Args({1, 4})
+    ->Args({0, 2})
+    ->Args({1, 2});
+
+}  // namespace
+}  // namespace cksafe
+
+BENCHMARK_MAIN();

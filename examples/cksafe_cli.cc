@@ -2,6 +2,7 @@
 //
 //   cksafe_cli analyze  [data flags] --node=... [--max_k --c --k]
 //   cksafe_cli publish  [data flags] --c --k [--objective --out --out_qit --out_st]
+//   cksafe_cli multi    [data flags] --policies=gold=0.5:4,free=0.8:1 [--objective]
 //   cksafe_cli audit    [data flags] --node=... --knowledge=FILE [--approx]
 //   cksafe_cli fig5     [--rows --seed --adult_csv --max_k]
 //   cksafe_cli fig6     [--rows --seed --adult_csv]
@@ -20,6 +21,7 @@
 // Examples:
 //   cksafe_cli analyze --adult --rows=10000 --node=3,2,1,1 --max_k=13
 //   cksafe_cli publish --adult --c=0.6 --k=3 --out=/tmp/release.csv
+//   cksafe_cli multi --adult --rows=2000 --policies=gold=0.5:4,std=0.7:2,free=0.85:1
 //   cksafe_cli analyze --input=patients.csv --sensitive=Disease --qi=Age,Sex,Zip
 
 #include <algorithm>
@@ -37,6 +39,7 @@
 #include "cksafe/experiments/figures.h"
 #include "cksafe/knowledge/parser.h"
 #include "cksafe/search/publisher.h"
+#include "cksafe/stream/multi_policy_publisher.h"
 #include "cksafe/util/flags.h"
 #include "cksafe/util/string_util.h"
 #include "cksafe/util/text_table.h"
@@ -66,6 +69,8 @@ struct CliConfig {
   // Audit.
   std::string knowledge;
   bool approx = false;
+  // Multi-tenant publishing: comma-separated [name=]c:k policies.
+  std::string policies;
 };
 
 struct LoadedData {
@@ -206,6 +211,14 @@ Status RunAnalyze(const CliConfig& config) {
   return Status::OK();
 }
 
+StatusOr<UtilityObjective> ParseObjective(const std::string& name) {
+  if (name == "discernibility") return UtilityObjective::kDiscernibility;
+  if (name == "avg_class_size") return UtilityObjective::kAvgClassSize;
+  if (name == "height") return UtilityObjective::kHeight;
+  if (name == "loss") return UtilityObjective::kLoss;
+  return Status::InvalidArgument("unknown --objective " + name);
+}
+
 Status RunPublish(const CliConfig& config) {
   CKSAFE_ASSIGN_OR_RETURN(LoadedData data, LoadData(config));
 
@@ -213,17 +226,7 @@ Status RunPublish(const CliConfig& config) {
   options.c = config.c;
   options.k = static_cast<size_t>(config.k);
   options.seed = static_cast<uint64_t>(config.seed);
-  if (config.objective == "discernibility") {
-    options.objective = UtilityObjective::kDiscernibility;
-  } else if (config.objective == "avg_class_size") {
-    options.objective = UtilityObjective::kAvgClassSize;
-  } else if (config.objective == "height") {
-    options.objective = UtilityObjective::kHeight;
-  } else if (config.objective == "loss") {
-    options.objective = UtilityObjective::kLoss;
-  } else {
-    return Status::InvalidArgument("unknown --objective " + config.objective);
-  }
+  CKSAFE_ASSIGN_OR_RETURN(options.objective, ParseObjective(config.objective));
 
   Publisher publisher(options);
   CKSAFE_ASSIGN_OR_RETURN(
@@ -251,6 +254,88 @@ Status RunPublish(const CliConfig& config) {
     std::printf("wrote Anatomy release: %s + %s\n", config.out_qit.c_str(),
                 config.out_st.c_str());
   }
+  return Status::OK();
+}
+
+// Serves every tenant policy from ONE multi-policy lattice sweep: each
+// node's disclosure profile is computed once and classified against all
+// (c_i, k_i), so adding a tenant costs classification, not a search.
+Status RunMulti(const CliConfig& config) {
+  CKSAFE_ASSIGN_OR_RETURN(LoadedData data, LoadData(config));
+  if (config.policies.empty()) {
+    return Status::InvalidArgument(
+        "multi requires --policies=[name=]c:k,[name=]c:k,...");
+  }
+
+  PublisherOptions base;
+  base.seed = static_cast<uint64_t>(config.seed);
+  CKSAFE_ASSIGN_OR_RETURN(base.objective, ParseObjective(config.objective));
+
+  MultiPolicyPublisher publisher(std::move(data.table), data.qis,
+                                 data.sensitive_column, base);
+  size_t next_tenant = 0;
+  for (const std::string& raw : Split(config.policies, ',')) {
+    std::string_view spec = Trim(raw);
+    std::string name = "tenant" + std::to_string(next_tenant);
+    if (const size_t eq = spec.find('='); eq != std::string_view::npos) {
+      name = std::string(Trim(spec.substr(0, eq)));
+      spec = Trim(spec.substr(eq + 1));
+    }
+    const size_t colon = spec.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("policy must be [name=]c:k, got '" +
+                                     std::string(raw) + "'");
+    }
+    CKSAFE_ASSIGN_OR_RETURN(double c,
+                            ParseDouble(std::string(spec.substr(0, colon))));
+    CKSAFE_ASSIGN_OR_RETURN(int64_t k,
+                            ParseInt64(std::string(spec.substr(colon + 1))));
+    if (c <= 0.0 || k < 0 || k > 255) {
+      // 255 is Minimize2Forward's atom-budget ceiling (uint8 choice
+      // storage); reject here as a flag error instead of CHECK-failing
+      // deep in the sweep.
+      return Status::OutOfRange("policy needs c > 0 and 0 <= k <= 255: " +
+                                std::string(raw));
+    }
+    publisher.AddTenant(std::move(name), c, static_cast<size_t>(k));
+    ++next_tenant;
+  }
+
+  CKSAFE_ASSIGN_OR_RETURN(std::vector<TenantRelease> releases,
+                          publisher.PublishAll());
+  TextTable out;
+  out.SetHeader({"tenant", "c", "k", "node", "buckets", "worst-case",
+                 "utility(" + config.objective + ")"});
+  for (const TenantRelease& tenant : releases) {
+    std::string node = "-";
+    std::string buckets = "-";
+    std::string worst = "-";
+    std::string utility = tenant.release.ok()
+                              ? TextTable::FormatDouble(UtilityScore(
+                                    tenant.release->utility, base.objective))
+                              : tenant.release.status().ToString();
+    if (tenant.release.ok()) {
+      node = "[";
+      for (size_t i = 0; i < tenant.release->node.size(); ++i) {
+        node += StrFormat("%s%d", i ? "," : "", tenant.release->node[i]);
+      }
+      node += "]";
+      buckets = std::to_string(tenant.release->bucketization.num_buckets());
+      worst = TextTable::FormatDouble(tenant.release->worst_case.disclosure);
+    }
+    out.AddRow({tenant.tenant, TextTable::FormatDouble(tenant.policy.c),
+                std::to_string(tenant.policy.k), node, buckets, worst,
+                utility});
+  }
+  std::printf("%zu tenants served from one sweep over %zu rows:\n%s",
+              releases.size(), publisher.table().num_rows(),
+              out.Render().c_str());
+  const MultiPolicySearchStats& stats = publisher.last_search_stats();
+  std::printf("shared sweep: %llu profiles answered %llu per-tenant "
+              "verdicts (%llu served without their own evaluation)\n",
+              static_cast<unsigned long long>(stats.profiles_computed),
+              static_cast<unsigned long long>(stats.verdicts),
+              static_cast<unsigned long long>(stats.shared_verdicts()));
   return Status::OK();
 }
 
@@ -378,6 +463,8 @@ int Main(int argc, char** argv) {
   flags.AddString("out_st", &config.out_st, "Anatomy sensitive table CSV path");
   flags.AddString("knowledge", &config.knowledge, "attacker formula file");
   flags.AddBool("approx", &config.approx, "force Monte Carlo audit");
+  flags.AddString("policies", &config.policies,
+                  "multi-tenant policies, comma-separated [name=]c:k");
 
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -386,7 +473,7 @@ int Main(int argc, char** argv) {
   }
   if (flags.positional().size() != 1) {
     std::fprintf(stderr,
-                 "usage: cksafe_cli <analyze|publish|audit|fig5|fig6> "
+                 "usage: cksafe_cli <analyze|publish|multi|audit|fig5|fig6> "
                  "[flags]\n%s",
                  flags.Usage("cksafe_cli <command>").c_str());
     return 1;
@@ -397,6 +484,8 @@ int Main(int argc, char** argv) {
     st = RunAnalyze(config);
   } else if (command == "publish") {
     st = RunPublish(config);
+  } else if (command == "multi") {
+    st = RunMulti(config);
   } else if (command == "audit") {
     st = RunAudit(config);
   } else if (command == "fig5") {

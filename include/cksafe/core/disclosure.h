@@ -38,6 +38,7 @@
 #include "cksafe/core/bucket_stats.h"
 #include "cksafe/core/minimize1.h"
 #include "cksafe/core/minimize2.h"
+#include "cksafe/core/profile.h"
 #include "cksafe/knowledge/formula.h"
 
 namespace cksafe {
@@ -141,7 +142,13 @@ class DisclosureAnalyzer {
   /// MaxDisclosureImplications(k).disclosure.
   std::vector<double> PerBucketDisclosure(size_t k) const;
 
-  /// Disclosure values for every k in [0, max_k] — Figure 5 series.
+  /// Both Figure-5 curves for every k in [0, max_k] from ONE MINIMIZE2
+  /// sweep (the per-k values read off columns of the same DP — see
+  /// Minimize2Forward::RMinAt). Element k of each curve is bit-identical
+  /// to the corresponding point query's .disclosure.
+  DisclosureProfile Profile(size_t max_k) const;
+
+  /// Thin views over the one-sweep profile machinery (Figure 5 series).
   std::vector<double> ImplicationCurve(size_t max_k) const;
   std::vector<double> NegationCurve(size_t max_k) const;
 
@@ -198,6 +205,19 @@ BucketNegationBest ComputeBucketNegationBest(const BucketStats& stats,
 WorstCaseDisclosure MaxNegationsOverBuckets(
     const std::vector<const BucketStats*>& stats,
     const std::vector<const std::vector<PersonId>*>& members, size_t k);
+
+/// Reads the entire implication curve off a completed forward sweep:
+/// element h is 1 / (1 + with_a[m][h]) for h in [0, dp.k()]. Shared by
+/// DisclosureAnalyzer and the streaming IncrementalAnalyzer — both emit
+/// bit-identical profiles because they literally run this code over the
+/// same DP rows. Requires at least one bucket (every column is feasible).
+std::vector<double> ImplicationCurveFromSweep(const Minimize2Forward& dp);
+
+/// The negation curve for every k in [0, max_k]: element k scans buckets
+/// in order with the same strict ">" MaxNegationsOverBuckets uses, so
+/// element k equals MaxDisclosureNegations(k).disclosure exactly.
+std::vector<double> NegationCurveOverBuckets(
+    const std::vector<const BucketStats*>& stats, size_t max_k);
 
 }  // namespace cksafe
 

@@ -65,6 +65,14 @@ class Minimize2Forward {
   /// there are no buckets).
   double RMin() const;
 
+  /// R_min restricted to atom budget h <= k(): with_a[m][h]. Column h of
+  /// the DP runs exactly the float operations a dedicated sweep at budget
+  /// h runs (the recurrence for column h only reads columns <= h of the
+  /// previous row), so the value is bit-identical to a fresh
+  /// Minimize2Forward(h) over the same buckets — the whole disclosure
+  /// profile reads off one sweep.
+  double RMinAt(size_t h) const;
+
   /// Per-bucket witness decomposition attaining RMin(). CHECK-fails when
   /// RMin() is infeasible.
   std::vector<Minimize2Placement> WitnessPlacements() const;

@@ -1,0 +1,54 @@
+// Disclosure profiles: the entire disclosure-vs-k curve of one
+// bucketization, for every atom budget k in [0, max_k], from ONE forward
+// MINIMIZE2 sweep.
+//
+// The forward DP at budget max_k computes with_a[m][h] for every h <=
+// max_k, and column h runs exactly the float operations a dedicated sweep
+// at budget h would run (the recurrence for column h only reads columns
+// <= h of the previous row) — so element k of the profile is bit-identical
+// to MaxDisclosureImplications(k).disclosure, at (max_k)x fewer sweeps
+// than the historical per-k loop. Theorem 9's algebra makes each element
+// 1 / (1 + with_a[m][k]).
+//
+// Profiles are what curve-shaped consumers want: Figure 5 series, the
+// Theorem 14 monotonicity checks, and the multi-policy lattice search
+// that classifies one node against many (c_i, k_i) policies at once.
+// This header is deliberately dependency-free so search/ can consume
+// profiles without pulling in the bucketization machinery.
+
+#ifndef CKSAFE_CORE_PROFILE_H_
+#define CKSAFE_CORE_PROFILE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cksafe/util/check.h"
+
+namespace cksafe {
+
+/// Worst-case disclosure for every attacker power k in [0, max_k], for
+/// both adversary classes of Figure 5. Both curves are nondecreasing in k
+/// (more knowledge never hurts the attacker — the monotone-in-k half of
+/// the double monotonicity the multi-policy search prunes with).
+struct DisclosureProfile {
+  /// implication[k] = max disclosure w.r.t. L^k_basic (Definition 6).
+  std::vector<double> implication;
+  /// negation[k] = max disclosure w.r.t. k negated atoms.
+  std::vector<double> negation;
+
+  size_t max_k() const {
+    CKSAFE_CHECK(!implication.empty());
+    return implication.size() - 1;
+  }
+
+  /// Definition 13 read off the curve: max disclosure w.r.t. L^k_basic
+  /// is < c. Requires k <= max_k.
+  bool IsCkSafe(double c, size_t k) const {
+    CKSAFE_CHECK_LT(k, implication.size());
+    return implication[k] < c;
+  }
+};
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_CORE_PROFILE_H_

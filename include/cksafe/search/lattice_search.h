@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "cksafe/core/profile.h"
 #include "cksafe/lattice/lattice.h"
 #include "cksafe/util/thread_pool.h"
 
@@ -101,6 +102,91 @@ LatticeSearchResult FindMinimalSafeNodes(const GeneralizationLattice& lattice,
 std::optional<size_t> ChainBinarySearch(const std::vector<LatticeNode>& chain,
                                         const NodePredicate& is_safe,
                                         LatticeSearchStats* stats = nullptr);
+
+// --- Multi-policy search ----------------------------------------------------
+
+/// One tenant's (c,k)-safety policy (Definition 13 parameters).
+struct CkPolicy {
+  double c = 0.7;
+  size_t k = 3;
+
+  /// True iff safety under *this* policy implies safety under `other` at
+  /// the same node: this demands a lower threshold against a stronger
+  /// attacker (c <= other.c and k >= other.k), and disclosure is
+  /// nondecreasing in k. The policy half of the double monotonicity the
+  /// multi-policy search prunes with (the node half is Theorem 14).
+  bool Dominates(const CkPolicy& other) const {
+    return c <= other.c && k >= other.k;
+  }
+
+  bool operator==(const CkPolicy& other) const {
+    return c == other.c && k == other.k;
+  }
+};
+
+/// Evaluates one node's disclosure profile (all budgets 0..max_k at once —
+/// one MINIMIZE2 sweep). nullopt means the node cannot be bucketized and
+/// counts as unsafe under every policy. Must be thread safe when the
+/// search runs multi-threaded, like NodePredicate. Only the implication
+/// curve is consulted (IsCkSafe), so profilers on hot paths may leave
+/// `negation` empty.
+using NodeProfiler =
+    std::function<std::optional<DisclosureProfile>(const LatticeNode&)>;
+
+struct MultiPolicySearchOptions {
+  /// Worker threads for batched profile evaluations, including the caller;
+  /// <= 1 means sequential. Ignored when `pool` is set.
+  size_t num_threads = 1;
+  ThreadPool* pool = nullptr;
+};
+
+/// Shared-work counters of one multi-policy sweep. The per-policy
+/// LatticeSearchStats inside MultiPolicySearchResult mirror what a
+/// dedicated FindMinimalSafeNodes run would have counted (that is the
+/// differential contract); the counters here describe the work actually
+/// performed once for everyone: profiles_computed is the size of the
+/// UNION of the per-policy evaluation sets, not their sum. When one
+/// policy dominates another, every node the dominated policy still needs
+/// is also needed by the dominating one (Incognito prunes the dominated
+/// policy at least as early at every node), so for a domination chain
+/// profiles_computed collapses to exactly the strictest policy's
+/// evaluation count — the dominated tenants ride along for free. That is
+/// the cross-policy half of the double monotonicity; Theorem 14 ancestor
+/// pruning per policy is the lattice half.
+struct MultiPolicySearchStats {
+  uint64_t profiles_computed = 0;  ///< shared profile evaluations (union)
+  uint64_t verdicts = 0;           ///< per-policy verdicts needed
+                                   ///< (= Σ per-policy evaluations)
+
+  /// Verdicts answered by a profile some other policy already forced —
+  /// the work a per-tenant deployment would have duplicated.
+  uint64_t shared_verdicts() const { return verdicts - profiles_computed; }
+};
+
+/// Per-policy frontiers (indexed like `policies`) plus shared-work stats.
+struct MultiPolicySearchResult {
+  std::vector<LatticeSearchResult> per_policy;
+  MultiPolicySearchStats stats;
+};
+
+/// One bottom-up Incognito sweep serving every (c_i, k_i) policy at once:
+/// each surviving node's profile is evaluated ONCE (at max_i k_i) and
+/// classified against all policies, with two prunes layered on top of the
+/// shared evaluation —
+///  * per policy, Theorem 14: ancestors of a policy-safe node are implied
+///    safe for that policy (exactly the single-policy Incognito rule);
+///  * across policies, double monotonicity: the profile is nondecreasing
+///    in k, so one curve settles every (c_i, k_i) at once, and a policy
+///    dominated by another never forces a profile of its own (see
+///    MultiPolicySearchStats).
+/// Every per-policy result (nodes, order, and every LatticeSearchStats
+/// counter) is identical to an independent FindMinimalSafeNodes run with
+/// that policy's predicate, at any thread count — see the multi-policy
+/// differential test.
+MultiPolicySearchResult FindMinimalSafeNodesMultiPolicy(
+    const GeneralizationLattice& lattice, const NodeProfiler& profile_of,
+    const std::vector<CkPolicy>& policies,
+    const MultiPolicySearchOptions& options = {});
 
 }  // namespace cksafe
 

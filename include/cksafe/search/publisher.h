@@ -59,6 +59,17 @@ struct PublishedRelease {
   LatticeSearchStats search_stats;
 };
 
+/// Selects the best-utility node among `search.minimal_safe_nodes` and
+/// assembles the release (bucketization, utility, residual worst case,
+/// published permutation). NotFound when the frontier is empty. Shared by
+/// Publisher and the multi-tenant MultiPolicyPublisher, so a tenant's
+/// release from a shared multi-policy search is bit-identical to a
+/// dedicated Publisher run by construction.
+StatusOr<PublishedRelease> BuildReleaseFromSearch(
+    const Table& table, const std::vector<QuasiIdentifier>& qis,
+    size_t sensitive_column, const PublisherOptions& options,
+    DisclosureCache* cache, LatticeSearchResult search);
+
 /// Runs the search + selection + release pipeline.
 class Publisher {
  public:

@@ -71,6 +71,14 @@ class IncrementalAnalyzer {
   bool IsCkSafe(double c, size_t k);
   std::vector<double> PerBucketDisclosure(size_t k);
 
+  /// Both disclosure curves for every budget in [0, max_k], read off the
+  /// SAME row-granular forward sweep the point queries maintain: a delta
+  /// at bucket j recomputes only DP rows > j and the whole curve updates
+  /// with them. Bit-identical to a fresh DisclosureAnalyzer::Profile over
+  /// CurrentBucketization() (shared ImplicationCurveFromSweep /
+  /// NegationCurveOverBuckets code).
+  DisclosureProfile Profile(size_t max_k);
+
   // --- Introspection -----------------------------------------------------
 
   size_t num_buckets() const { return buckets_.size(); }

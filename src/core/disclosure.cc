@@ -160,6 +160,33 @@ BucketNegationBest ComputeBucketNegationBest(const BucketStats& stats,
   return best;
 }
 
+std::vector<double> ImplicationCurveFromSweep(const Minimize2Forward& dp) {
+  CKSAFE_CHECK_GT(dp.num_buckets(), 0u);
+  std::vector<double> curve(dp.k() + 1);
+  for (size_t h = 0; h <= dp.k(); ++h) {
+    const double r_min = dp.RMinAt(h);
+    CKSAFE_CHECK(r_min != kInf) << "no feasible atom placement";
+    curve[h] = 1.0 / (1.0 + r_min);
+  }
+  return curve;
+}
+
+std::vector<double> NegationCurveOverBuckets(
+    const std::vector<const BucketStats*>& stats, size_t max_k) {
+  CKSAFE_CHECK(!stats.empty());
+  std::vector<double> curve(max_k + 1);
+  for (size_t k = 0; k <= max_k; ++k) {
+    double best = -1.0;
+    for (const BucketStats* bucket : stats) {
+      const double local = ComputeBucketNegationBest(*bucket, k).disclosure;
+      if (local > best) best = local;
+    }
+    CKSAFE_CHECK_GE(best, 0.0);
+    curve[k] = best;
+  }
+  return curve;
+}
+
 DisclosureAnalyzer::DisclosureAnalyzer(const Bucketization& bucketization,
                                        DisclosureCache* cache)
     : bucketization_(bucketization),
@@ -228,25 +255,31 @@ std::vector<double> DisclosureAnalyzer::PerBucketDisclosure(size_t k) const {
                                   ComputeNoASuffix(inputs, k));
 }
 
+DisclosureProfile DisclosureAnalyzer::Profile(size_t max_k) const {
+  const std::vector<Minimize2Bucket> inputs = Minimize2Inputs(max_k + 1);
+  Minimize2Forward dp(max_k);
+  dp.Recompute(inputs, 0);
+
+  std::vector<const BucketStats*> stats(stats_.size());
+  for (size_t i = 0; i < stats_.size(); ++i) stats[i] = &stats_[i];
+
+  DisclosureProfile profile;
+  profile.implication = ImplicationCurveFromSweep(dp);
+  profile.negation = NegationCurveOverBuckets(stats, max_k);
+  return profile;
+}
+
 std::vector<double> DisclosureAnalyzer::ImplicationCurve(size_t max_k) const {
-  // Warm the shared tables once at the largest budget so per-k runs reuse
-  // them.
-  for (const BucketStats& stats : stats_) {
-    cache_->GetOrCompute(stats, max_k + 1);
-  }
-  std::vector<double> curve(max_k + 1);
-  for (size_t k = 0; k <= max_k; ++k) {
-    curve[k] = MaxDisclosureImplications(k).disclosure;
-  }
-  return curve;
+  const std::vector<Minimize2Bucket> inputs = Minimize2Inputs(max_k + 1);
+  Minimize2Forward dp(max_k);
+  dp.Recompute(inputs, 0);
+  return ImplicationCurveFromSweep(dp);
 }
 
 std::vector<double> DisclosureAnalyzer::NegationCurve(size_t max_k) const {
-  std::vector<double> curve(max_k + 1);
-  for (size_t k = 0; k <= max_k; ++k) {
-    curve[k] = MaxDisclosureNegations(k).disclosure;
-  }
-  return curve;
+  std::vector<const BucketStats*> stats(stats_.size());
+  for (size_t i = 0; i < stats_.size(); ++i) stats[i] = &stats_[i];
+  return NegationCurveOverBuckets(stats, max_k);
 }
 
 }  // namespace cksafe

@@ -94,9 +94,12 @@ void Minimize2Forward::Recompute(const std::vector<Minimize2Bucket>& buckets,
   }
 }
 
-double Minimize2Forward::RMin() const {
+double Minimize2Forward::RMin() const { return RMinAt(k_); }
+
+double Minimize2Forward::RMinAt(size_t h) const {
   CKSAFE_CHECK_GT(num_rows_, 0u) << "Recompute before querying";
-  return with_a_[RowIndex(num_rows_ - 1, k_)];
+  CKSAFE_CHECK_LE(h, k_);
+  return with_a_[RowIndex(num_rows_ - 1, h)];
 }
 
 std::vector<Minimize2Placement> Minimize2Forward::WitnessPlacements() const {

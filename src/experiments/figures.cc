@@ -16,15 +16,16 @@ StatusOr<Fig5Result> RunFigure5(const Table& table,
   CKSAFE_ASSIGN_OR_RETURN(
       Bucketization bucketization,
       BucketizeAtNode(table, qis, node, sensitive_column));
+  // One forward sweep yields both curves for every k (the profile path).
   DisclosureAnalyzer analyzer(bucketization);
-  const std::vector<double> implication = analyzer.ImplicationCurve(max_k);
-  const std::vector<double> negation = analyzer.NegationCurve(max_k);
+  const DisclosureProfile profile = analyzer.Profile(max_k);
 
   Fig5Result result;
   result.node = node;
   result.num_buckets = bucketization.num_buckets();
   for (size_t k = 0; k <= max_k; ++k) {
-    result.rows.push_back(Fig5Row{k, implication[k], negation[k]});
+    result.rows.push_back(Fig5Row{k, profile.implication[k],
+                                  profile.negation[k]});
   }
   return result;
 }
@@ -54,11 +55,10 @@ StatusOr<Fig6Result> RunFigure6(const Table& table,
     entry.node = node;
     entry.num_buckets = bucketization.num_buckets();
     entry.min_entropy_nats = bucketization.MinBucketEntropyNats();
-    const std::vector<double> curve = analyzer.ImplicationCurve(max_k);
-    const std::vector<double> neg_curve = analyzer.NegationCurve(max_k);
+    const DisclosureProfile profile = analyzer.Profile(max_k);
     for (size_t k : result.ks) {
-      entry.disclosure.push_back(curve[k]);
-      entry.negation_disclosure.push_back(neg_curve[k]);
+      entry.disclosure.push_back(profile.implication[k]);
+      entry.negation_disclosure.push_back(profile.negation[k]);
     }
     result.tables.push_back(std::move(entry));
   }

@@ -1,7 +1,9 @@
 #include "cksafe/search/lattice_search.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -147,6 +149,86 @@ LatticeSearchResult FindMinimalSafeNodes(const GeneralizationLattice& lattice,
   LatticeSearchOptions options;
   options.use_pruning = use_pruning;
   return FindMinimalSafeNodes(lattice, is_safe, options);
+}
+
+MultiPolicySearchResult FindMinimalSafeNodesMultiPolicy(
+    const GeneralizationLattice& lattice, const NodeProfiler& profile_of,
+    const std::vector<CkPolicy>& policies,
+    const MultiPolicySearchOptions& options) {
+  CKSAFE_CHECK(!policies.empty());
+  const size_t num_policies = policies.size();
+
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr && options.num_threads > 1) {
+    owned_pool = std::make_unique<ThreadPool>(options.num_threads - 1);
+    pool = owned_pool.get();
+  }
+
+  MultiPolicySearchResult result;
+  result.per_policy.resize(num_policies);
+  std::vector<std::unordered_set<uint64_t>> implied(num_policies);
+
+  for (size_t h = 0; h <= lattice.MaxHeight(); ++h) {
+    // Survivors of the level in lexicographic order, each with the set of
+    // policies still needing a verdict there; one shared profile per
+    // surviving node is batch-evaluated for all of them, then the level
+    // is consumed in its original order (per-policy frontier content AND
+    // order match the single-policy sweep). The per-policy counters are
+    // bumped exactly where a dedicated single-policy sweep would bump
+    // them, which is what keeps each per_policy entry bit-identical to an
+    // independent FindMinimalSafeNodes run.
+    std::vector<LatticeNode> level;
+    std::vector<std::vector<uint8_t>> needs;
+    for (LatticeNode& node : lattice.NodesAtHeight(h)) {
+      const uint64_t code = lattice.Encode(node);
+      std::vector<uint8_t> node_needs(num_policies, 0);
+      bool any_verdict = false;
+      for (size_t p = 0; p < num_policies; ++p) {
+        LatticeSearchStats& stats = result.per_policy[p].stats;
+        ++stats.nodes_visited;
+        if (implied[p].count(code) > 0) {
+          ++stats.implied_safe;
+          continue;
+        }
+        ++stats.evaluations;
+        ++result.stats.verdicts;
+        node_needs[p] = 1;
+        any_verdict = true;
+      }
+      if (!any_verdict) continue;
+      level.push_back(std::move(node));
+      needs.push_back(std::move(node_needs));
+    }
+
+    // One shared profile per surviving node, fanned out over the pool
+    // (results positional, so consumption stays deterministic). This is
+    // where the double monotonicity pays: the profile is nondecreasing in
+    // k, so a single curve classifies every (c_i, k_i) at once, and a
+    // dominated policy never forces a profile a dominating policy did not
+    // already require (its implied set is a superset, so its needs are a
+    // subset — see MultiPolicySearchStats).
+    std::vector<std::optional<DisclosureProfile>> profiles(level.size());
+    ParallelFor(pool, level.size(),
+                [&](size_t i) { profiles[i] = profile_of(level[i]); });
+    result.stats.profiles_computed += level.size();
+
+    for (size_t i = 0; i < level.size(); ++i) {
+      const std::optional<DisclosureProfile>& profile = profiles[i];
+      for (size_t p = 0; p < num_policies; ++p) {
+        if (needs[i][p] == 0) continue;
+        const bool is_node_safe =
+            profile.has_value() &&
+            profile->IsCkSafe(policies[p].c, policies[p].k);
+        if (!is_node_safe) continue;
+        // Bottom-up invariant per policy: a safe strict descendant would
+        // have marked this node implied-safe, so this node is minimal.
+        result.per_policy[p].minimal_safe_nodes.push_back(level[i]);
+        MarkAncestorsSafe(lattice, level[i], &implied[p]);
+      }
+    }
+  }
+  return result;
 }
 
 std::optional<size_t> ChainBinarySearch(const std::vector<LatticeNode>& chain,

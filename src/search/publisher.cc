@@ -15,6 +15,49 @@ StatusOr<PublishedRelease> Publisher::Publish(
   return Publish(table, qis, sensitive_column, &local_session);
 }
 
+StatusOr<PublishedRelease> BuildReleaseFromSearch(
+    const Table& table, const std::vector<QuasiIdentifier>& qis,
+    size_t sensitive_column, const PublisherOptions& options,
+    DisclosureCache* cache, LatticeSearchResult search) {
+  CKSAFE_CHECK(cache != nullptr);
+  if (search.minimal_safe_nodes.empty()) {
+    return Status::NotFound(StrFormat(
+        "no (c=%g, k=%zu)-safe generalization exists for this table",
+        options.c, options.k));
+  }
+
+  // Pick the minimal safe node with the best utility.
+  const LatticeNode* best_node = nullptr;
+  double best_score = 0.0;
+  for (const LatticeNode& node : search.minimal_safe_nodes) {
+    CKSAFE_ASSIGN_OR_RETURN(Bucketization b, BucketizeAtNode(table, qis, node,
+                                                             sensitive_column));
+    const UtilityMetrics metrics = ComputeUtility(table, qis, node, b);
+    const double score = UtilityScore(metrics, options.objective);
+    if (best_node == nullptr || score < best_score) {
+      best_node = &node;
+      best_score = score;
+    }
+  }
+  CKSAFE_CHECK(best_node != nullptr);
+
+  CKSAFE_ASSIGN_OR_RETURN(
+      Bucketization bucketization,
+      BucketizeAtNode(table, qis, *best_node, sensitive_column));
+  DisclosureAnalyzer analyzer(bucketization, cache);
+
+  PublishedRelease release{*best_node,
+                           bucketization,
+                           ComputeUtility(table, qis, *best_node, bucketization),
+                           analyzer.MaxDisclosureImplications(options.k),
+                           {},
+                           std::move(search.minimal_safe_nodes),
+                           search.stats};
+  Rng rng(options.seed);
+  release.published_sensitive = bucketization.SamplePublishedAssignment(&rng);
+  return release;
+}
+
 StatusOr<PublishedRelease> Publisher::Publish(
     const Table& table, const std::vector<QuasiIdentifier>& qis,
     size_t sensitive_column, PublishSession* session) const {
@@ -46,43 +89,12 @@ StatusOr<PublishedRelease> Publisher::Publish(
   LatticeSearchResult search =
       FindMinimalSafeNodes(lattice, is_safe, search_options);
   CKSAFE_RETURN_IF_ERROR(first_error);
-  if (search.minimal_safe_nodes.empty()) {
-    return Status::NotFound(StrFormat(
-        "no (c=%g, k=%zu)-safe generalization exists for this table",
-        options_.c, options_.k));
-  }
-
-  // Pick the minimal safe node with the best utility.
-  const LatticeNode* best_node = nullptr;
-  double best_score = 0.0;
-  for (const LatticeNode& node : search.minimal_safe_nodes) {
-    CKSAFE_ASSIGN_OR_RETURN(Bucketization b, BucketizeAtNode(table, qis, node,
-                                                             sensitive_column));
-    const UtilityMetrics metrics = ComputeUtility(table, qis, node, b);
-    const double score = UtilityScore(metrics, options_.objective);
-    if (best_node == nullptr || score < best_score) {
-      best_node = &node;
-      best_score = score;
-    }
-  }
-  CKSAFE_CHECK(best_node != nullptr);
-
   CKSAFE_ASSIGN_OR_RETURN(
-      Bucketization bucketization,
-      BucketizeAtNode(table, qis, *best_node, sensitive_column));
-  DisclosureAnalyzer analyzer(bucketization, &cache);
-
-  session->seed_frontier = search.minimal_safe_nodes;
+      PublishedRelease release,
+      BuildReleaseFromSearch(table, qis, sensitive_column, options_, &cache,
+                             std::move(search)));
+  session->seed_frontier = release.minimal_safe_nodes;
   ++session->releases;
-  PublishedRelease release{*best_node,
-                           bucketization,
-                           ComputeUtility(table, qis, *best_node, bucketization),
-                           analyzer.MaxDisclosureImplications(options_.k),
-                           {},
-                           std::move(search.minimal_safe_nodes),
-                           search.stats};
-  Rng rng(options_.seed);
-  release.published_sensitive = bucketization.SamplePublishedAssignment(&rng);
   return release;
 }
 

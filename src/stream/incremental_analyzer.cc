@@ -177,6 +177,21 @@ WorstCaseDisclosure IncrementalAnalyzer::MaxDisclosureNegations(size_t k) {
   return MaxNegationsOverBuckets(stats, members, k);
 }
 
+DisclosureProfile IncrementalAnalyzer::Profile(size_t max_k) {
+  CKSAFE_CHECK_GT(buckets_.size(), 0u)
+      << "cannot analyze an empty bucketization";
+  const std::vector<Minimize2Bucket> inputs = Inputs(max_k);
+  KState& state = UpToDate(max_k, inputs);
+
+  std::vector<const BucketStats*> stats(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) stats[i] = &buckets_[i].stats;
+
+  DisclosureProfile profile;
+  profile.implication = ImplicationCurveFromSweep(state.dp);
+  profile.negation = NegationCurveOverBuckets(stats, max_k);
+  return profile;
+}
+
 bool IncrementalAnalyzer::IsCkSafe(double c, size_t k) {
   return MaxDisclosureImplications(k).disclosure < c;
 }

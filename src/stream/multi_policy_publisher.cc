@@ -1,0 +1,100 @@
+#include "cksafe/stream/multi_policy_publisher.h"
+
+#include <algorithm>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace cksafe {
+
+MultiPolicyPublisher::MultiPolicyPublisher(Table initial,
+                                           std::vector<QuasiIdentifier> qis,
+                                           size_t sensitive_column,
+                                           PublisherOptions base)
+    : table_(std::move(initial)),
+      qis_(std::move(qis)),
+      sensitive_column_(sensitive_column),
+      base_(base) {
+  CKSAFE_CHECK_LT(sensitive_column_, table_.num_columns());
+  CKSAFE_CHECK(!qis_.empty());
+}
+
+size_t MultiPolicyPublisher::AddTenant(std::string tenant, double c,
+                                       size_t k) {
+  CKSAFE_CHECK_GT(c, 0.0);
+  tenants_.push_back(std::move(tenant));
+  policies_.push_back(CkPolicy{c, k});
+  return policies_.size() - 1;
+}
+
+Status MultiPolicyPublisher::AddBatch(
+    const std::vector<std::vector<int32_t>>& rows) {
+  for (const std::vector<int32_t>& row : rows) {
+    CKSAFE_RETURN_IF_ERROR(table_.AppendRow(row));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<TenantRelease>> MultiPolicyPublisher::PublishAll() {
+  if (policies_.empty()) {
+    return Status::InvalidArgument("no tenants registered; AddTenant first");
+  }
+  if (table_.num_rows() == 0) {
+    return Status::InvalidArgument("cannot publish an empty table");
+  }
+  if (!base_.use_pruning) {
+    // The multi-policy sweep IS the pruned Incognito algorithm; there is
+    // no exhaustive ablation path here, and silently running pruned would
+    // break the bit-identity-with-dedicated-Publisher contract for this
+    // setting (the ablation path orders frontiers differently).
+    return Status::InvalidArgument(
+        "MultiPolicyPublisher requires use_pruning; run per-tenant "
+        "Publishers for the exhaustive ablation");
+  }
+  const GeneralizationLattice lattice =
+      GeneralizationLattice::FromQuasiIdentifiers(qis_);
+  size_t max_k = 0;
+  for (const CkPolicy& policy : policies_) max_k = std::max(max_k, policy.k);
+
+  // One profile per node answers every tenant; the shared cache makes
+  // MINIMIZE1 tables recur across nodes and publishes exactly as in the
+  // single-tenant PublishSession.
+  Status first_error = Status::OK();
+  std::mutex error_mu;
+  const NodeProfiler profile_of =
+      [&](const LatticeNode& node) -> std::optional<DisclosureProfile> {
+    auto bucketization = BucketizeAtNode(table_, qis_, node, sensitive_column_);
+    if (!bucketization.ok()) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = bucketization.status();
+      return std::nullopt;
+    }
+    DisclosureAnalyzer analyzer(*bucketization, &cache_);
+    // Classification reads only the implication curve, so skip the
+    // negation scan on this hot path (NodeProfiler permits an empty
+    // negation curve).
+    DisclosureProfile profile;
+    profile.implication = analyzer.ImplicationCurve(max_k);
+    return profile;
+  };
+
+  MultiPolicySearchResult search = FindMinimalSafeNodesMultiPolicy(
+      lattice, profile_of, policies_, search_options_);
+  CKSAFE_RETURN_IF_ERROR(first_error);
+  last_search_stats_ = search.stats;
+
+  std::vector<TenantRelease> releases;
+  releases.reserve(policies_.size());
+  for (size_t i = 0; i < policies_.size(); ++i) {
+    PublisherOptions options = base_;
+    options.c = policies_[i].c;
+    options.k = policies_[i].k;
+    releases.push_back(TenantRelease{
+        tenants_[i], policies_[i],
+        BuildReleaseFromSearch(table_, qis_, sensitive_column_, options,
+                               &cache_, std::move(search.per_policy[i]))});
+  }
+  return releases;
+}
+
+}  // namespace cksafe

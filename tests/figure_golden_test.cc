@@ -57,7 +57,9 @@ TEST(FigureGoldenTest, Figure5CurvesMatchCheckedInValues) {
 
 TEST(FigureGoldenTest, AnalyzerCurvesMatchCheckedInValues) {
   // The same numbers through the DisclosureAnalyzer curve API directly —
-  // guards the analyzer entry points, not just the figure driver.
+  // guards the analyzer entry points, not just the figure driver. Since
+  // PR 3 these views run the one-sweep profile path, so this doubles as
+  // the proof that replacing the per-k loop was value-preserving.
   const Table table = GenerateSyntheticAdult(kFig5Rows, kSeed);
   auto qis = AdultQuasiIdentifiers();
   ASSERT_TRUE(qis.ok()) << qis.status();
@@ -73,6 +75,34 @@ TEST(FigureGoldenTest, AnalyzerCurvesMatchCheckedInValues) {
   for (size_t k = 0; k < imp.size(); ++k) {
     EXPECT_NEAR(imp[k], kFig5Implication[k], kGoldenEps) << "k=" << k;
     EXPECT_NEAR(neg[k], kFig5Negation[k], kGoldenEps) << "k=" << k;
+  }
+}
+
+TEST(FigureGoldenTest, OneSweepProfileMatchesCheckedInValues) {
+  // The DisclosureProfile entry point itself: the entire curve from ONE
+  // MINIMIZE2 sweep must reproduce the same checked-in goldens the
+  // historical per-k loop produced (and via point queries still
+  // produces), element for element at 1e-12.
+  const Table table = GenerateSyntheticAdult(kFig5Rows, kSeed);
+  auto qis = AdultQuasiIdentifiers();
+  ASSERT_TRUE(qis.ok()) << qis.status();
+  auto b = BucketizeAtNode(table, *qis, AdultFigure5Node(),
+                           kAdultOccupationColumn);
+  ASSERT_TRUE(b.ok()) << b.status();
+  DisclosureAnalyzer analyzer(*b);
+  const DisclosureProfile profile =
+      analyzer.Profile(kFig5Implication.size() - 1);
+  ASSERT_EQ(profile.implication.size(), kFig5Implication.size());
+  ASSERT_EQ(profile.negation.size(), kFig5Negation.size());
+  for (size_t k = 0; k < profile.implication.size(); ++k) {
+    EXPECT_NEAR(profile.implication[k], kFig5Implication[k], kGoldenEps)
+        << "k=" << k;
+    EXPECT_NEAR(profile.negation[k], kFig5Negation[k], kGoldenEps)
+        << "k=" << k;
+    // And each element is exactly the per-k point query.
+    EXPECT_EQ(profile.implication[k],
+              analyzer.MaxDisclosureImplications(k).disclosure)
+        << "k=" << k;
   }
 }
 

@@ -1,0 +1,338 @@
+// Differential oracle for the multi-policy lattice search.
+//
+// The contract under test: FindMinimalSafeNodesMultiPolicy's per-policy
+// results are IDENTICAL — frontier nodes, their order, and every
+// LatticeSearchStats counter — to independent FindMinimalSafeNodes runs
+// with each policy's point predicate, for random lattices/profiles and
+// for real (c,k)-safety over real tables, at 1, 2, and 8 threads. On top
+// of bit-identity, the shared sweep must actually share:
+// profiles_computed <= the sum of per-policy evaluations (collapsing to
+// the strictest policy's count on a domination chain), and the
+// MultiPolicyPublisher's per-tenant releases must equal dedicated
+// Publisher runs.
+
+#include "cksafe/search/lattice_search.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cksafe/adult/adult.h"
+#include "cksafe/anon/bucketization.h"
+#include "cksafe/core/disclosure.h"
+#include "cksafe/search/publisher.h"
+#include "cksafe/stream/multi_policy_publisher.h"
+#include "cksafe/util/random.h"
+#include "testing_util.h"
+
+namespace cksafe {
+namespace {
+
+void ExpectIdenticalResults(const LatticeSearchResult& expected,
+                            const LatticeSearchResult& actual,
+                            const std::string& label) {
+  EXPECT_EQ(expected.minimal_safe_nodes, actual.minimal_safe_nodes) << label;
+  EXPECT_EQ(expected.stats.nodes_visited, actual.stats.nodes_visited) << label;
+  EXPECT_EQ(expected.stats.evaluations, actual.stats.evaluations) << label;
+  EXPECT_EQ(expected.stats.implied_safe, actual.stats.implied_safe) << label;
+  EXPECT_EQ(expected.stats.seed_evaluations, 0u) << label;
+  EXPECT_EQ(expected.stats.seed_reused, 0u) << label;
+}
+
+// A random synthetic profiler: disclosure decreases with (weighted) node
+// height and increases with k — monotone on the lattice (Theorem 14) and
+// nondecreasing in k, like the real thing, but cheap enough for many
+// random trials.
+NodeProfiler RandomProfiler(Rng* rng, size_t num_attributes, size_t max_k) {
+  std::vector<double> weights(num_attributes);
+  for (double& w : weights) w = 1.0 + static_cast<double>(rng->NextBelow(3));
+  const double slope = 0.02 + 0.1 * rng->NextDouble();
+  return [weights, slope,
+          max_k](const LatticeNode& node) -> std::optional<DisclosureProfile> {
+    double height = 0.0;
+    for (size_t i = 0; i < node.size(); ++i) height += weights[i] * node[i];
+    DisclosureProfile profile;
+    for (size_t k = 0; k <= max_k; ++k) {
+      const double d =
+          std::min(1.0, 1.0 / (1.0 + 0.35 * height) + slope * k);
+      profile.implication.push_back(d);
+      profile.negation.push_back(d);
+    }
+    return profile;
+  };
+}
+
+std::vector<CkPolicy> RandomPolicies(Rng* rng, size_t count, size_t max_k) {
+  std::vector<CkPolicy> policies(count);
+  for (CkPolicy& policy : policies) {
+    policy.c = 0.05 + 0.95 * rng->NextDouble();
+    policy.k = rng->NextBelow(max_k + 1);
+  }
+  return policies;
+}
+
+// The independent-run oracle: one FindMinimalSafeNodes per policy, its
+// predicate reading the same profile source.
+std::vector<LatticeSearchResult> IndependentRuns(
+    const GeneralizationLattice& lattice, const NodeProfiler& profile_of,
+    const std::vector<CkPolicy>& policies) {
+  std::vector<LatticeSearchResult> results;
+  for (const CkPolicy& policy : policies) {
+    const NodePredicate is_safe = [&](const LatticeNode& node) {
+      const std::optional<DisclosureProfile> profile = profile_of(node);
+      return profile.has_value() && profile->IsCkSafe(policy.c, policy.k);
+    };
+    results.push_back(FindMinimalSafeNodes(lattice, is_safe,
+                                           LatticeSearchOptions{}));
+  }
+  return results;
+}
+
+void ExpectMatchesIndependentRuns(const GeneralizationLattice& lattice,
+                                  const NodeProfiler& profile_of,
+                                  const std::vector<CkPolicy>& policies,
+                                  const std::string& label) {
+  const std::vector<LatticeSearchResult> independent =
+      IndependentRuns(lattice, profile_of, policies);
+  uint64_t total_evaluations = 0;
+  for (const LatticeSearchResult& run : independent) {
+    total_evaluations += run.stats.evaluations;
+  }
+
+  for (const size_t threads : {1u, 2u, 8u}) {
+    MultiPolicySearchOptions options;
+    options.num_threads = threads;
+    const MultiPolicySearchResult multi = FindMinimalSafeNodesMultiPolicy(
+        lattice, profile_of, policies, options);
+    ASSERT_EQ(multi.per_policy.size(), policies.size());
+    const std::string sub = label + " threads=" + std::to_string(threads);
+    for (size_t p = 0; p < policies.size(); ++p) {
+      ExpectIdenticalResults(independent[p], multi.per_policy[p],
+                             sub + " policy=" + std::to_string(p));
+    }
+    // The whole point of the shared sweep: one profile answers every
+    // policy, so shared work (the union of per-policy evaluation sets)
+    // never exceeds the independent total.
+    EXPECT_EQ(multi.stats.verdicts, total_evaluations) << sub;
+    EXPECT_LE(multi.stats.profiles_computed, total_evaluations) << sub;
+    EXPECT_EQ(multi.stats.shared_verdicts(),
+              total_evaluations - multi.stats.profiles_computed)
+        << sub;
+  }
+}
+
+TEST(MultiPolicySearchTest, RandomLatticesMatchIndependentRuns) {
+  Rng rng(20260726);
+  const GeneralizationLattice lattice({4, 3, 3, 2});
+  constexpr size_t kMaxK = 6;
+  for (int trial = 0; trial < 8; ++trial) {
+    const NodeProfiler profile_of =
+        RandomProfiler(&rng, lattice.num_attributes(), kMaxK);
+    const size_t count = 3 + rng.NextBelow(4);  // 3..6 policies
+    const std::vector<CkPolicy> policies =
+        RandomPolicies(&rng, count, kMaxK);
+    ExpectMatchesIndependentRuns(lattice, profile_of, policies,
+                                 "trial " + std::to_string(trial));
+  }
+}
+
+TEST(MultiPolicySearchTest, RealCkSafetyMatchesIndependentRuns) {
+  // The production shape: real (c,k)-safety profiles over synthetic Adult,
+  // every policy answered from one shared cache.
+  const Table table = GenerateSyntheticAdult(/*num_rows=*/120, /*seed=*/7);
+  auto qis = AdultQuasiIdentifiers();
+  ASSERT_TRUE(qis.ok()) << qis.status();
+  const GeneralizationLattice lattice =
+      GeneralizationLattice::FromQuasiIdentifiers(*qis);
+
+  Rng rng(42);
+  for (int trial = 0; trial < 3; ++trial) {
+    const size_t count = 3 + rng.NextBelow(4);
+    std::vector<CkPolicy> policies = RandomPolicies(&rng, count, 4);
+    // Keep thresholds in the interesting band where frontiers are
+    // non-trivial on this table.
+    for (CkPolicy& policy : policies) policy.c = 0.5 + policy.c * 0.45;
+
+    size_t max_k = 0;
+    for (const CkPolicy& policy : policies) {
+      max_k = std::max(max_k, policy.k);
+    }
+    DisclosureCache cache;
+    const NodeProfiler profile_of =
+        [&](const LatticeNode& node) -> std::optional<DisclosureProfile> {
+      auto b = BucketizeAtNode(table, *qis, node, kAdultOccupationColumn);
+      CKSAFE_CHECK(b.ok()) << b.status().ToString();
+      return DisclosureAnalyzer(*b, &cache).Profile(max_k);
+    };
+    // The independent oracle uses the POINT path (MaxDisclosureImplications
+    // via IsCkSafe), not the profile: agreement additionally proves the
+    // one-sweep curve classifies exactly like per-k point queries.
+    std::vector<LatticeSearchResult> independent;
+    for (const CkPolicy& policy : policies) {
+      DisclosureCache fresh_cache;
+      const NodePredicate is_safe = [&](const LatticeNode& node) {
+        auto b = BucketizeAtNode(table, *qis, node, kAdultOccupationColumn);
+        CKSAFE_CHECK(b.ok()) << b.status().ToString();
+        return DisclosureAnalyzer(*b, &fresh_cache)
+            .IsCkSafe(policy.c, policy.k);
+      };
+      independent.push_back(FindMinimalSafeNodes(lattice, is_safe,
+                                                 LatticeSearchOptions{}));
+    }
+
+    for (const size_t threads : {1u, 2u, 8u}) {
+      MultiPolicySearchOptions options;
+      options.num_threads = threads;
+      const MultiPolicySearchResult multi =
+          FindMinimalSafeNodesMultiPolicy(lattice, profile_of, policies,
+                                          options);
+      for (size_t p = 0; p < policies.size(); ++p) {
+        ExpectIdenticalResults(independent[p], multi.per_policy[p],
+                               "trial " + std::to_string(trial) +
+                                   " threads=" + std::to_string(threads) +
+                                   " policy=" + std::to_string(p));
+      }
+    }
+  }
+}
+
+TEST(MultiPolicySearchTest, DominationChainCollapsesProfilesToStrictest) {
+  // Double monotonicity across policies: when policy 0 dominates every
+  // other (lowest c, highest k), any node a dominated policy still needs
+  // is also needed by policy 0 (its implied-safe set is a superset of
+  // policy 0's at every level). The shared profile set therefore
+  // collapses to EXACTLY the strictest policy's evaluation set — three
+  // dominated tenants ride along for free.
+  const GeneralizationLattice lattice({4, 3, 3, 2});
+  Rng rng(9);
+  const std::vector<CkPolicy> policies = {
+      {0.45, 4}, {0.55, 3}, {0.7, 2}, {0.85, 1}};
+  for (size_t p = 1; p < policies.size(); ++p) {
+    ASSERT_TRUE(policies[0].Dominates(policies[p]));
+  }
+  for (int trial = 0; trial < 5; ++trial) {
+    const NodeProfiler profile_of =
+        RandomProfiler(&rng, lattice.num_attributes(), 4);
+    const MultiPolicySearchResult multi = FindMinimalSafeNodesMultiPolicy(
+        lattice, profile_of, policies, MultiPolicySearchOptions{});
+    EXPECT_EQ(multi.stats.profiles_computed,
+              multi.per_policy[0].stats.evaluations)
+        << "trial " << trial;
+    EXPECT_EQ(multi.stats.shared_verdicts(),
+              multi.per_policy[1].stats.evaluations +
+                  multi.per_policy[2].stats.evaluations +
+                  multi.per_policy[3].stats.evaluations)
+        << "trial " << trial;
+  }
+}
+
+TEST(MultiPolicyPublisherTest, TenantReleasesMatchDedicatedPublishers) {
+  const Table adult = GenerateSyntheticAdult(240, 11);
+  auto qis = AdultQuasiIdentifiers();
+  ASSERT_TRUE(qis.ok()) << qis.status();
+  PublisherOptions base;
+  base.objective = UtilityObjective::kDiscernibility;
+
+  struct Tenant {
+    const char* name;
+    double c;
+    size_t k;
+  };
+  const Tenant tenants[] = {
+      {"strict", 0.7, 3}, {"medium", 0.8, 2}, {"loose", 0.9, 1},
+      {"impossible", 0.05, 4}};
+
+  MultiPolicyPublisher multi(adult, *qis, kAdultOccupationColumn, base);
+  for (const Tenant& tenant : tenants) {
+    multi.AddTenant(tenant.name, tenant.c, tenant.k);
+  }
+  auto releases = multi.PublishAll();
+  ASSERT_TRUE(releases.ok()) << releases.status();
+  ASSERT_EQ(releases->size(), std::size(tenants));
+  EXPECT_GT(multi.last_search_stats().profiles_computed, 0u);
+  EXPECT_GE(multi.last_search_stats().verdicts,
+            multi.last_search_stats().profiles_computed);
+
+  for (size_t i = 0; i < std::size(tenants); ++i) {
+    const TenantRelease& tenant_release = (*releases)[i];
+    EXPECT_EQ(tenant_release.tenant, tenants[i].name);
+    PublisherOptions options = base;
+    options.c = tenants[i].c;
+    options.k = tenants[i].k;
+    const Publisher dedicated(options);
+    auto expected = dedicated.Publish(adult, *qis, kAdultOccupationColumn);
+    ASSERT_EQ(expected.ok(), tenant_release.release.ok()) << tenants[i].name;
+    if (!expected.ok()) {
+      EXPECT_EQ(expected.status().code(), tenant_release.release.status().code())
+          << tenants[i].name;
+      continue;
+    }
+    EXPECT_EQ(expected->node, tenant_release.release->node) << tenants[i].name;
+    EXPECT_EQ(expected->minimal_safe_nodes,
+              tenant_release.release->minimal_safe_nodes)
+        << tenants[i].name;
+    EXPECT_EQ(expected->worst_case.disclosure,
+              tenant_release.release->worst_case.disclosure)
+        << tenants[i].name;
+    EXPECT_EQ(expected->published_sensitive,
+              tenant_release.release->published_sensitive)
+        << tenants[i].name;
+  }
+}
+
+TEST(MultiPolicyPublisherTest, StreamingBatchesKeepTenantsConsistent) {
+  // Growth via AddBatch: every PublishAll over the grown table must still
+  // match dedicated publishers over the same prefix.
+  const Table adult = GenerateSyntheticAdult(200, 3);
+  auto qis = AdultQuasiIdentifiers();
+  ASSERT_TRUE(qis.ok()) << qis.status();
+  PublisherOptions base;
+
+  Table initial(adult.schema());
+  auto row_cells = [&](size_t row) {
+    std::vector<int32_t> cells(adult.num_columns());
+    for (size_t c = 0; c < adult.num_columns(); ++c) {
+      cells[c] = adult.at(static_cast<PersonId>(row), c);
+    }
+    return cells;
+  };
+  for (size_t r = 0; r < 120; ++r) {
+    ASSERT_TRUE(initial.AppendRow(row_cells(r)).ok());
+  }
+
+  MultiPolicyPublisher multi(std::move(initial), *qis,
+                             kAdultOccupationColumn, base);
+  multi.AddTenant("a", 0.8, 2);
+  multi.AddTenant("b", 0.9, 1);
+
+  for (int batch = 0; batch < 2; ++batch) {
+    if (batch > 0) {
+      std::vector<std::vector<int32_t>> rows;
+      for (size_t r = 120; r < 200; ++r) rows.push_back(row_cells(r));
+      ASSERT_TRUE(multi.AddBatch(rows).ok());
+    }
+    auto releases = multi.PublishAll();
+    ASSERT_TRUE(releases.ok()) << releases.status();
+    for (const TenantRelease& tenant_release : *releases) {
+      PublisherOptions options = base;
+      options.c = tenant_release.policy.c;
+      options.k = tenant_release.policy.k;
+      auto expected = Publisher(options).Publish(multi.table(), *qis,
+                                                 kAdultOccupationColumn);
+      ASSERT_TRUE(expected.ok()) << expected.status();
+      ASSERT_TRUE(tenant_release.release.ok())
+          << tenant_release.release.status();
+      EXPECT_EQ(expected->node, tenant_release.release->node);
+      EXPECT_EQ(expected->published_sensitive,
+                tenant_release.release->published_sensitive);
+    }
+  }
+  // The session cache persisted across tenants and batches.
+  EXPECT_GT(multi.cache().hits(), 0u);
+}
+
+}  // namespace
+}  // namespace cksafe

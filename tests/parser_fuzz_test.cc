@@ -1,0 +1,184 @@
+// Deterministic round-trip fuzz for the knowledge-formula parser.
+//
+// Two properties, over a seeded generator (so failures reproduce):
+//  * parse → print → parse is a fixed point: printing a parsed formula
+//    and re-parsing it yields the same implications and the same printed
+//    text — the textual format loses nothing the parser accepts;
+//  * malformed input NEVER crashes: random mutations of valid lines and a
+//    corpus of adversarial shapes must come back as Status errors (or
+//    parse cleanly), not as CHECK failures or memory errors. The CI
+//    sanitizer job runs this binary explicitly under ASan+UBSan.
+
+#include "cksafe/knowledge/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cksafe/knowledge/formula.h"
+#include "cksafe/util/random.h"
+#include "testing_util.h"
+
+namespace cksafe {
+namespace {
+
+Atom RandomAtom(Rng* rng, size_t num_rows, size_t domain) {
+  return Atom{static_cast<PersonId>(rng->NextBelow(num_rows)),
+              static_cast<int32_t>(rng->NextBelow(domain))};
+}
+
+// A random formula in the textual format: implication lines with 1-3
+// atoms per side, negation sugar lines, comments, and blank lines.
+std::string RandomDocument(Rng* rng, const KnowledgePrinter& printer,
+                           size_t num_rows, size_t domain) {
+  std::string text;
+  const size_t lines = 1 + rng->NextBelow(6);
+  for (size_t i = 0; i < lines; ++i) {
+    const uint64_t kind = rng->NextBelow(8);
+    if (kind == 0) {
+      text += "# a comment line\n";
+      continue;
+    }
+    if (kind == 1) {
+      text += "\n";
+      continue;
+    }
+    if (kind == 2) {
+      // Negation sugar over a multi-value domain.
+      text += "! " + printer.AtomToString(RandomAtom(rng, num_rows, domain)) +
+              "\n";
+      continue;
+    }
+    BasicImplication imp;
+    const size_t lhs = 1 + rng->NextBelow(3);
+    const size_t rhs = 1 + rng->NextBelow(3);
+    for (size_t a = 0; a < lhs; ++a) {
+      imp.antecedents.push_back(RandomAtom(rng, num_rows, domain));
+    }
+    for (size_t b = 0; b < rhs; ++b) {
+      imp.consequents.push_back(RandomAtom(rng, num_rows, domain));
+    }
+    text += printer.ImplicationToString(imp) + "\n";
+  }
+  return text;
+}
+
+// Renders a formula one implication per line — the parser's document
+// format (FormulaToString's " AND " join is for humans, not round trips).
+std::string ToDocument(const KnowledgePrinter& printer,
+                       const KnowledgeFormula& formula) {
+  std::string text;
+  for (const BasicImplication& imp : formula.implications()) {
+    text += printer.ImplicationToString(imp) + "\n";
+  }
+  return text;
+}
+
+void ExpectSameFormula(const KnowledgeFormula& a, const KnowledgeFormula& b) {
+  ASSERT_EQ(a.k(), b.k());
+  for (size_t i = 0; i < a.k(); ++i) {
+    EXPECT_EQ(a.implications()[i].antecedents, b.implications()[i].antecedents)
+        << "implication " << i;
+    EXPECT_EQ(a.implications()[i].consequents, b.implications()[i].consequents)
+        << "implication " << i;
+  }
+}
+
+TEST(ParserFuzzTest, ParsePrintParseIsAFixedPoint) {
+  const Table table = testing::MakeHospitalTable();
+  const size_t sensitive = testing::kHospitalSensitiveColumn;
+  const size_t domain =
+      static_cast<size_t>(table.schema().attribute(sensitive).max_value()) + 1;
+  const KnowledgeParser parser(table, sensitive);
+  const KnowledgePrinter printer(table, sensitive);
+  Rng rng(20260726);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string text =
+        RandomDocument(&rng, printer, table.num_rows(), domain);
+    auto first = parser.ParseFormula(text);
+    ASSERT_TRUE(first.ok()) << first.status() << "\ninput:\n" << text;
+
+    const std::string printed = ToDocument(printer, *first);
+    auto second = parser.ParseFormula(printed);
+    ASSERT_TRUE(second.ok()) << second.status() << "\nprinted:\n" << printed;
+    ExpectSameFormula(*first, *second);
+    // The printed form is the fixed point: printing again is a no-op.
+    EXPECT_EQ(ToDocument(printer, *second), printed);
+  }
+}
+
+TEST(ParserFuzzTest, MalformedCorpusReturnsErrorsNotCrashes) {
+  const Table table = testing::MakeHospitalTable();
+  const KnowledgeParser parser(table, testing::kHospitalSensitiveColumn);
+  const std::vector<std::string> corpus = {
+      "t[",
+      "t[Bob",
+      "t[Bob]",
+      "t[Bob].",
+      "t[Bob].Disease",
+      "t[Bob].Disease=",
+      "t[Bob].Disease=flu",          // atom alone: no '->'
+      "->",
+      "-> t[Bob].Disease=flu",
+      "t[Bob].Disease=flu ->",
+      "t[Bob].Disease=flu -> t[Bob].Disease",
+      "t[Nobody].Disease=flu -> t[Bob].Disease=flu",
+      "t[Bob].Age=23 -> t[Bob].Disease=flu",       // non-sensitive attribute
+      "t[Bob].Disease=plague -> t[Bob].Disease=flu",  // unknown value
+      "t[Bob].Disease=flu & -> t[Bob].Disease=flu",
+      "t[Bob].Disease=flu -> | t[Bob].Disease=flu",
+      "!",
+      "! t[Bob]",
+      "!! t[Bob].Disease=flu",
+      "t]Bob[.Disease=flu -> t[Bob].Disease=flu",
+      std::string(1, '\0') + "t[Bob].Disease=flu",
+      std::string(4096, 'x'),
+  };
+  for (const std::string& line : corpus) {
+    auto result = parser.ParseFormula(line);
+    EXPECT_FALSE(result.ok()) << "accepted malformed input: " << line;
+  }
+}
+
+TEST(ParserFuzzTest, RandomMutationsNeverCrash) {
+  const Table table = testing::MakeHospitalTable();
+  const size_t sensitive = testing::kHospitalSensitiveColumn;
+  const size_t domain =
+      static_cast<size_t>(table.schema().attribute(sensitive).max_value()) + 1;
+  const KnowledgeParser parser(table, sensitive);
+  const KnowledgePrinter printer(table, sensitive);
+  Rng rng(4242);
+  const std::string alphabet = "t[].=&|->! #\nBobDisease\tflu\"\\%";
+
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text =
+        RandomDocument(&rng, printer, table.num_rows(), domain);
+    const size_t mutations = 1 + rng.NextBelow(8);
+    for (size_t m = 0; m < mutations && !text.empty(); ++m) {
+      const size_t pos = rng.NextBelow(text.size());
+      switch (rng.NextBelow(3)) {
+        case 0:  // replace
+          text[pos] = alphabet[rng.NextBelow(alphabet.size())];
+          break;
+        case 1:  // insert
+          text.insert(text.begin() + pos,
+                      alphabet[rng.NextBelow(alphabet.size())]);
+          break;
+        default:  // delete a span
+          text.erase(pos, 1 + rng.NextBelow(4));
+          break;
+      }
+    }
+    // Any outcome is fine except a crash; on success the result must be a
+    // valid formula (never an implication with an empty side).
+    auto result = parser.ParseFormula(text);
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate().ok()) << "input:\n" << text;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cksafe

@@ -76,7 +76,23 @@ TEST(StreamingDifferentialTest, RandomStreamsMatchFreshAnalyzerBitForBit) {
       RandomDelta(&rng, kDomain, &inc);
       const Bucketization reference = inc.CurrentBucketization();
       DisclosureAnalyzer fresh(reference);
+      // Whole curves first: the incremental profile (updated via DP-row
+      // reuse) must equal a fresh one-sweep profile element-for-element,
+      // and both curves must be nondecreasing in k.
+      const DisclosureProfile inc_profile = inc.Profile(4);
+      const DisclosureProfile fresh_profile = fresh.Profile(4);
+      ASSERT_EQ(inc_profile.implication, fresh_profile.implication)
+          << "trial " << trial << " step " << step;
+      ASSERT_EQ(inc_profile.negation, fresh_profile.negation)
+          << "trial " << trial << " step " << step;
+      for (size_t k = 1; k <= inc_profile.max_k(); ++k) {
+        EXPECT_GE(inc_profile.implication[k], inc_profile.implication[k - 1]);
+        EXPECT_GE(inc_profile.negation[k], inc_profile.negation[k - 1]);
+      }
       for (size_t k = 0; k <= 4; ++k) {
+        // The curve element equals the point query bit-for-bit.
+        EXPECT_EQ(inc_profile.implication[k],
+                  fresh.MaxDisclosureImplications(k).disclosure);
         ExpectIdentical(inc.MaxDisclosureImplications(k),
                         fresh.MaxDisclosureImplications(k));
         ExpectIdentical(inc.MaxDisclosureNegations(k),
@@ -144,8 +160,12 @@ TEST(StreamingDifferentialTest, MatchesExactOracleOnTinyStreams) {
       const Bucketization reference = inc.CurrentBucketization();
       auto engine = ExactEngine::Create(reference);
       ASSERT_TRUE(engine.ok()) << engine.status();
+      const DisclosureProfile profile = inc.Profile(2);
       for (size_t k = 0; k <= 2; ++k) {
         const WorstCaseDisclosure dp = inc.MaxDisclosureImplications(k);
+        // The streaming profile agrees with the point query and (below)
+        // with the world-enumeration oracle.
+        EXPECT_EQ(profile.implication[k], dp.disclosure);
         auto brute = engine->MaxDisclosureSimpleImplications(
             k, /*same_consequent=*/true);
         ASSERT_TRUE(brute.ok()) << brute.status();

@@ -1,0 +1,218 @@
+// Experiment E9 (DESIGN.md §9.4): the PR-4 disclosure kernel — log-space
+// rows, arena reuse, tiled scans with monotone-argmin pruning — against a
+// verbatim reproduction of the historical linear-domain kernel (chained
+// double products, full O(k) scan per cell, fresh vectors per node).
+//
+// Each iteration computes the full disclosure profile sweep (every budget
+// h <= k from one forward pass) the way the lattice searches consume it.
+// On non-underflowing workloads the two kernels must agree: every
+// iteration CHECKs the curves against each other at 1e-9 relative before
+// the timing counts. Tracked run: BENCH_PR4.json.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "cksafe/core/logprob.h"
+#include "cksafe/core/minimize2.h"
+#include "cksafe/util/check.h"
+#include "cksafe/util/random.h"
+
+namespace cksafe {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Random descending histograms over a 14-value domain, as the Adult-style
+// workloads produce them; tables are prebuilt and shared (the cache does
+// that in production), so the timing isolates the sweep itself.
+std::vector<Minimize2Bucket> RandomInputs(size_t num_buckets, size_t budget,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::shared_ptr<const Minimize1Table>> tables;
+  std::vector<Minimize2Bucket> inputs;
+  for (size_t i = 0; i < num_buckets; ++i) {
+    std::vector<uint32_t> histogram(14, 0);
+    const uint32_t size = 2 + static_cast<uint32_t>(rng.NextBelow(24));
+    for (uint32_t t = 0; t < size; ++t) ++histogram[rng.NextBelow(14)];
+    std::sort(histogram.begin(), histogram.end(), std::greater<uint32_t>());
+    while (histogram.back() == 0) histogram.pop_back();
+    // A handful of distinct tables: reuse one in four to mimic the
+    // histogram dedup the DisclosureCache provides.
+    if (tables.size() < 4 || rng.NextBelow(4) == 0) {
+      tables.push_back(
+          std::make_shared<const Minimize1Table>(histogram, budget));
+    }
+    const auto& table = tables[rng.NextBelow(tables.size())];
+    // ratio = n_b / n_b(s0), recovered from the table itself:
+    // MinProbability(1) = (n - c0) / n  =>  c0 = n (1 - p1).
+    const double p1 = std::exp(table->MinLogProbability(1));
+    const double c0 = std::max(
+        1.0, std::round(static_cast<double>(table->n()) * (1.0 - p1)));
+    inputs.push_back(
+        Minimize2Bucket{table, static_cast<double>(table->n()) / c0});
+  }
+  return inputs;
+}
+
+// The historical kernel, verbatim: linear-domain forward sweep, fresh
+// vectors per invocation, unpruned O(k) scans. Per-bucket minima are read
+// from memoized linear arrays, exactly as the pre-PR4 Minimize1Table
+// served them (the exp() the linear view costs today must not be billed
+// to the baseline). Returns with_a[m][h].
+std::vector<double> LinearKernelProfile(
+    const std::vector<Minimize2Bucket>& buckets,
+    const std::vector<const double*>& linear_min, size_t k) {
+  const size_t m = buckets.size();
+  const size_t width = k + 1;
+  std::vector<double> no_a((m + 1) * width, kInf);
+  std::vector<double> with_a((m + 1) * width, kInf);
+  no_a[0] = 1.0;
+  for (size_t i = 1; i <= m; ++i) {
+    const double* min_prob = linear_min[i - 1];
+    const double ratio = buckets[i - 1].ratio;
+    for (size_t h = 0; h < width; ++h) {
+      double best = kInf;
+      double best_w = kInf;
+      for (size_t t = 0; t <= h; ++t) {
+        const double head = no_a[(i - 1) * width + (h - t)];
+        if (head != kInf) {
+          best = std::min(best, min_prob[t] * head);
+          best_w = std::min(best_w, min_prob[t + 1] * ratio * head);
+        }
+        const double head_with = with_a[(i - 1) * width + (h - t)];
+        if (head_with != kInf) {
+          best_w = std::min(best_w, min_prob[t] * head_with);
+        }
+      }
+      no_a[i * width + h] = best;
+      with_a[i * width + h] = best_w;
+    }
+  }
+  return std::vector<double>(with_a.begin() + m * width, with_a.end());
+}
+
+// Memoized linear minima per bucket (aliasing shared tables), budget k+1.
+struct LinearTables {
+  std::vector<std::vector<double>> storage;   // one per distinct table
+  std::vector<const double*> per_bucket;      // aliases into storage
+};
+
+LinearTables MaterializeLinearMinima(
+    const std::vector<Minimize2Bucket>& buckets, size_t k) {
+  LinearTables out;
+  std::vector<const Minimize1Table*> seen;
+  for (const Minimize2Bucket& bucket : buckets) {
+    size_t index = seen.size();
+    for (size_t i = 0; i < seen.size(); ++i) {
+      if (seen[i] == bucket.table.get()) index = i;
+    }
+    if (index == seen.size()) {
+      seen.push_back(bucket.table.get());
+      std::vector<double> linear(k + 2);
+      for (size_t t = 0; t <= k + 1; ++t) {
+        linear[t] = bucket.table->MinProbability(t);
+      }
+      out.storage.push_back(std::move(linear));
+    }
+    out.per_bucket.push_back(nullptr);  // fixed up below (storage may move)
+  }
+  size_t b = 0;
+  for (const Minimize2Bucket& bucket : buckets) {
+    size_t index = 0;
+    for (size_t i = 0; i < seen.size(); ++i) {
+      if (seen[i] == bucket.table.get()) index = i;
+    }
+    out.per_bucket[b++] = out.storage[index].data();
+  }
+  return out;
+}
+
+// --- E9: profile sweep, historical linear kernel vs log-space kernel ------
+
+void BM_MinimizeKernelProfileSweep(benchmark::State& state) {
+  const bool log_kernel = state.range(0) == 1;
+  const size_t num_buckets = static_cast<size_t>(state.range(1));
+  const size_t k = static_cast<size_t>(state.range(2));
+  const std::vector<Minimize2Bucket> inputs =
+      RandomInputs(num_buckets, k + 1, /*seed=*/42);
+  const LinearTables linear_tables = MaterializeLinearMinima(inputs, k);
+
+  // Cross-check once up front: on this (non-underflowing) workload the
+  // kernels agree to 1e-9 relative on every profile column.
+  {
+    const std::vector<double> linear =
+        LinearKernelProfile(inputs, linear_tables.per_bucket, k);
+    Minimize2Forward dp(k);
+    dp.Recompute(inputs, 0);
+    for (size_t h = 0; h <= k; ++h) {
+      const double r_new = std::exp(dp.LogRMinAt(h));
+      CKSAFE_CHECK(std::abs(r_new - linear[h]) <=
+                   1e-9 * std::max(linear[h], 1e-300))
+          << "kernel mismatch at h=" << h;
+    }
+  }
+
+  Minimize2Workspace workspace;
+  double sink = 0.0;
+  for (auto _ : state) {
+    if (log_kernel) {
+      Minimize2Forward& dp = workspace.SweepForBudget(k);
+      dp.Recompute(inputs, 0);
+      for (size_t h = 0; h <= k; ++h) sink += dp.LogRMinAt(h);
+    } else {
+      const std::vector<double> curve =
+          LinearKernelProfile(inputs, linear_tables.per_bucket, k);
+      for (size_t h = 0; h <= k; ++h) sink += curve[h];
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(num_buckets));
+  state.SetLabel(log_kernel ? "log-space kernel (pruned, arena reuse)"
+                            : "historical linear kernel");
+}
+BENCHMARK(BM_MinimizeKernelProfileSweep)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({0, 2000, 13})
+    ->Args({1, 2000, 13})
+    ->Args({0, 500, 64})
+    ->Args({1, 500, 64})
+    ->Args({0, 200, 128})
+    ->Args({1, 200, 128});
+
+// --- E9b: the per-bucket vulnerability sweep under the same comparison ----
+
+void BM_MinimizeKernelPerBucketSweep(benchmark::State& state) {
+  const size_t num_buckets = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  const std::vector<Minimize2Bucket> inputs =
+      RandomInputs(num_buckets, k + 1, /*seed=*/7);
+  Minimize2Workspace workspace;
+  double sink = 0.0;
+  for (auto _ : state) {
+    Minimize2Forward& dp = workspace.SweepForBudget(k);
+    dp.Recompute(inputs, 0);
+    ComputeNoASuffix(inputs, k, &workspace.suffix);
+    const std::vector<LogProb> per_bucket =
+        PerBucketLogRatioSweep(inputs, k, dp, workspace.suffix);
+    sink += per_bucket[0];
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(num_buckets));
+}
+BENCHMARK(BM_MinimizeKernelPerBucketSweep)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({2000, 13})
+    ->Args({500, 64});
+
+}  // namespace
+}  // namespace cksafe
+
+BENCHMARK_MAIN();

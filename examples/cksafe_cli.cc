@@ -122,6 +122,24 @@ StatusOr<LoadedData> LoadData(const CliConfig& config) {
   return LoadedData{std::move(table), std::move(qis), sensitive_column};
 }
 
+// Flag-level validation of attacker powers: an absurd budget surfaces as a
+// clean flag error *before* any data loads, instead of a CHECK-abort (or a
+// multi-gigabyte DP allocation) deep in the sweep.
+Status ValidateAttackerPower(const char* flag, int64_t value) {
+  if (value < 0) {
+    return Status::InvalidArgument(
+        StrFormat("--%s must be non-negative, got %lld", flag,
+                  static_cast<long long>(value)));
+  }
+  const Status budget =
+      Minimize2Forward::ValidateBudget(static_cast<size_t>(value));
+  if (!budget.ok()) {
+    return Status::OutOfRange(
+        StrFormat("--%s: %s", flag, budget.message().c_str()));
+  }
+  return Status::OK();
+}
+
 StatusOr<LatticeNode> ParseNode(const std::string& spec,
                                 const std::vector<QuasiIdentifier>& qis) {
   LatticeNode node(qis.size(), 0);
@@ -147,6 +165,8 @@ StatusOr<LatticeNode> ParseNode(const std::string& spec,
 }
 
 Status RunAnalyze(const CliConfig& config) {
+  CKSAFE_RETURN_IF_ERROR(ValidateAttackerPower("k", config.k));
+  CKSAFE_RETURN_IF_ERROR(ValidateAttackerPower("max_k", config.max_k));
   CKSAFE_ASSIGN_OR_RETURN(LoadedData data, LoadData(config));
   CKSAFE_ASSIGN_OR_RETURN(LatticeNode node, ParseNode(config.node, data.qis));
   CKSAFE_ASSIGN_OR_RETURN(
@@ -181,9 +201,12 @@ Status RunAnalyze(const CliConfig& config) {
 
   const WorstCaseDisclosure worst =
       analyzer.MaxDisclosureImplications(static_cast<size_t>(config.k));
+  // The verdict compares in log space (exact even where the printed
+  // disclosure saturates at 1.0 — see README "Numerics").
   std::printf("\n(c=%.2f, k=%lld)-safe: %s  (max disclosure %.4f)\n", config.c,
               static_cast<long long>(config.k),
-              worst.disclosure < config.c ? "YES" : "NO", worst.disclosure);
+              IsSafeLogRatio(worst.log_r_min, config.c) ? "YES" : "NO",
+              worst.disclosure);
   if (!worst.antecedents.empty()) {
     std::printf("worst-case knowledge: %s\n",
                 printer.FormulaToString(worst.ToFormula()).c_str());
@@ -220,6 +243,7 @@ StatusOr<UtilityObjective> ParseObjective(const std::string& name) {
 }
 
 Status RunPublish(const CliConfig& config) {
+  CKSAFE_RETURN_IF_ERROR(ValidateAttackerPower("k", config.k));
   CKSAFE_ASSIGN_OR_RETURN(LoadedData data, LoadData(config));
 
   PublisherOptions options;
@@ -290,12 +314,14 @@ Status RunMulti(const CliConfig& config) {
                             ParseDouble(std::string(spec.substr(0, colon))));
     CKSAFE_ASSIGN_OR_RETURN(int64_t k,
                             ParseInt64(std::string(spec.substr(colon + 1))));
-    if (c <= 0.0 || k < 0 || k > 255) {
-      // 255 is Minimize2Forward's atom-budget ceiling (uint8 choice
-      // storage); reject here as a flag error instead of CHECK-failing
-      // deep in the sweep.
-      return Status::OutOfRange("policy needs c > 0 and 0 <= k <= 255: " +
-                                std::string(raw));
+    if (c <= 0.0) {
+      return Status::OutOfRange("policy needs c > 0: " + std::string(raw));
+    }
+    if (Status power = ValidateAttackerPower("policies", k); !power.ok()) {
+      // Minimize2Forward::kMaxAnalysisBudget is the user-facing
+      // atom-budget ceiling; reject here as a flag error instead of
+      // aborting (or OOMing on the O(k^3) memo) deep in the sweep.
+      return power;
     }
     publisher.AddTenant(std::move(name), c, static_cast<size_t>(k));
     ++next_tenant;
@@ -341,6 +367,8 @@ Status RunMulti(const CliConfig& config) {
 
 Status RunAudit(const CliConfig& config) {
   CKSAFE_ASSIGN_OR_RETURN(LoadedData data, LoadData(config));
+  // phi.k() (parsed from the knowledge file) is validated below before it
+  // reaches the certified-bound sweep.
   CKSAFE_ASSIGN_OR_RETURN(LatticeNode node, ParseNode(config.node, data.qis));
   CKSAFE_ASSIGN_OR_RETURN(
       Bucketization bucketization,
@@ -360,6 +388,8 @@ Status RunAudit(const CliConfig& config) {
   KnowledgePrinter printer(data.table, data.sensitive_column);
   std::printf("attacker knowledge (k=%zu): %s\n", phi.k(),
               printer.FormulaToString(phi).c_str());
+  CKSAFE_RETURN_IF_ERROR(ValidateAttackerPower("knowledge",
+                                               static_cast<int64_t>(phi.k())));
 
   bool approx = config.approx;
   auto engine = ExactEngine::Create(bucketization);
@@ -400,6 +430,7 @@ Status RunAudit(const CliConfig& config) {
 }
 
 Status RunFig5(const CliConfig& config) {
+  CKSAFE_RETURN_IF_ERROR(ValidateAttackerPower("max_k", config.max_k));
   CliConfig adult_config = config;
   adult_config.adult = true;
   CKSAFE_ASSIGN_OR_RETURN(LoadedData data, LoadData(adult_config));

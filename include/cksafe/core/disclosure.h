@@ -16,6 +16,12 @@
 // (the listing returns ∞ unconditionally), and the initial call has the
 // "A placed" flag false (the prose says true; the Input comment says false).
 //
+// All probability products are carried in log space (core/logprob.h,
+// DESIGN.md §9): R_min survives as a finite log even when the linear value
+// would underflow to 0, the reported `disclosure` saturates honestly at
+// 1.0 (the double cannot say more), and safety verdicts compare log R
+// against log((1 - c) / c) so they stay exact in the deep-product regime.
+//
 // The analyzer also computes the negated-atom worst case (the ℓ-diversity
 // adversary of Figure 5): for k negations the maximum is attained by
 // negating, for one target person, the k most frequent values other than
@@ -36,6 +42,7 @@
 
 #include "cksafe/anon/bucketization.h"
 #include "cksafe/core/bucket_stats.h"
+#include "cksafe/core/logprob.h"
 #include "cksafe/core/minimize1.h"
 #include "cksafe/core/minimize2.h"
 #include "cksafe/core/profile.h"
@@ -47,6 +54,11 @@ namespace cksafe {
 /// atoms A_i, and the resulting disclosure Pr(A | B ∧ ∧(A_i → A)).
 struct WorstCaseDisclosure {
   double disclosure = 0.0;
+  /// log of the minimized ratio R attaining `disclosure` =
+  /// DisclosureFromLogRatio(log_r_min). Exact where `disclosure`
+  /// saturates: kLogZero means genuinely certain disclosure, any finite
+  /// value means the linear 1.0 is only rounding.
+  LogProb log_r_min = kLogInfeasible;
   Atom target;
   std::vector<Atom> antecedents;
 
@@ -125,13 +137,21 @@ class DisclosureAnalyzer {
 
   /// Maximum disclosure w.r.t. L^k_basic (Definition 6) in O(|B| k^2 +
   /// H k^3) where H is the number of distinct bucket histograms.
-  WorstCaseDisclosure MaxDisclosureImplications(size_t k) const;
+  ///
+  /// Every query below accepts an optional Minimize2Workspace: pass one
+  /// (per thread) on hot paths — repeated per-node lattice evaluations —
+  /// to reuse the DP arena instead of reallocating it; results are
+  /// identical either way.
+  WorstCaseDisclosure MaxDisclosureImplications(
+      size_t k, Minimize2Workspace* workspace = nullptr) const;
 
   /// Maximum disclosure w.r.t. k negated atoms (the ℓ-diversity adversary).
   WorstCaseDisclosure MaxDisclosureNegations(size_t k) const;
 
-  /// Definition 13: max disclosure w.r.t. L^k_basic is < c.
-  bool IsCkSafe(double c, size_t k) const;
+  /// Definition 13: max disclosure w.r.t. L^k_basic is < c, decided in log
+  /// space (IsSafeLogRatio) directly off the sweep — no witness assembly.
+  bool IsCkSafe(double c, size_t k,
+                Minimize2Workspace* workspace = nullptr) const;
 
   /// Per-bucket vulnerability: Definition 5's maximum with the target atom
   /// constrained to members of bucket i (every member of a bucket is
@@ -140,16 +160,23 @@ class DisclosureAnalyzer {
   /// Computed for all buckets at once with prefix/suffix MINIMIZE2 sweeps
   /// in O(|B| k^2) after table memoization; the maximum over buckets equals
   /// MaxDisclosureImplications(k).disclosure.
-  std::vector<double> PerBucketDisclosure(size_t k) const;
+  std::vector<double> PerBucketDisclosure(
+      size_t k, Minimize2Workspace* workspace = nullptr) const;
 
   /// Both Figure-5 curves for every k in [0, max_k] from ONE MINIMIZE2
   /// sweep (the per-k values read off columns of the same DP — see
-  /// Minimize2Forward::RMinAt). Element k of each curve is bit-identical
-  /// to the corresponding point query's .disclosure.
-  DisclosureProfile Profile(size_t max_k) const;
+  /// Minimize2Forward::LogRMinAt). Element k of each curve is bit-identical
+  /// to the corresponding point query's .disclosure, and implication_log_r
+  /// carries the exact log-ratio curve. `with_negation` = false skips the
+  /// negation scan (hot-path profilers only classify the implication
+  /// curve).
+  DisclosureProfile Profile(size_t max_k,
+                            Minimize2Workspace* workspace = nullptr,
+                            bool with_negation = true) const;
 
   /// Thin views over the one-sweep profile machinery (Figure 5 series).
-  std::vector<double> ImplicationCurve(size_t max_k) const;
+  std::vector<double> ImplicationCurve(
+      size_t max_k, Minimize2Workspace* workspace = nullptr) const;
   std::vector<double> NegationCurve(size_t max_k) const;
 
   const std::vector<BucketStats>& bucket_stats() const { return stats_; }
@@ -158,8 +185,10 @@ class DisclosureAnalyzer {
   std::shared_ptr<const Minimize1Table> Table(size_t bucket_index,
                                               size_t max_k) const;
 
-  /// Per-bucket MINIMIZE2 inputs with tables pinned at budget `max_k`.
-  std::vector<Minimize2Bucket> Minimize2Inputs(size_t max_k) const;
+  /// Per-bucket MINIMIZE2 inputs with tables pinned at budget `max_k`,
+  /// written into *inputs (a workspace buffer reused across nodes).
+  void Minimize2Inputs(size_t max_k,
+                       std::vector<Minimize2Bucket>* inputs) const;
 
   const Bucketization& bucketization_;
   std::vector<BucketStats> stats_;
@@ -178,9 +207,10 @@ void AppendBucketWitnessAtoms(const std::vector<PersonId>& members,
                               bool skip_target_atom, std::vector<Atom>* out);
 
 /// Assembles a WorstCaseDisclosure from MINIMIZE2 witness placements.
-/// `members` / `stats` / `tables` are indexed by bucket.
+/// `members` / `stats` / `tables` are indexed by bucket. `log_r_min` is
+/// the sweep's minimized log-ratio (LogRMin).
 WorstCaseDisclosure AssembleImplicationWitness(
-    double r_min, const std::vector<Minimize2Placement>& placements,
+    LogProb log_r_min, const std::vector<Minimize2Placement>& placements,
     const std::vector<const std::vector<PersonId>*>& members,
     const std::vector<const BucketStats*>& stats,
     const std::vector<Minimize2Bucket>& buckets);
@@ -206,11 +236,16 @@ WorstCaseDisclosure MaxNegationsOverBuckets(
     const std::vector<const BucketStats*>& stats,
     const std::vector<const std::vector<PersonId>*>& members, size_t k);
 
-/// Reads the entire implication curve off a completed forward sweep:
-/// element h is 1 / (1 + with_a[m][h]) for h in [0, dp.k()]. Shared by
+/// Reads the entire implication log-ratio curve off a completed forward
+/// sweep: element h is with_a[m][h] = log R_min at budget h. Shared by
 /// DisclosureAnalyzer and the streaming IncrementalAnalyzer — both emit
 /// bit-identical profiles because they literally run this code over the
 /// same DP rows. Requires at least one bucket (every column is feasible).
+std::vector<LogProb> ImplicationLogRatioCurveFromSweep(
+    const Minimize2Forward& dp);
+
+/// The same curve as disclosures: element h is
+/// DisclosureFromLogRatio(with_a[m][h]).
 std::vector<double> ImplicationCurveFromSweep(const Minimize2Forward& dp);
 
 /// The negation curve for every k in [0, max_k]: element k scans buckets

@@ -1,0 +1,92 @@
+// Log-domain probability representation for the disclosure kernel.
+//
+// MINIMIZE2 minimizes a *product* of per-bucket minimum probabilities. In
+// the linear domain that product silently underflows: at a few hundred
+// atoms with per-bucket minima around 1e-6 the chained `double` product
+// denormalizes and collapses to exactly 0.0, which the disclosure formula
+// 1 / (1 + r) then reports as *certain* disclosure — a qualitative lie
+// (no finite basic knowledge yields certainty on such inputs), and every
+// downstream comparison (argmin choices, per-bucket vulnerability
+// ranking, the c = 1 "never certain" policy) degenerates into ties at 0.
+//
+// The whole hot path therefore works in log space (DESIGN.md §9): a
+// probability p is carried as log(p), products become sums, and min stays
+// min because log is monotone. The representation is a raw double with
+// two reserved values:
+//
+//   * -infinity  = log(0): a genuine zero probability (an atom set that
+//                  rules out every value a person could take). The
+//                  smallest element under min, exactly as 0 is in linear.
+//   * +infinity  = infeasible marker (no placement exists for that DP
+//                  state). Probabilities and the MINIMIZE2 ratio
+//                  r = Pr(...)/Pr(A|B) never reach +inf, so the marker is
+//                  unambiguous; it loses every min, exactly as +inf did
+//                  in the linear kernel.
+//
+// The -inf + inf = NaN trap is handled at the call sites: kernels skip
+// infeasible operands before adding (mirroring the linear kernel's
+// inf-skip), and the pruning bounds tolerate a NaN by treating its
+// comparisons as false, which only ever keeps a scan running longer.
+
+#ifndef CKSAFE_CORE_LOGPROB_H_
+#define CKSAFE_CORE_LOGPROB_H_
+
+#include <cmath>
+#include <limits>
+
+namespace cksafe {
+
+/// A probability (or nonnegative ratio) carried as its natural log.
+/// See the file comment for the reserved values.
+using LogProb = double;
+
+/// log(0): the zero probability / zero ratio.
+inline constexpr LogProb kLogZero = -std::numeric_limits<double>::infinity();
+
+/// The infeasible DP-state marker (not the log of any real value).
+inline constexpr LogProb kLogInfeasible =
+    std::numeric_limits<double>::infinity();
+
+/// Theorem 9's disclosure 1 / (1 + r) from log(r), without overflow at
+/// either end. Saturates to 1.0 once exp(log_r) underflows — the double
+/// *disclosure* cannot distinguish 1 from 1 - 1e-400, which is exactly
+/// why safety verdicts compare in log space (IsSafeLogRatio) instead of
+/// on this value. kLogInfeasible maps to 0 (no adversary exists).
+inline double DisclosureFromLogRatio(LogProb log_r) {
+  if (log_r <= 0.0) return 1.0 / (1.0 + std::exp(log_r));
+  const double e = std::exp(-log_r);  // in (0, 1): no overflow
+  return e / (1.0 + e);
+}
+
+/// Inverse view for adversaries computed directly as a disclosure in
+/// [0, 1] (the negation adversary): log((1 - d) / d), i.e. the log_r whose
+/// DisclosureFromLogRatio is d. d = 1 maps to kLogZero; d = 0 (no
+/// adversary) maps to the infeasible marker without dividing by zero.
+inline LogProb LogRatioFromDisclosure(double disclosure) {
+  if (disclosure <= 0.0) return kLogInfeasible;
+  return std::log((1.0 - disclosure) / disclosure);
+}
+
+/// Definition 13 threshold in log space: for c in (0, 1], disclosure
+/// 1 / (1 + r) < c holds iff r > (1 - c) / c iff log_r >
+/// LogRatioSafetyThreshold(c). At c == 1 the threshold is kLogZero (safe
+/// iff disclosure < 1, i.e. r > 0) — the comparison the saturated linear
+/// disclosure gets wrong. c outside (0, 1] has no finite threshold; use
+/// IsSafeLogRatio, which handles the degenerate ranges.
+inline LogProb LogRatioSafetyThreshold(double c) {
+  if (c >= 1.0) return kLogZero;
+  if (c <= 0.0) return kLogInfeasible;  // no disclosure is below 0
+  return std::log((1.0 - c) / c);
+}
+
+/// Definition 13 evaluated exactly in log space. c > 1 is vacuously safe
+/// (disclosure never exceeds 1); c <= 0 is never safe; the infeasible
+/// marker (no adversary) is vacuously safe for c > 0.
+inline bool IsSafeLogRatio(LogProb log_r, double c) {
+  if (c > 1.0) return true;
+  return log_r > LogRatioSafetyThreshold(c);
+}
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_CORE_LOGPROB_H_

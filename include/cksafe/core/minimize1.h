@@ -14,11 +14,19 @@
 // atoms remaining k̂) in O(k^3) time and space per distinct histogram, and
 // records argmins so the minimizing structure can be reconstructed.
 //
+// Since PR 4 the DP runs entirely in LOG space (core/logprob.h, DESIGN.md
+// §9): each state value is the log of the minimized product, factors are
+// summed as logs, and the public MinLogProbability(m) feeds the MINIMIZE2
+// sweep without ever materializing a linear value that could underflow —
+// a bucket minimum like 1e-400 is just the honest log -921. The linear
+// MinProbability(m) view (exp of the log) is kept for reporting and for
+// consumers whose values stay comfortably inside double range.
+//
 // Guards the paper's pseudocode leaves implicit (tested explicitly):
 //  * state with remaining atoms but no unused persons left is infeasible
-//    (+inf), and infeasible children are skipped before multiplying so that
-//    0 * inf never arises;
-//  * m = 0 yields the empty product 1.
+//    (kLogInfeasible), and infeasible children are skipped before summing
+//    so that the -inf + inf trap never arises;
+//  * m = 0 yields the empty product: log 1 = 0.
 
 #ifndef CKSAFE_CORE_MINIMIZE1_H_
 #define CKSAFE_CORE_MINIMIZE1_H_
@@ -27,6 +35,7 @@
 #include <vector>
 
 #include "cksafe/core/bucket_stats.h"
+#include "cksafe/core/logprob.h"
 
 namespace cksafe {
 
@@ -34,6 +43,9 @@ namespace cksafe {
 /// budget m in [0, max_k].
 class Minimize1Table {
  public:
+  /// Largest supported atom budget (choice storage is uint16_t).
+  static constexpr size_t kMaxBudget = 65535;
+
   /// `sorted_counts` must be descending and positive; n is their sum.
   Minimize1Table(std::vector<uint32_t> sorted_counts, size_t max_k);
 
@@ -45,8 +57,26 @@ class Minimize1Table {
   uint32_t n() const { return n_; }
 
   /// min Pr(∧_{i∈[m]} ¬A_i | B) over atom sets of size m within the bucket.
-  /// m <= max_k. Always in [0, 1]; nonincreasing in m.
+  /// m <= max_k. Always in [0, 1]; nonincreasing in m. Underflows to 0 in
+  /// the deep regime — kernels must use MinLogProbability instead.
   double MinProbability(size_t m) const;
+
+  /// The same minimum as a LogProb (log of the probability; kLogZero for a
+  /// saturated structure). Never kLogInfeasible: one person can always
+  /// absorb the whole budget. Nonincreasing in m *as stored*: the array is
+  /// clamped with a running min, so the monotone-argmin pruning of the
+  /// MINIMIZE2 sweep may rely on min_{t <= h} MinLogProbability(t) ==
+  /// MinLogProbability(h) exactly (the clamp moves a value only when
+  /// floating rounding of independently-explored DP states would break the
+  /// mathematically guaranteed monotonicity by an ulp).
+  LogProb MinLogProbability(size_t m) const {
+    CKSAFE_CHECK_LE(m, max_k_);
+    return log_min_[m];
+  }
+
+  /// Raw view of the per-budget log minima (size max_k() + 1), for kernel
+  /// inner loops that index it millions of times per sweep.
+  const LogProb* MinLogRow() const { return log_min_.data(); }
 
   /// The minimizing structure for budget m: per-person atom counts
   /// k_0 >= k_1 >= ..., summing to m. Atom i of person j targets the
@@ -58,19 +88,20 @@ class Minimize1Table {
 
  private:
   // Flattened memo over (i, cap, rem); i in [0, i_limit_], cap/rem in
-  // [0, max_k].
+  // [0, max_k]. Values are LogProbs.
   size_t Index(size_t i, size_t cap, size_t rem) const;
-  double Solve(size_t i, size_t cap, size_t rem);
-  double Factor(size_t i, size_t ki) const;
+  LogProb Solve(size_t i, size_t cap, size_t rem);
+  LogProb LogFactor(size_t i, size_t ki) const;
 
   uint32_t n_ = 0;
   std::vector<uint32_t> counts_;  // descending
   std::vector<uint32_t> prefix_;  // prefix sums, size d + 1
   size_t max_k_ = 0;
   size_t i_limit_ = 0;  // min(max_k, n): persons usable
-  std::vector<double> memo_;
+  std::vector<LogProb> memo_;
   std::vector<uint8_t> computed_;
-  std::vector<uint8_t> choice_;  // argmin k_i per state (0 = none)
+  std::vector<uint16_t> choice_;  // argmin k_i per state (0 = none)
+  std::vector<LogProb> log_min_;  // per-budget minima, monotone-clamped
 };
 
 }  // namespace cksafe

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "cksafe/core/logprob.h"
 #include "cksafe/util/check.h"
 
 namespace cksafe {
@@ -32,7 +33,14 @@ namespace cksafe {
 /// the double monotonicity the multi-policy search prunes with).
 struct DisclosureProfile {
   /// implication[k] = max disclosure w.r.t. L^k_basic (Definition 6).
+  /// Saturates to 1.0 where the linear double runs out of precision; the
+  /// log-ratio curve below stays exact there.
   std::vector<double> implication;
+  /// implication_log_r[k] = log R_min at budget k (implication[k] ==
+  /// DisclosureFromLogRatio of it), nonincreasing in k. The analyzers
+  /// always fill this; hand-built profiles (tests, synthetic profilers)
+  /// may leave it empty and fall back to the linear comparison.
+  std::vector<LogProb> implication_log_r;
   /// negation[k] = max disclosure w.r.t. k negated atoms.
   std::vector<double> negation;
 
@@ -42,9 +50,15 @@ struct DisclosureProfile {
   }
 
   /// Definition 13 read off the curve: max disclosure w.r.t. L^k_basic
-  /// is < c. Requires k <= max_k.
+  /// is < c. Requires k <= max_k. Decided in log space when the log-ratio
+  /// curve is present — exact even where `implication` saturates at 1.0 —
+  /// and identical to the point query DisclosureAnalyzer::IsCkSafe(c, k).
   bool IsCkSafe(double c, size_t k) const {
     CKSAFE_CHECK_LT(k, implication.size());
+    if (!implication_log_r.empty()) {
+      CKSAFE_CHECK_EQ(implication_log_r.size(), implication.size());
+      return IsSafeLogRatio(implication_log_r[k], c);
+    }
     return implication[k] < c;
   }
 };

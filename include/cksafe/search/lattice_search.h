@@ -128,8 +128,9 @@ struct CkPolicy {
 /// one MINIMIZE2 sweep). nullopt means the node cannot be bucketized and
 /// counts as unsafe under every policy. Must be thread safe when the
 /// search runs multi-threaded, like NodePredicate. Only the implication
-/// curve is consulted (IsCkSafe), so profilers on hot paths may leave
-/// `negation` empty.
+/// curves are consulted (IsCkSafe — the exact log-ratio curve when the
+/// profiler fills it, the linear curve otherwise), so profilers on hot
+/// paths may leave `negation` empty.
 using NodeProfiler =
     std::function<std::optional<DisclosureProfile>(const LatticeNode&)>;
 

@@ -7,10 +7,6 @@
 
 namespace cksafe {
 
-namespace {
-constexpr double kInf = std::numeric_limits<double>::infinity();
-}  // namespace
-
 KnowledgeFormula WorstCaseDisclosure::ToFormula() const {
   KnowledgeFormula formula;
   for (const Atom& a : antecedents) {
@@ -82,12 +78,13 @@ void AppendBucketWitnessAtoms(const std::vector<PersonId>& members,
 }
 
 WorstCaseDisclosure AssembleImplicationWitness(
-    double r_min, const std::vector<Minimize2Placement>& placements,
+    LogProb log_r_min, const std::vector<Minimize2Placement>& placements,
     const std::vector<const std::vector<PersonId>*>& members,
     const std::vector<const BucketStats*>& stats,
     const std::vector<Minimize2Bucket>& buckets) {
   WorstCaseDisclosure result;
-  result.disclosure = 1.0 / (1.0 + r_min);
+  result.disclosure = DisclosureFromLogRatio(log_r_min);
+  result.log_r_min = log_r_min;
   for (size_t i = 0; i < placements.size(); ++i) {
     const Minimize2Placement& p = placements[i];
     if (p.has_target) {
@@ -122,6 +119,9 @@ WorstCaseDisclosure MaxNegationsOverBuckets(
     }
   }
   CKSAFE_CHECK_GE(best.disclosure, 0.0);
+  // The negation adversary is computed directly as a disclosure; derive
+  // the log-ratio view so both adversary classes report the same fields.
+  best.log_r_min = LogRatioFromDisclosure(best.disclosure);
   const BucketStats& winner = *stats[best_bucket];
   const PersonId person = (*members[best_bucket])[0];
   best.target = Atom{person, winner.value_codes[best_local.value_index]};
@@ -160,14 +160,21 @@ BucketNegationBest ComputeBucketNegationBest(const BucketStats& stats,
   return best;
 }
 
-std::vector<double> ImplicationCurveFromSweep(const Minimize2Forward& dp) {
+std::vector<LogProb> ImplicationLogRatioCurveFromSweep(
+    const Minimize2Forward& dp) {
   CKSAFE_CHECK_GT(dp.num_buckets(), 0u);
-  std::vector<double> curve(dp.k() + 1);
+  std::vector<LogProb> curve(dp.k() + 1);
   for (size_t h = 0; h <= dp.k(); ++h) {
-    const double r_min = dp.RMinAt(h);
-    CKSAFE_CHECK(r_min != kInf) << "no feasible atom placement";
-    curve[h] = 1.0 / (1.0 + r_min);
+    const LogProb log_r_min = dp.LogRMinAt(h);
+    CKSAFE_CHECK(log_r_min != kLogInfeasible) << "no feasible atom placement";
+    curve[h] = log_r_min;
   }
+  return curve;
+}
+
+std::vector<double> ImplicationCurveFromSweep(const Minimize2Forward& dp) {
+  std::vector<double> curve = ImplicationLogRatioCurveFromSweep(dp);
+  for (double& value : curve) value = DisclosureFromLogRatio(value);
   return curve;
 }
 
@@ -201,27 +208,28 @@ std::shared_ptr<const Minimize1Table> DisclosureAnalyzer::Table(
   return cache_->GetOrCompute(stats_[bucket_index], max_k);
 }
 
-std::vector<Minimize2Bucket> DisclosureAnalyzer::Minimize2Inputs(
-    size_t max_k) const {
+void DisclosureAnalyzer::Minimize2Inputs(
+    size_t max_k, std::vector<Minimize2Bucket>* inputs) const {
   // Budget max_k = k + 1: the target atom A joins the k antecedents in its
   // own bucket. The shared_ptrs pin the tables for the whole computation
   // even if a concurrent analyzer upgrades the cache.
-  std::vector<Minimize2Bucket> inputs(stats_.size());
+  inputs->resize(stats_.size());
   for (size_t i = 0; i < stats_.size(); ++i) {
-    inputs[i].table = Table(i, max_k);
-    inputs[i].ratio = static_cast<double>(stats_[i].n) /
-                      static_cast<double>(stats_[i].counts[0]);
+    (*inputs)[i].table = Table(i, max_k);
+    (*inputs)[i].ratio = static_cast<double>(stats_[i].n) /
+                         static_cast<double>(stats_[i].counts[0]);
   }
-  return inputs;
 }
 
 WorstCaseDisclosure DisclosureAnalyzer::MaxDisclosureImplications(
-    size_t k) const {
-  const std::vector<Minimize2Bucket> inputs = Minimize2Inputs(k + 1);
-  Minimize2Forward dp(k);
-  dp.Recompute(inputs, 0);
-  const double r_min = dp.RMin();
-  CKSAFE_CHECK(r_min != kInf) << "no feasible atom placement";
+    size_t k, Minimize2Workspace* workspace) const {
+  Minimize2Workspace local;
+  Minimize2Workspace& ws = workspace != nullptr ? *workspace : local;
+  Minimize2Inputs(k + 1, &ws.inputs);
+  Minimize2Forward& dp = ws.SweepForBudget(k);
+  dp.Recompute(ws.inputs, 0);
+  const LogProb log_r_min = dp.LogRMin();
+  CKSAFE_CHECK(log_r_min != kLogInfeasible) << "no feasible atom placement";
 
   std::vector<const std::vector<PersonId>*> members(stats_.size());
   std::vector<const BucketStats*> stats(stats_.size());
@@ -229,8 +237,12 @@ WorstCaseDisclosure DisclosureAnalyzer::MaxDisclosureImplications(
     members[i] = &bucketization_.bucket(i).members;
     stats[i] = &stats_[i];
   }
-  return AssembleImplicationWitness(r_min, dp.WitnessPlacements(), members,
-                                    stats, inputs);
+  WorstCaseDisclosure result = AssembleImplicationWitness(
+      log_r_min, dp.WitnessPlacements(), members, stats, ws.inputs);
+  // Drop the table pins (capacity stays): a long-lived worker thread's
+  // workspace must not keep the last node's MINIMIZE1 tables alive.
+  ws.inputs.clear();
+  return result;
 }
 
 WorstCaseDisclosure DisclosureAnalyzer::MaxDisclosureNegations(size_t k) const {
@@ -243,37 +255,67 @@ WorstCaseDisclosure DisclosureAnalyzer::MaxDisclosureNegations(size_t k) const {
   return MaxNegationsOverBuckets(stats, members, k);
 }
 
-bool DisclosureAnalyzer::IsCkSafe(double c, size_t k) const {
-  return MaxDisclosureImplications(k).disclosure < c;
+bool DisclosureAnalyzer::IsCkSafe(double c, size_t k,
+                                  Minimize2Workspace* workspace) const {
+  // Verdict straight off the sweep in log space: no witness assembly, and
+  // exact where the linear disclosure saturates at 1.0 (DESIGN.md §9.3).
+  Minimize2Workspace local;
+  Minimize2Workspace& ws = workspace != nullptr ? *workspace : local;
+  Minimize2Inputs(k + 1, &ws.inputs);
+  Minimize2Forward& dp = ws.SweepForBudget(k);
+  dp.Recompute(ws.inputs, 0);
+  const LogProb log_r_min = dp.LogRMin();
+  CKSAFE_CHECK(log_r_min != kLogInfeasible) << "no feasible atom placement";
+  ws.inputs.clear();  // release table pins, keep capacity
+  return IsSafeLogRatio(log_r_min, c);
 }
 
-std::vector<double> DisclosureAnalyzer::PerBucketDisclosure(size_t k) const {
-  const std::vector<Minimize2Bucket> inputs = Minimize2Inputs(k + 1);
-  Minimize2Forward prefix(k);
-  prefix.Recompute(inputs, 0);
-  return PerBucketDisclosureSweep(inputs, k, prefix,
-                                  ComputeNoASuffix(inputs, k));
+std::vector<double> DisclosureAnalyzer::PerBucketDisclosure(
+    size_t k, Minimize2Workspace* workspace) const {
+  Minimize2Workspace local;
+  Minimize2Workspace& ws = workspace != nullptr ? *workspace : local;
+  Minimize2Inputs(k + 1, &ws.inputs);
+  Minimize2Forward& prefix = ws.SweepForBudget(k);
+  prefix.Recompute(ws.inputs, 0);
+  ComputeNoASuffix(ws.inputs, k, &ws.suffix);
+  std::vector<double> result =
+      PerBucketLogRatioSweep(ws.inputs, k, prefix, ws.suffix);
+  for (double& value : result) value = DisclosureFromLogRatio(value);
+  ws.inputs.clear();  // release table pins, keep capacity
+  return result;
 }
 
-DisclosureProfile DisclosureAnalyzer::Profile(size_t max_k) const {
-  const std::vector<Minimize2Bucket> inputs = Minimize2Inputs(max_k + 1);
-  Minimize2Forward dp(max_k);
-  dp.Recompute(inputs, 0);
-
-  std::vector<const BucketStats*> stats(stats_.size());
-  for (size_t i = 0; i < stats_.size(); ++i) stats[i] = &stats_[i];
+DisclosureProfile DisclosureAnalyzer::Profile(size_t max_k,
+                                              Minimize2Workspace* workspace,
+                                              bool with_negation) const {
+  Minimize2Workspace local;
+  Minimize2Workspace& ws = workspace != nullptr ? *workspace : local;
+  Minimize2Inputs(max_k + 1, &ws.inputs);
+  Minimize2Forward& dp = ws.SweepForBudget(max_k);
+  dp.Recompute(ws.inputs, 0);
 
   DisclosureProfile profile;
+  profile.implication_log_r = ImplicationLogRatioCurveFromSweep(dp);
   profile.implication = ImplicationCurveFromSweep(dp);
-  profile.negation = NegationCurveOverBuckets(stats, max_k);
+  if (with_negation) {
+    std::vector<const BucketStats*> stats(stats_.size());
+    for (size_t i = 0; i < stats_.size(); ++i) stats[i] = &stats_[i];
+    profile.negation = NegationCurveOverBuckets(stats, max_k);
+  }
+  ws.inputs.clear();  // release table pins, keep capacity
   return profile;
 }
 
-std::vector<double> DisclosureAnalyzer::ImplicationCurve(size_t max_k) const {
-  const std::vector<Minimize2Bucket> inputs = Minimize2Inputs(max_k + 1);
-  Minimize2Forward dp(max_k);
-  dp.Recompute(inputs, 0);
-  return ImplicationCurveFromSweep(dp);
+std::vector<double> DisclosureAnalyzer::ImplicationCurve(
+    size_t max_k, Minimize2Workspace* workspace) const {
+  Minimize2Workspace local;
+  Minimize2Workspace& ws = workspace != nullptr ? *workspace : local;
+  Minimize2Inputs(max_k + 1, &ws.inputs);
+  Minimize2Forward& dp = ws.SweepForBudget(max_k);
+  dp.Recompute(ws.inputs, 0);
+  std::vector<double> curve = ImplicationCurveFromSweep(dp);
+  ws.inputs.clear();  // release table pins, keep capacity
+  return curve;
 }
 
 std::vector<double> DisclosureAnalyzer::NegationCurve(size_t max_k) const {

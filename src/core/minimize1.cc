@@ -1,19 +1,15 @@
 #include "cksafe/core/minimize1.h"
 
 #include <algorithm>
-#include <limits>
+#include <cmath>
 
 namespace cksafe {
-
-namespace {
-constexpr double kInfeasible = std::numeric_limits<double>::infinity();
-}  // namespace
 
 Minimize1Table::Minimize1Table(std::vector<uint32_t> sorted_counts,
                                size_t max_k)
     : counts_(std::move(sorted_counts)), max_k_(max_k) {
   CKSAFE_CHECK(!counts_.empty()) << "bucket must contain at least one tuple";
-  CKSAFE_CHECK_LE(max_k, 255u) << "atom budget too large for choice storage";
+  CKSAFE_CHECK_LE(max_k, kMaxBudget) << "atom budget too large for choice storage";
   prefix_.resize(counts_.size() + 1);
   prefix_[0] = 0;
   for (size_t j = 0; j < counts_.size(); ++j) {
@@ -29,8 +25,15 @@ Minimize1Table::Minimize1Table(std::vector<uint32_t> sorted_counts,
   computed_.assign(states, 0);
   choice_.assign(states, 0);
   // Precompute every entry reachable from the public entry points
-  // (0, m, m) for m <= max_k.
-  for (size_t m = 0; m <= max_k_; ++m) Solve(0, m, m);
+  // (0, m, m) for m <= max_k, then clamp the per-budget minima with a
+  // running min: the true minimum is nonincreasing in m (an m-structure
+  // extends to m + 1 without increasing the product), and the MINIMIZE2
+  // pruning bound relies on that holding for the *stored* doubles too.
+  log_min_.resize(max_k_ + 1);
+  log_min_[0] = 0.0;
+  for (size_t m = 1; m <= max_k_; ++m) {
+    log_min_[m] = std::min(Solve(0, m, m), log_min_[m - 1]);
+  }
 }
 
 size_t Minimize1Table::Index(size_t i, size_t cap, size_t rem) const {
@@ -40,33 +43,33 @@ size_t Minimize1Table::Index(size_t i, size_t cap, size_t rem) const {
   return (i * (max_k_ + 1) + cap) * (max_k_ + 1) + rem;
 }
 
-double Minimize1Table::Factor(size_t i, size_t ki) const {
+LogProb Minimize1Table::LogFactor(size_t i, size_t ki) const {
   // Probability that the i-th chosen person avoids the bucket's top
   // min(ki, d) values, given persons 0..i-1 avoided their (weakly larger)
-  // top sets. Lemma 12's telescoping term.
+  // top sets. Lemma 12's telescoping term, as a log.
   const double denom = static_cast<double>(n_) - static_cast<double>(i);
   CKSAFE_CHECK_GT(denom, 0.0);
   const double numer = static_cast<double>(n_) - static_cast<double>(i) -
                        static_cast<double>(prefix_[std::min(ki, counts_.size())]);
-  return numer <= 0.0 ? 0.0 : numer / denom;
+  return numer <= 0.0 ? kLogZero : std::log(numer / denom);
 }
 
-double Minimize1Table::Solve(size_t i, size_t cap, size_t rem) {
-  if (rem == 0) return 1.0;
-  if (i >= i_limit_ || i >= n_) return kInfeasible;  // no unused person left
+LogProb Minimize1Table::Solve(size_t i, size_t cap, size_t rem) {
+  if (rem == 0) return 0.0;  // empty product: log 1
+  if (i >= i_limit_ || i >= n_) return kLogInfeasible;  // no unused person
   const size_t index = Index(i, cap, rem);
   if (computed_[index]) return memo_[index];
 
-  double best = kInfeasible;
-  uint8_t best_ki = 0;
+  LogProb best = kLogInfeasible;
+  uint16_t best_ki = 0;
   const size_t ki_max = std::min(cap, rem);
   for (size_t ki = 1; ki <= ki_max; ++ki) {
-    const double child = Solve(i + 1, ki, rem - ki);
-    if (child == kInfeasible) continue;
-    const double candidate = Factor(i, ki) * child;
+    const LogProb child = Solve(i + 1, ki, rem - ki);
+    if (child == kLogInfeasible) continue;
+    const LogProb candidate = LogFactor(i, ki) + child;
     if (candidate < best) {
       best = candidate;
-      best_ki = static_cast<uint8_t>(ki);
+      best_ki = static_cast<uint16_t>(ki);
     }
   }
   computed_[index] = 1;
@@ -77,14 +80,10 @@ double Minimize1Table::Solve(size_t i, size_t cap, size_t rem) {
 
 double Minimize1Table::MinProbability(size_t m) const {
   CKSAFE_CHECK_LE(m, max_k_);
-  if (m == 0) return 1.0;
-  const size_t index = Index(0, m, m);
-  CKSAFE_CHECK(computed_[index]);
-  const double value = memo_[index];
   // Feasibility: at least one person exists, so with m >= 1 a structure
   // always exists ((m) on one person).
-  CKSAFE_CHECK(value != kInfeasible);
-  return value;
+  CKSAFE_CHECK(log_min_[m] != kLogInfeasible);
+  return std::exp(log_min_[m]);
 }
 
 std::vector<uint32_t> Minimize1Table::WitnessPartition(size_t m) const {
@@ -96,7 +95,7 @@ std::vector<uint32_t> Minimize1Table::WitnessPartition(size_t m) const {
   while (rem > 0) {
     const size_t index = Index(i, cap, rem);
     CKSAFE_CHECK(computed_[index]);
-    const uint8_t ki = choice_[index];
+    const uint16_t ki = choice_[index];
     CKSAFE_CHECK_GT(ki, 0u);
     partition.push_back(ki);
     cap = ki;

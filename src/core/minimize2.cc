@@ -1,18 +1,40 @@
 #include "cksafe/core/minimize2.h"
 
 #include <algorithm>
-#include <limits>
+#include <cmath>
 
 #include "cksafe/util/check.h"
+#include "cksafe/util/string_util.h"
 
 namespace cksafe {
 
 namespace {
-constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Tile width of the inner minimization scans: the unit of both cache
+// blocking (a tile touches <= kTile consecutive previous-row entries) and
+// pruning granularity (the monotone bound is checked once per tile).
+constexpr size_t kScanTile = 64;
+
 }  // namespace
 
+Status Minimize2Forward::ValidateBudget(size_t k) {
+  if (k > kMaxAnalysisBudget) {
+    return Status::OutOfRange(
+        StrFormat("atom budget k=%zu exceeds the supported maximum %zu "
+                  "(the O(k^3) MINIMIZE1 memo is intractable beyond it)",
+                  k, kMaxAnalysisBudget));
+  }
+  return Status::OK();
+}
+
 Minimize2Forward::Minimize2Forward(size_t k) : k_(k) {
-  CKSAFE_CHECK_LE(k, 255u) << "atom budget too large for choice storage";
+  CKSAFE_CHECK_LE(k, kMaxBudget) << "atom budget too large for choice storage";
+}
+
+void Minimize2Forward::Reset(size_t k) {
+  CKSAFE_CHECK_LE(k, kMaxBudget) << "atom budget too large for choice storage";
+  k_ = k;
+  num_rows_ = 0;
 }
 
 void Minimize2Forward::Recompute(const std::vector<Minimize2Bucket>& buckets,
@@ -25,7 +47,9 @@ void Minimize2Forward::Recompute(const std::vector<Minimize2Bucket>& buckets,
   // beyond what a previous sweep actually computed (row 0, the constant
   // boundary, always counts as computed). Rows kept from a previous sweep
   // are valid exactly when their bucket prefix is unchanged, which is the
-  // caller's contract.
+  // caller's contract. When the bucket list shrank, first_dirty <= m caps
+  // the kept prefix at the surviving buckets and the resize below discards
+  // the stale tail rows (audited in the streaming shrink regression test).
   const size_t prev_rows = std::max<size_t>(num_rows_, 1);
   const size_t start = std::min(std::min(first_dirty, m) + 1, prev_rows);
 
@@ -34,59 +58,116 @@ void Minimize2Forward::Recompute(const std::vector<Minimize2Bucket>& buckets,
   no_choice_t_.resize(rows * width);
   wa_choice_t_.resize(rows * width);
   wa_choice_branch_.resize(rows * width);
+  pm_no_.resize(width);
+  pm_wa_.resize(width);
   num_rows_ = rows;
 
-  // Boundary: the empty bucket prefix has the empty product and no way to
-  // have placed the target atom.
-  no_a_[RowIndex(0, 0)] = 1.0;
-  for (size_t h = 1; h < width; ++h) no_a_[RowIndex(0, h)] = kInf;
-  for (size_t h = 0; h < width; ++h) with_a_[RowIndex(0, h)] = kInf;
+  // Boundary: the empty bucket prefix has the empty product (log 1 = 0)
+  // and no way to have placed the target atom.
+  no_a_[RowIndex(0, 0)] = 0.0;
+  for (size_t h = 1; h < width; ++h) no_a_[RowIndex(0, h)] = kLogInfeasible;
+  for (size_t h = 0; h < width; ++h) with_a_[RowIndex(0, h)] = kLogInfeasible;
 
   for (size_t i = start; i <= m; ++i) {
     const Minimize1Table& table = *buckets[i - 1].table;
-    const double ratio = buckets[i - 1].ratio;
+    // The with_a recurrence reads budget h + 1 <= k_ + 1 of the table.
+    CKSAFE_CHECK_GT(table.max_k(), k_) << "table budget too small for sweep";
+    const LogProb* f = table.MinLogRow();  // nonincreasing (clamped)
+    const double log_ratio = std::log(buckets[i - 1].ratio);
+    const LogProb* no_prev = no_a_.data() + RowIndex(i - 1, 0);
+    const LogProb* wa_prev = with_a_.data() + RowIndex(i - 1, 0);
+
+    // Prefix minima of the previous row: pm[s] = min over columns 0..s.
+    // no_prev[0] is always 0 (log of the empty product), so pm_no_ is
+    // finite everywhere; pm_wa_ may be kLogInfeasible (row 0).
+    LogProb run_no = kLogInfeasible;
+    LogProb run_wa = kLogInfeasible;
+    for (size_t s = 0; s < width; ++s) {
+      run_no = std::min(run_no, no_prev[s]);
+      run_wa = std::min(run_wa, wa_prev[s]);
+      pm_no_[s] = run_no;
+      pm_wa_[s] = run_wa;
+    }
+
     for (size_t h = 0; h < width; ++h) {
-      double best = kInf;
-      uint8_t best_t = 0;
-      for (size_t t = 0; t <= h; ++t) {
-        const double head = no_a_[RowIndex(i - 1, h - t)];
-        if (head == kInf) continue;
-        const double candidate = table.MinProbability(t) * head;
-        if (candidate < best) {
-          best = candidate;
-          best_t = static_cast<uint8_t>(t);
+      // Monotone floors of the per-bucket minima over the remaining scan:
+      // f is nonincreasing as stored (clamped in minimize1.cc), so min
+      // over t' in [t, h] of f(t') is f[h] and of f(t' + 1) is f[h + 1].
+      const LogProb f_floor = f[h];
+      const LogProb f_floor_target = f[h + 1] + log_ratio;
+
+      // One fused scan computes both cells, exactly like the historical
+      // kernel shared its head reads. Monotone-argmin pruning per branch:
+      // every remaining candidate at position t is >= floor + pm[h - t]
+      // (f monotone, pm a prefix min, the bound nondecreasing in t, and
+      // floating addition monotone — so the bound holds for the
+      // *computed* sums too); once a branch's bound cannot beat its
+      // current best that branch stops scanning, never changing which
+      // candidate wins. The tile is the cache-blocking unit (<= kScanTile
+      // consecutive previous-row reads per burst). The bound sums are
+      // plain adds: pm_no_ and the floors are never +inf, and a NaN from
+      // (-inf) + kLogInfeasible in bound0 compares false, which merely
+      // keeps branch 0 scanning — pruning stays conservative-exact.
+      LogProb best = kLogInfeasible;
+      uint16_t best_t = 0;
+      LogProb best_w = kLogInfeasible;
+      uint16_t best_w_t = 0;
+      uint8_t best_w_branch = 0;
+      bool no_done = false;
+      bool wa0_done = false;  // branch 0 of with_a (head in wa_prev)
+      bool wa1_done = false;  // branch 1 of with_a (target joins bucket)
+      for (size_t t0 = 0; t0 <= h && !(no_done && wa0_done && wa1_done);
+           t0 += kScanTile) {
+        const size_t t_end = std::min(h, t0 + kScanTile - 1);
+        for (size_t t = t0; t <= t_end; ++t) {
+          const size_t s = h - t;
+          const LogProb pm_no = pm_no_[s];
+          const LogProb head_no = no_prev[s];
+          if (!no_done) {
+            if (f_floor + pm_no >= best) {
+              no_done = true;
+            } else if (head_no != kLogInfeasible) {
+              const LogProb candidate = f[t] + head_no;
+              if (candidate < best) {
+                best = candidate;
+                best_t = static_cast<uint16_t>(t);
+              }
+            }
+          }
+          // with_a evaluates branch 0 before branch 1 at each t, exactly
+          // like the historical kernel, so tie-breaking is unchanged.
+          if (!wa0_done) {
+            if (f_floor + pm_wa_[s] >= best_w) {
+              wa0_done = true;
+            } else {
+              const LogProb head_with = wa_prev[s];
+              if (head_with != kLogInfeasible) {
+                const LogProb candidate = f[t] + head_with;
+                if (candidate < best_w) {
+                  best_w = candidate;
+                  best_w_t = static_cast<uint16_t>(t);
+                  best_w_branch = 0;
+                }
+              }
+            }
+          }
+          if (!wa1_done) {
+            if (f_floor_target + pm_no >= best_w) {
+              wa1_done = true;
+            } else if (head_no != kLogInfeasible) {
+              const LogProb candidate = f[t + 1] + log_ratio + head_no;
+              if (candidate < best_w) {
+                best_w = candidate;
+                best_w_t = static_cast<uint16_t>(t);
+                best_w_branch = 1;
+              }
+            }
+          }
+          if (no_done && wa0_done && wa1_done) break;
         }
       }
       no_a_[RowIndex(i, h)] = best;
       no_choice_t_[RowIndex(i, h)] = best_t;
-
-      // with_a: either the target atom was placed in an earlier bucket
-      // (branch 0), or it joins bucket i - 1 with t antecedents, minimizing
-      // over t + 1 atoms and contributing the 1/Pr(A|B) ratio (branch 1).
-      double best_w = kInf;
-      uint8_t best_w_t = 0;
-      uint8_t best_w_branch = 0;
-      for (size_t t = 0; t <= h; ++t) {
-        const double head_with = with_a_[RowIndex(i - 1, h - t)];
-        if (head_with != kInf) {
-          const double candidate = table.MinProbability(t) * head_with;
-          if (candidate < best_w) {
-            best_w = candidate;
-            best_w_t = static_cast<uint8_t>(t);
-            best_w_branch = 0;
-          }
-        }
-        const double head_no = no_a_[RowIndex(i - 1, h - t)];
-        if (head_no != kInf) {
-          const double candidate =
-              table.MinProbability(t + 1) * ratio * head_no;
-          if (candidate < best_w) {
-            best_w = candidate;
-            best_w_t = static_cast<uint8_t>(t);
-            best_w_branch = 1;
-          }
-        }
-      }
       with_a_[RowIndex(i, h)] = best_w;
       wa_choice_t_[RowIndex(i, h)] = best_w_t;
       wa_choice_branch_[RowIndex(i, h)] = best_w_branch;
@@ -94,22 +175,20 @@ void Minimize2Forward::Recompute(const std::vector<Minimize2Bucket>& buckets,
   }
 }
 
-double Minimize2Forward::RMin() const { return RMinAt(k_); }
-
-double Minimize2Forward::RMinAt(size_t h) const {
+LogProb Minimize2Forward::LogRMinAt(size_t h) const {
   CKSAFE_CHECK_GT(num_rows_, 0u) << "Recompute before querying";
   CKSAFE_CHECK_LE(h, k_);
   return with_a_[RowIndex(num_rows_ - 1, h)];
 }
 
 std::vector<Minimize2Placement> Minimize2Forward::WitnessPlacements() const {
-  CKSAFE_CHECK(RMin() != kInf) << "no feasible atom placement";
+  CKSAFE_CHECK(LogRMin() != kLogInfeasible) << "no feasible atom placement";
   const size_t m = num_buckets();
   std::vector<Minimize2Placement> placements(m);
   size_t h = k_;
   bool in_with_a = true;
   for (size_t i = m; i >= 1; --i) {
-    uint8_t t;
+    uint16_t t;
     if (in_with_a) {
       t = wa_choice_t_[RowIndex(i, h)];
       if (wa_choice_branch_[RowIndex(i, h)] == 1) {
@@ -127,66 +206,96 @@ std::vector<Minimize2Placement> Minimize2Forward::WitnessPlacements() const {
   return placements;
 }
 
-const double* Minimize2Forward::NoARow(size_t i) const {
+const LogProb* Minimize2Forward::NoALogRow(size_t i) const {
   CKSAFE_CHECK_LT(i, num_rows_);
   return no_a_.data() + RowIndex(i, 0);
 }
 
-std::vector<double> ComputeNoASuffix(const std::vector<Minimize2Bucket>& buckets,
-                                     size_t k) {
+void ComputeNoASuffix(const std::vector<Minimize2Bucket>& buckets, size_t k,
+                      std::vector<LogProb>* suffix) {
+  CKSAFE_CHECK(suffix != nullptr);
   const size_t m = buckets.size();
   const size_t width = k + 1;
-  std::vector<double> suffix((m + 1) * width, kInf);
-  suffix[m * width + 0] = 1.0;
+  suffix->assign((m + 1) * width, kLogInfeasible);
+  (*suffix)[m * width + 0] = 0.0;  // log 1
+  std::vector<LogProb> pm(width);  // prefix minima of row i + 1
   for (size_t i = m; i-- > 0;) {
+    const LogProb* next = suffix->data() + (i + 1) * width;
+    LogProb run = kLogInfeasible;
+    for (size_t s = 0; s < width; ++s) {
+      run = std::min(run, next[s]);
+      pm[s] = run;
+    }
+    const Minimize1Table& table = *buckets[i].table;
+    CKSAFE_CHECK_GE(table.max_k(), k) << "table budget too small for sweep";
+    const LogProb* f = table.MinLogRow();
     for (size_t h = 0; h < width; ++h) {
-      double best = kInf;
-      for (size_t t = 0; t <= h; ++t) {
-        const double tail = suffix[(i + 1) * width + (h - t)];
-        if (tail == kInf) continue;
-        best = std::min(best, buckets[i].table->MinProbability(t) * tail);
+      const LogProb f_floor = f[h];
+      LogProb best = kLogInfeasible;
+      bool done = false;
+      for (size_t t0 = 0; t0 <= h && !done; t0 += kScanTile) {
+        const size_t t_end = std::min(h, t0 + kScanTile - 1);
+        for (size_t t = t0; t <= t_end; ++t) {
+          // pm may be +inf (no feasible tail yet): a NaN bound from
+          // (-inf) + inf compares false and merely keeps scanning.
+          if (f_floor + pm[h - t] >= best) {
+            done = true;
+            break;
+          }
+          const LogProb tail = next[h - t];
+          if (tail == kLogInfeasible) continue;
+          best = std::min(best, f[t] + tail);
+        }
       }
-      suffix[i * width + h] = best;
+      (*suffix)[i * width + h] = best;
     }
   }
+}
+
+std::vector<LogProb> ComputeNoASuffix(
+    const std::vector<Minimize2Bucket>& buckets, size_t k) {
+  std::vector<LogProb> suffix;
+  ComputeNoASuffix(buckets, k, &suffix);
   return suffix;
 }
 
-std::vector<double> PerBucketDisclosureSweep(
+std::vector<LogProb> PerBucketLogRatioSweep(
     const std::vector<Minimize2Bucket>& buckets, size_t k,
-    const Minimize2Forward& prefix, const std::vector<double>& suffix) {
+    const Minimize2Forward& prefix, const std::vector<LogProb>& suffix) {
   const size_t m = buckets.size();
   const size_t width = k + 1;
   CKSAFE_CHECK_EQ(prefix.num_buckets(), m);
   CKSAFE_CHECK_EQ(prefix.k(), k);
   CKSAFE_CHECK_EQ(suffix.size(), (m + 1) * width);
 
-  std::vector<double> result(m);
-  std::vector<double> others(width);
+  std::vector<LogProb> result(m);
+  std::vector<LogProb> others(width);
   for (size_t j = 0; j < m; ++j) {
-    // others[h] = min product when h atoms go to buckets other than j.
-    const double* head_row = prefix.NoARow(j);
-    std::fill(others.begin(), others.end(),
-              std::numeric_limits<double>::infinity());
+    // others[h] = min log-product when h atoms go to buckets other than j.
+    const LogProb* head_row = prefix.NoALogRow(j);
+    std::fill(others.begin(), others.end(), kLogInfeasible);
     for (size_t h = 0; h < width; ++h) {
       for (size_t a = 0; a <= h; ++a) {
-        const double head = head_row[a];
-        const double tail = suffix[(j + 1) * width + (h - a)];
-        if (head == std::numeric_limits<double>::infinity() ||
-            tail == std::numeric_limits<double>::infinity()) {
-          continue;
-        }
-        others[h] = std::min(others[h], head * tail);
+        const LogProb head = head_row[a];
+        const LogProb tail = suffix[(j + 1) * width + (h - a)];
+        if (head == kLogInfeasible || tail == kLogInfeasible) continue;
+        others[h] = std::min(others[h], head + tail);
       }
     }
-    double r_min = std::numeric_limits<double>::infinity();
+    const double log_ratio = std::log(buckets[j].ratio);
+    LogProb log_r_min = kLogInfeasible;
     for (size_t t = 0; t <= k; ++t) {
-      if (others[k - t] == std::numeric_limits<double>::infinity()) continue;
-      r_min = std::min(r_min, buckets[j].table->MinProbability(t + 1) *
-                                  buckets[j].ratio * others[k - t]);
+      if (others[k - t] == kLogInfeasible) continue;
+      log_r_min = std::min(log_r_min,
+                           buckets[j].table->MinLogProbability(t + 1) +
+                               log_ratio + others[k - t]);
     }
-    CKSAFE_CHECK(r_min != std::numeric_limits<double>::infinity());
-    result[j] = 1.0 / (1.0 + r_min);
+    // No feasible placement for this bucket: report certain disclosure
+    // (log R = log 0) rather than aborting. Unreachable from the
+    // analyzers — others[0] (head 0, tail 0 atoms) is always feasible —
+    // but direct kernel callers stay total (regression-tested with
+    // budgets beyond every bucket's distinct values).
+    result[j] = log_r_min == kLogInfeasible ? kLogZero : log_r_min;
   }
   return result;
 }

@@ -65,6 +65,7 @@ StatusOr<PublishedRelease> Publisher::Publish(
   if (table.num_rows() == 0) {
     return Status::InvalidArgument("cannot publish an empty table");
   }
+  CKSAFE_RETURN_IF_ERROR(Minimize2Forward::ValidateBudget(options_.k));
   const GeneralizationLattice lattice =
       GeneralizationLattice::FromQuasiIdentifiers(qis);
 
@@ -79,8 +80,11 @@ StatusOr<PublishedRelease> Publisher::Publish(
       if (first_error.ok()) first_error = bucketization.status();
       return false;
     }
+    // One DP arena per worker thread: per-node evaluations reuse the row
+    // buffers instead of reallocating them (values are unaffected).
+    thread_local Minimize2Workspace workspace;
     DisclosureAnalyzer analyzer(*bucketization, &cache);
-    return analyzer.IsCkSafe(options_.c, options_.k);
+    return analyzer.IsCkSafe(options_.c, options_.k, &workspace);
   };
 
   LatticeSearchOptions search_options;

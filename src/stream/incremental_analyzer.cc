@@ -151,9 +151,8 @@ WorstCaseDisclosure IncrementalAnalyzer::MaxDisclosureImplications(size_t k) {
       << "cannot analyze an empty bucketization";
   const std::vector<Minimize2Bucket> inputs = Inputs(k);
   KState& state = UpToDate(k, inputs);
-  const double r_min = state.dp.RMin();
-  CKSAFE_CHECK(r_min != std::numeric_limits<double>::infinity())
-      << "no feasible atom placement";
+  const LogProb log_r_min = state.dp.LogRMin();
+  CKSAFE_CHECK(log_r_min != kLogInfeasible) << "no feasible atom placement";
 
   std::vector<const std::vector<PersonId>*> members(buckets_.size());
   std::vector<const BucketStats*> stats(buckets_.size());
@@ -161,7 +160,7 @@ WorstCaseDisclosure IncrementalAnalyzer::MaxDisclosureImplications(size_t k) {
     members[i] = &buckets_[i].members;
     stats[i] = &buckets_[i].stats;
   }
-  return AssembleImplicationWitness(r_min, state.dp.WitnessPlacements(),
+  return AssembleImplicationWitness(log_r_min, state.dp.WitnessPlacements(),
                                     members, stats, inputs);
 }
 
@@ -187,13 +186,22 @@ DisclosureProfile IncrementalAnalyzer::Profile(size_t max_k) {
   for (size_t i = 0; i < buckets_.size(); ++i) stats[i] = &buckets_[i].stats;
 
   DisclosureProfile profile;
+  profile.implication_log_r = ImplicationLogRatioCurveFromSweep(state.dp);
   profile.implication = ImplicationCurveFromSweep(state.dp);
   profile.negation = NegationCurveOverBuckets(stats, max_k);
   return profile;
 }
 
 bool IncrementalAnalyzer::IsCkSafe(double c, size_t k) {
-  return MaxDisclosureImplications(k).disclosure < c;
+  // Same log-space rule as DisclosureAnalyzer::IsCkSafe, off the
+  // persistent row-granular sweep — no witness assembly.
+  CKSAFE_CHECK_GT(buckets_.size(), 0u)
+      << "cannot analyze an empty bucketization";
+  const std::vector<Minimize2Bucket> inputs = Inputs(k);
+  KState& state = UpToDate(k, inputs);
+  const LogProb log_r_min = state.dp.LogRMin();
+  CKSAFE_CHECK(log_r_min != kLogInfeasible) << "no feasible atom placement";
+  return IsSafeLogRatio(log_r_min, c);
 }
 
 std::vector<double> IncrementalAnalyzer::PerBucketDisclosure(size_t k) {
@@ -202,10 +210,13 @@ std::vector<double> IncrementalAnalyzer::PerBucketDisclosure(size_t k) {
   const std::vector<Minimize2Bucket> inputs = Inputs(k);
   KState& state = UpToDate(k, inputs);
   if (!state.suffix_valid) {
-    state.suffix = ComputeNoASuffix(inputs, k);
+    ComputeNoASuffix(inputs, k, &state.suffix);
     state.suffix_valid = true;
   }
-  return PerBucketDisclosureSweep(inputs, k, state.dp, state.suffix);
+  std::vector<double> result =
+      PerBucketLogRatioSweep(inputs, k, state.dp, state.suffix);
+  for (double& value : result) value = DisclosureFromLogRatio(value);
+  return result;
 }
 
 }  // namespace cksafe

@@ -55,6 +55,7 @@ StatusOr<std::vector<TenantRelease>> MultiPolicyPublisher::PublishAll() {
       GeneralizationLattice::FromQuasiIdentifiers(qis_);
   size_t max_k = 0;
   for (const CkPolicy& policy : policies_) max_k = std::max(max_k, policy.k);
+  CKSAFE_RETURN_IF_ERROR(Minimize2Forward::ValidateBudget(max_k));
 
   // One profile per node answers every tenant; the shared cache makes
   // MINIMIZE1 tables recur across nodes and publishes exactly as in the
@@ -69,13 +70,12 @@ StatusOr<std::vector<TenantRelease>> MultiPolicyPublisher::PublishAll() {
       if (first_error.ok()) first_error = bucketization.status();
       return std::nullopt;
     }
+    // Classification reads only the implication curves (linear + log), so
+    // skip the negation scan on this hot path (NodeProfiler permits an
+    // empty negation curve), and reuse one DP arena per worker thread.
+    thread_local Minimize2Workspace workspace;
     DisclosureAnalyzer analyzer(*bucketization, &cache_);
-    // Classification reads only the implication curve, so skip the
-    // negation scan on this hot path (NodeProfiler permits an empty
-    // negation curve).
-    DisclosureProfile profile;
-    profile.implication = analyzer.ImplicationCurve(max_k);
-    return profile;
+    return analyzer.Profile(max_k, &workspace, /*with_negation=*/false);
   };
 
   MultiPolicySearchResult search = FindMinimalSafeNodesMultiPolicy(

@@ -1,0 +1,118 @@
+// Stress configuration for the log-space MINIMIZE2 kernel: large bucket
+// counts and large atom budgets — including budgets beyond the historical
+// uint8 ceiling of 255 — inside the 5-second `ctest -L unit` budget
+// (DESIGN.md §9, satellite of PR 4). The point is to run the widened
+// choice storage, the tiled scans, and the pruning bounds at sizes the
+// property suites don't reach, while asserting the structural contracts:
+// finiteness, monotonicity, column/point bit-identity, and arena reuse.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "cksafe/core/logprob.h"
+#include "cksafe/core/minimize2.h"
+
+namespace cksafe {
+namespace {
+
+std::vector<Minimize2Bucket> IdenticalBuckets(
+    size_t count, const std::vector<uint32_t>& histogram, size_t budget) {
+  auto table = std::make_shared<const Minimize1Table>(histogram, budget);
+  uint64_t n = 0;
+  for (uint32_t c : histogram) n += c;
+  return std::vector<Minimize2Bucket>(
+      count, Minimize2Bucket{
+                 table, static_cast<double>(n) /
+                            static_cast<double>(histogram[0])});
+}
+
+TEST(KernelStressTest, LargeBucketCountLargeBudget) {
+  // 1200 buckets at budget 96: ~11M candidate scans without pruning.
+  constexpr size_t kBuckets = 1200;
+  constexpr size_t kAtoms = 96;
+  const std::vector<Minimize2Bucket> inputs =
+      IdenticalBuckets(kBuckets, {5, 3, 2, 1, 1}, kAtoms + 1);
+  Minimize2Forward dp(kAtoms);
+  dp.Recompute(inputs, 0);
+  // Small buckets saturate quickly: the full-budget minimum is log 0, but
+  // every column must be feasible and the curve monotone.
+  for (size_t h = 1; h <= kAtoms; ++h) {
+    ASSERT_NE(dp.LogRMinAt(h), kLogInfeasible) << "h=" << h;
+    EXPECT_LE(dp.LogRMinAt(h), dp.LogRMinAt(h - 1)) << "h=" << h;
+  }
+  EXPECT_LT(dp.LogRMinAt(1), 0.0);
+}
+
+TEST(KernelStressTest, BudgetBeyondHistoricalUint8Ceiling) {
+  // k = 300 would have CHECK-aborted before the uint16 widening.
+  constexpr size_t kBuckets = 40;
+  constexpr size_t kAtoms = 300;
+  ASSERT_TRUE(Minimize2Forward::ValidateBudget(kAtoms).ok());
+  const std::vector<uint32_t> histogram = {6, 5, 4, 3, 2, 1};
+  const std::vector<Minimize2Bucket> inputs =
+      IdenticalBuckets(kBuckets, histogram, kAtoms + 1);
+  Minimize2Forward dp(kAtoms);
+  dp.Recompute(inputs, 0);
+  for (size_t h = 1; h <= kAtoms; ++h) {
+    ASSERT_NE(dp.LogRMinAt(h), kLogInfeasible) << "h=" << h;
+    EXPECT_LE(dp.LogRMinAt(h), dp.LogRMinAt(h - 1)) << "h=" << h;
+  }
+  // The witness at full budget still reconstructs (uint16 choices).
+  const std::vector<Minimize2Placement> placements = dp.WitnessPlacements();
+  uint32_t placed = 0;
+  for (const Minimize2Placement& p : placements) placed += p.atoms;
+  EXPECT_EQ(placed, kAtoms);
+
+  // The user-facing validation accepts exactly up to the practical
+  // analysis cap and reports a clean Status beyond it (the CLI path
+  // relies on this; the uint16 storage ceiling is far higher and only
+  // guards direct kernel users via the constructor CHECK).
+  EXPECT_TRUE(
+      Minimize2Forward::ValidateBudget(Minimize2Forward::kMaxAnalysisBudget)
+          .ok());
+  const Status absurd = Minimize2Forward::ValidateBudget(
+      Minimize2Forward::kMaxAnalysisBudget + 1);
+  EXPECT_EQ(absurd.code(), StatusCode::kOutOfRange);
+  EXPECT_LT(Minimize2Forward::kMaxAnalysisBudget,
+            Minimize2Forward::kMaxBudget);
+}
+
+TEST(KernelStressTest, WideSweepColumnsBitMatchDedicatedSweeps) {
+  // The one-sweep profile contract at stress sizes: column h of a wide
+  // sweep == a dedicated budget-h sweep, bit for bit, pruning included.
+  constexpr size_t kBuckets = 400;
+  constexpr size_t kAtoms = 80;
+  const std::vector<Minimize2Bucket> inputs =
+      IdenticalBuckets(kBuckets, {9, 7, 5, 3, 1, 1, 1}, kAtoms + 1);
+  Minimize2Forward wide(kAtoms);
+  wide.Recompute(inputs, 0);
+  for (size_t h : {size_t{0}, size_t{7}, size_t{33}, size_t{80}}) {
+    Minimize2Forward dedicated(h);
+    dedicated.Recompute(inputs, 0);
+    EXPECT_EQ(wide.LogRMinAt(h), dedicated.LogRMin()) << "h=" << h;
+  }
+}
+
+TEST(KernelStressTest, WorkspaceReuseAcrossBudgetsIsValueIdentical) {
+  // The arena path (Reset + Recompute) must produce the same values as a
+  // freshly constructed sweep, across budget changes in both directions.
+  const std::vector<Minimize2Bucket> small =
+      IdenticalBuckets(60, {4, 2, 1}, 130);
+  Minimize2Workspace ws;
+  for (size_t k : {size_t{12}, size_t{129}, size_t{5}, size_t{64}}) {
+    Minimize2Forward& reused = ws.SweepForBudget(k);
+    reused.Recompute(small, 0);
+    Minimize2Forward fresh(k);
+    fresh.Recompute(small, 0);
+    for (size_t h = 0; h <= k; ++h) {
+      ASSERT_EQ(reused.LogRMinAt(h), fresh.LogRMinAt(h))
+          << "k=" << k << " h=" << h;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cksafe

@@ -1,0 +1,77 @@
+// Unit tests for the log-domain probability helpers (core/logprob.h):
+// the conversions and the exact log-space safety rule the disclosure
+// kernel is built on (DESIGN.md §9).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cksafe/core/logprob.h"
+
+namespace cksafe {
+namespace {
+
+TEST(LogProbTest, DisclosureFromLogRatioMatchesLinearFormula) {
+  // Moderate ratios: agree with 1 / (1 + r) to an ulp or two.
+  for (double r : {1e-6, 0.25, 1.0, 3.0, 1e6}) {
+    EXPECT_NEAR(DisclosureFromLogRatio(std::log(r)), 1.0 / (1.0 + r),
+                1e-15)
+        << "r=" << r;
+  }
+  EXPECT_EQ(DisclosureFromLogRatio(0.0), 0.5);
+}
+
+TEST(LogProbTest, DisclosureFromLogRatioIsStableAtBothEnds) {
+  // Huge positive log r: 1 / (1 + e^L) would overflow e^L; the stable
+  // form returns the honest denormal-or-zero disclosure.
+  EXPECT_NEAR(DisclosureFromLogRatio(800.0), 0.0, 1e-300);
+  EXPECT_GT(DisclosureFromLogRatio(700.0), 0.0);
+  // Deep negative log r: linear r underflows; disclosure saturates to 1.
+  EXPECT_EQ(DisclosureFromLogRatio(-800.0), 1.0);
+  EXPECT_EQ(DisclosureFromLogRatio(kLogZero), 1.0);
+  EXPECT_EQ(DisclosureFromLogRatio(kLogInfeasible), 0.0);
+}
+
+TEST(LogProbTest, LogRatioFromDisclosureRoundTrips) {
+  for (double d : {0.1, 0.4, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(DisclosureFromLogRatio(LogRatioFromDisclosure(d)), d, 1e-12)
+        << "d=" << d;
+  }
+  EXPECT_EQ(LogRatioFromDisclosure(1.0), kLogZero);
+  EXPECT_EQ(LogRatioFromDisclosure(0.0), kLogInfeasible);
+}
+
+TEST(LogProbTest, SafetyRuleMatchesLinearRuleAwayFromSaturation) {
+  // Where the linear disclosure has full precision the two rules agree.
+  for (double c : {0.2, 0.5, 0.7, 0.95}) {
+    for (double r : {1e-3, 0.2, 0.42857142857, 1.0, 4.0, 1e3}) {
+      const double disclosure = 1.0 / (1.0 + r);
+      EXPECT_EQ(IsSafeLogRatio(std::log(r), c), disclosure < c)
+          << "c=" << c << " r=" << r;
+    }
+  }
+}
+
+TEST(LogProbTest, SafetyRuleIsExactWhereLinearSaturates) {
+  // r = e^-800 underflows to 0 in linear, so the linear rule calls the
+  // degenerate c = 1 policy ("never certain") violated. The log rule
+  // knows r > 0, i.e. disclosure < 1: safe.
+  const LogProb deep = -800.0;
+  EXPECT_EQ(DisclosureFromLogRatio(deep), 1.0);     // linear saturates...
+  EXPECT_TRUE(IsSafeLogRatio(deep, 1.0));           // ...log stays exact
+  EXPECT_FALSE(IsSafeLogRatio(kLogZero, 1.0));      // true certainty: unsafe
+  // c > 1 is vacuously safe — disclosure never exceeds 1, so even exact
+  // certainty passes (the linear rule 1.0 < c agreed; keep that).
+  EXPECT_TRUE(IsSafeLogRatio(kLogZero, 1.5));
+  EXPECT_TRUE(IsSafeLogRatio(deep, 1.5));
+  // c <= 0 admits nothing; infeasible (no adversary) is vacuously safe
+  // for any positive threshold.
+  EXPECT_FALSE(IsSafeLogRatio(deep, 0.0));
+  EXPECT_FALSE(IsSafeLogRatio(kLogInfeasible, 0.0));
+  EXPECT_TRUE(IsSafeLogRatio(kLogInfeasible, 0.5));
+  EXPECT_EQ(LogRatioSafetyThreshold(1.0), kLogZero);
+  EXPECT_NEAR(LogRatioSafetyThreshold(0.5), 0.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace cksafe

@@ -144,6 +144,63 @@ TEST(StreamingDifferentialTest, AppendOnlyStreamsRecomputeOnlyNewRows) {
   EXPECT_EQ(inc.cache()->misses(), 2u);
 }
 
+TEST(StreamingDifferentialTest, ShrinkThenQueryMatchesFreshAnalyzer) {
+  // Audit regression for the Recompute resume bound when the bucket list
+  // SHRINKS (PR 4 satellite): after RemoveBucket the previous sweep has
+  // more rows than the new bucket count, and the kept-prefix bound must
+  // cap at the surviving rows so no stale tail row is ever observable
+  // (via NoALogRow-consuming queries like PerBucketDisclosure). Each
+  // scenario below is checked against a fresh analyzer bit-for-bit.
+  constexpr size_t kDomain = 4;
+  constexpr size_t kAtoms = 3;
+  IncrementalAnalyzer inc(kDomain);
+  for (int i = 0; i < 8; ++i) {
+    inc.AddBucket({0, 0, 1, static_cast<int32_t>(i % kDomain)});
+  }
+  auto expect_matches_fresh = [&](const char* label) {
+    const Bucketization reference = inc.CurrentBucketization();
+    DisclosureAnalyzer fresh(reference);
+    const DisclosureProfile inc_profile = inc.Profile(kAtoms);
+    const DisclosureProfile fresh_profile = fresh.Profile(kAtoms);
+    ASSERT_EQ(inc_profile.implication, fresh_profile.implication) << label;
+    ASSERT_EQ(inc_profile.implication_log_r, fresh_profile.implication_log_r)
+        << label;
+    const std::vector<double> inc_pb = inc.PerBucketDisclosure(kAtoms);
+    const std::vector<double> fresh_pb = fresh.PerBucketDisclosure(kAtoms);
+    ASSERT_EQ(inc_pb, fresh_pb) << label;
+    ASSERT_EQ(inc_pb.size(), inc.num_buckets()) << label;
+  };
+  expect_matches_fresh("warmup");
+
+  // Remove the LAST bucket: every surviving row is reusable, so the
+  // query must not rebuild anything (prev_rows > rows is the audited
+  // shrink case: the stale tail is discarded, not recomputed).
+  const uint64_t before_tail_removal = inc.stats().rows_recomputed;
+  inc.RemoveBucket(7);
+  expect_matches_fresh("remove last");
+  EXPECT_EQ(inc.stats().rows_recomputed, before_tail_removal);
+
+  // Remove a MIDDLE bucket: rows above it rebuild, rows below reuse.
+  inc.RemoveBucket(3);
+  expect_matches_fresh("remove middle");
+
+  // Shrink to a prefix, then grow again past the old length: resize up
+  // must not resurrect stale row contents.
+  inc.RemoveBucket(5);
+  inc.RemoveBucket(4);
+  inc.RemoveBucket(3);
+  expect_matches_fresh("shrink to prefix");
+  for (int i = 0; i < 6; ++i) inc.AddBucket({2, 3, 3, 1});
+  expect_matches_fresh("regrow past old length");
+
+  // Remove-then-append at the same index without an intervening query:
+  // the replacement bucket's row must be recomputed even though the
+  // bucket count matches the previous sweep.
+  inc.RemoveBucket(inc.num_buckets() - 1);
+  inc.AddBucket({1, 1, 0, 2});
+  expect_matches_fresh("replace tail bucket");
+}
+
 TEST(StreamingDifferentialTest, MatchesExactOracleOnTinyStreams) {
   constexpr size_t kDomain = 3;
   Rng rng(77);

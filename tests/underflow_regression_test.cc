@@ -1,0 +1,481 @@
+// Deep-product underflow regression suite (DESIGN.md §9, PR 4).
+//
+// Three differential layers gate the log-space kernel:
+//  1. The PINNED regression: on a deep-product input the historical
+//     linear-domain kernel (reproduced verbatim below) underflows its
+//     chained product to exactly 0.0 and reports *certain* disclosure
+//     (>= 1 - 1e-9), while the log-space kernel returns a finite log R
+//     matching a long-double log-domain oracle to 1e-12 — the bug the
+//     rewrite exists to fix, kept here so it can never regress silently.
+//  2. Agreement: wherever the linear kernel does NOT underflow, old and
+//     new kernels agree to 1e-12 relative on every profile column.
+//  3. Pruning exactness: the tiled monotone-argmin prune must be a pure
+//     optimization — bit-identical values AND witnesses against an
+//     unpruned log-domain reference on random and adversarial inputs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cksafe/core/disclosure.h"
+#include "cksafe/core/logprob.h"
+#include "cksafe/core/minimize2.h"
+#include "cksafe/util/random.h"
+#include "testing_util.h"
+
+namespace cksafe {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr long double kInfL = std::numeric_limits<long double>::infinity();
+
+// Sorted-descending positive counts, as BucketStats would produce them.
+std::vector<uint32_t> Normalize(std::vector<uint32_t> histogram) {
+  std::sort(histogram.begin(), histogram.end(), std::greater<uint32_t>());
+  while (!histogram.empty() && histogram.back() == 0) histogram.pop_back();
+  return histogram;
+}
+
+std::vector<std::vector<uint32_t>> NormalizeAll(
+    const std::vector<std::vector<uint32_t>>& histograms) {
+  std::vector<std::vector<uint32_t>> out;
+  for (const auto& histogram : histograms) out.push_back(Normalize(histogram));
+  return out;
+}
+
+// Builds MINIMIZE2 inputs from sorted-count histograms, sharing one table
+// per distinct histogram (mirrors DisclosureCache behaviour).
+std::vector<Minimize2Bucket> MakeInputs(
+    const std::vector<std::vector<uint32_t>>& histograms, size_t budget) {
+  std::vector<Minimize2Bucket> inputs;
+  std::vector<std::pair<std::vector<uint32_t>,
+                        std::shared_ptr<const Minimize1Table>>> cache;
+  for (const std::vector<uint32_t>& counts : histograms) {
+    std::shared_ptr<const Minimize1Table> table;
+    for (const auto& [key, value] : cache) {
+      if (key == counts) table = value;
+    }
+    if (table == nullptr) {
+      table = std::make_shared<const Minimize1Table>(counts, budget);
+      cache.emplace_back(counts, table);
+    }
+    uint64_t n = 0;
+    for (uint32_t c : counts) n += c;
+    inputs.push_back(Minimize2Bucket{
+        table, static_cast<double>(n) / static_cast<double>(counts[0])});
+  }
+  return inputs;
+}
+
+// --- Layer 1 reference: the historical linear-domain kernel -----------------
+// A verbatim reproduction of the pre-PR4 Minimize2Forward::Recompute inner
+// loops: chained double *products*, O(k) scan per cell, no pruning. Returns
+// with_a[m][h] (linear r_min) for every budget h <= k.
+std::vector<double> LinearKernelRMinCurve(
+    const std::vector<Minimize2Bucket>& buckets, size_t k) {
+  const size_t m = buckets.size();
+  const size_t width = k + 1;
+  std::vector<double> no_a((m + 1) * width, kInf);
+  std::vector<double> with_a((m + 1) * width, kInf);
+  no_a[0] = 1.0;
+  for (size_t i = 1; i <= m; ++i) {
+    const Minimize1Table& table = *buckets[i - 1].table;
+    const double ratio = buckets[i - 1].ratio;
+    for (size_t h = 0; h < width; ++h) {
+      double best = kInf;
+      double best_w = kInf;
+      for (size_t t = 0; t <= h; ++t) {
+        const double head = no_a[(i - 1) * width + (h - t)];
+        if (head != kInf) {
+          best = std::min(best, table.MinProbability(t) * head);
+          best_w = std::min(best_w,
+                            table.MinProbability(t + 1) * ratio * head);
+        }
+        const double head_with = with_a[(i - 1) * width + (h - t)];
+        if (head_with != kInf) {
+          best_w = std::min(best_w, table.MinProbability(t) * head_with);
+        }
+      }
+      no_a[i * width + h] = best;
+      with_a[i * width + h] = best_w;
+    }
+  }
+  return std::vector<double>(with_a.begin() + m * width, with_a.end());
+}
+
+// --- Layers 1/2 reference: long-double log-domain oracle --------------------
+
+// Lemma 12 recursion in long-double log space: the high-precision
+// per-bucket minimum the MINIMIZE2 oracle composes.
+class OracleMinimize1 {
+ public:
+  OracleMinimize1(const std::vector<uint32_t>& counts, size_t max_k)
+      : counts_(counts), max_k_(max_k) {
+    prefix_.resize(counts.size() + 1, 0);
+    for (size_t j = 0; j < counts.size(); ++j) {
+      prefix_[j + 1] = prefix_[j] + counts[j];
+      n_ += counts[j];
+    }
+    i_limit_ = std::min<uint64_t>(max_k, n_);
+    memo_.assign((i_limit_ + 1) * (max_k + 1) * (max_k + 1), 0);
+    computed_.assign(memo_.size(), 0);
+  }
+
+  long double MinLog(size_t atoms) {
+    return atoms == 0 ? 0.0L : Solve(0, atoms, atoms);
+  }
+
+ private:
+  long double Solve(size_t i, size_t cap, size_t rem) {
+    if (rem == 0) return 0.0L;
+    if (i >= i_limit_) return kInfL;
+    const size_t index = (i * (max_k_ + 1) + cap) * (max_k_ + 1) + rem;
+    if (computed_[index]) return memo_[index];
+    long double best = kInfL;
+    for (size_t ki = 1; ki <= std::min(cap, rem); ++ki) {
+      const long double child = Solve(i + 1, ki, rem - ki);
+      if (child == kInfL) continue;
+      const long double numer =
+          static_cast<long double>(n_) - static_cast<long double>(i) -
+          static_cast<long double>(prefix_[std::min(ki, counts_.size())]);
+      const long double denom =
+          static_cast<long double>(n_) - static_cast<long double>(i);
+      const long double factor =
+          numer <= 0.0L ? -kInfL : std::log(numer / denom);
+      best = std::min(best, factor + child);
+    }
+    computed_[index] = 1;
+    memo_[index] = best;
+    return best;
+  }
+
+  std::vector<uint32_t> counts_;
+  std::vector<uint64_t> prefix_;
+  uint64_t n_ = 0;
+  size_t max_k_ = 0;
+  size_t i_limit_ = 0;
+  std::vector<long double> memo_;
+  std::vector<uint8_t> computed_;
+};
+
+// The forward MINIMIZE2 recurrence in long-double log space, unpruned.
+std::vector<long double> OracleLogRMinCurve(
+    const std::vector<std::vector<uint32_t>>& histograms, size_t k) {
+  const size_t m = histograms.size();
+  const size_t width = k + 1;
+  // One memo per distinct histogram (the O(k^3) tables dwarf the sweep).
+  std::vector<std::pair<std::vector<uint32_t>,
+                        std::shared_ptr<OracleMinimize1>>> cache;
+  std::vector<std::shared_ptr<OracleMinimize1>> tables;
+  std::vector<long double> log_ratios;
+  for (const std::vector<uint32_t>& counts : histograms) {
+    std::shared_ptr<OracleMinimize1> table;
+    for (const auto& [key, value] : cache) {
+      if (key == counts) table = value;
+    }
+    if (table == nullptr) {
+      table = std::make_shared<OracleMinimize1>(counts, k + 1);
+      cache.emplace_back(counts, table);
+    }
+    tables.push_back(table);
+    uint64_t n = 0;
+    for (uint32_t c : counts) n += c;
+    log_ratios.push_back(std::log(static_cast<long double>(n) /
+                                  static_cast<long double>(counts[0])));
+  }
+  std::vector<long double> no_a((m + 1) * width, kInfL);
+  std::vector<long double> with_a((m + 1) * width, kInfL);
+  no_a[0] = 0.0L;
+  for (size_t i = 1; i <= m; ++i) {
+    OracleMinimize1& table = *tables[i - 1];
+    for (size_t h = 0; h < width; ++h) {
+      long double best = kInfL;
+      long double best_w = kInfL;
+      for (size_t t = 0; t <= h; ++t) {
+        const long double head = no_a[(i - 1) * width + (h - t)];
+        if (head != kInfL) {
+          best = std::min(best, table.MinLog(t) + head);
+          best_w = std::min(best_w,
+                            table.MinLog(t + 1) + log_ratios[i - 1] + head);
+        }
+        const long double head_with = with_a[(i - 1) * width + (h - t)];
+        if (head_with != kInfL) {
+          best_w = std::min(best_w, table.MinLog(t) + head_with);
+        }
+      }
+      no_a[i * width + h] = best;
+      with_a[i * width + h] = best_w;
+    }
+  }
+  return std::vector<long double>(with_a.begin() + m * width, with_a.end());
+}
+
+// --- Layer 3 reference: unpruned double log kernel --------------------------
+// Identical candidate evaluation and tie-breaking to Minimize2Forward, but
+// the plain O(k) scan: the pruned kernel must match it bit for bit.
+struct UnprunedLogSweep {
+  std::vector<LogProb> no_a;
+  std::vector<LogProb> with_a;
+  std::vector<uint16_t> no_choice_t;
+  std::vector<uint16_t> wa_choice_t;
+  std::vector<uint8_t> wa_choice_branch;
+  size_t width = 0;
+};
+
+UnprunedLogSweep UnprunedLogKernel(const std::vector<Minimize2Bucket>& buckets,
+                                   size_t k) {
+  const size_t m = buckets.size();
+  UnprunedLogSweep s;
+  s.width = k + 1;
+  s.no_a.assign((m + 1) * s.width, kLogInfeasible);
+  s.with_a.assign((m + 1) * s.width, kLogInfeasible);
+  s.no_choice_t.assign((m + 1) * s.width, 0);
+  s.wa_choice_t.assign((m + 1) * s.width, 0);
+  s.wa_choice_branch.assign((m + 1) * s.width, 0);
+  s.no_a[0] = 0.0;
+  for (size_t i = 1; i <= m; ++i) {
+    const Minimize1Table& table = *buckets[i - 1].table;
+    const double log_ratio = std::log(buckets[i - 1].ratio);
+    for (size_t h = 0; h < s.width; ++h) {
+      LogProb best = kLogInfeasible;
+      uint16_t best_t = 0;
+      for (size_t t = 0; t <= h; ++t) {
+        const LogProb head = s.no_a[(i - 1) * s.width + (h - t)];
+        if (head == kLogInfeasible) continue;
+        const LogProb candidate = table.MinLogProbability(t) + head;
+        if (candidate < best) {
+          best = candidate;
+          best_t = static_cast<uint16_t>(t);
+        }
+      }
+      s.no_a[i * s.width + h] = best;
+      s.no_choice_t[i * s.width + h] = best_t;
+
+      LogProb best_w = kLogInfeasible;
+      uint16_t best_w_t = 0;
+      uint8_t best_w_branch = 0;
+      for (size_t t = 0; t <= h; ++t) {
+        const LogProb head_with = s.with_a[(i - 1) * s.width + (h - t)];
+        if (head_with != kLogInfeasible) {
+          const LogProb candidate = table.MinLogProbability(t) + head_with;
+          if (candidate < best_w) {
+            best_w = candidate;
+            best_w_t = static_cast<uint16_t>(t);
+            best_w_branch = 0;
+          }
+        }
+        const LogProb head_no = s.no_a[(i - 1) * s.width + (h - t)];
+        if (head_no != kLogInfeasible) {
+          const LogProb candidate =
+              table.MinLogProbability(t + 1) + log_ratio + head_no;
+          if (candidate < best_w) {
+            best_w = candidate;
+            best_w_t = static_cast<uint16_t>(t);
+            best_w_branch = 1;
+          }
+        }
+      }
+      s.with_a[i * s.width + h] = best_w;
+      s.wa_choice_t[i * s.width + h] = best_w_t;
+      s.wa_choice_branch[i * s.width + h] = best_w_branch;
+    }
+  }
+  return s;
+}
+
+// The deep-product workload: buckets whose minimum probabilities are tiny
+// (one dominant sensitive value among many singletons), so optimal chains
+// of a few dozen atoms drop below DBL_MIN.
+std::vector<uint32_t> DeepHistogram(uint32_t dominant, size_t singletons) {
+  std::vector<uint32_t> counts{dominant};
+  counts.insert(counts.end(), singletons, 1);
+  return counts;
+}
+
+TEST(UnderflowRegressionTest, LinearKernelMisreportsCertainDisclosure) {
+  // 200 identical buckets of a billion tuples with 69 singleton values:
+  // MinProbability(1) ~ 6.9e-8 per bucket, so the optimal 60-atom chain is
+  // around e^-1100 — far below DBL_MIN.
+  const std::vector<std::vector<uint32_t>> histograms(
+      200, DeepHistogram(1'000'000'000, 69));
+  constexpr size_t kAtoms = 60;
+  const std::vector<Minimize2Bucket> inputs = MakeInputs(histograms, kAtoms + 1);
+
+  // The historical kernel underflows to exactly 0 and claims certainty.
+  const std::vector<double> linear = LinearKernelRMinCurve(inputs, kAtoms);
+  EXPECT_EQ(linear[kAtoms], 0.0);
+  const double linear_disclosure = 1.0 / (1.0 + linear[kAtoms]);
+  EXPECT_GE(linear_disclosure, 1.0 - 1e-9);  // "certain disclosure"
+  // ... and under the linear rule even the degenerate c = 1 policy
+  // ("disclosure must stay below certainty") reads as violated.
+  EXPECT_FALSE(linear_disclosure < 1.0);
+
+  // The log-space kernel reports the honest, finite log R ...
+  Minimize2Forward dp(kAtoms);
+  dp.Recompute(inputs, 0);
+  const LogProb log_r = dp.LogRMin();
+  ASSERT_TRUE(std::isfinite(log_r));
+  EXPECT_LT(log_r, std::log(std::numeric_limits<double>::min()))
+      << "input no longer exercises the underflow regime";
+
+  // ... matching the long-double oracle to 1e-12 relative ...
+  const std::vector<long double> oracle = OracleLogRMinCurve(histograms, kAtoms);
+  EXPECT_LE(std::abs(static_cast<long double>(log_r) - oracle[kAtoms]),
+            1e-12L * std::abs(oracle[kAtoms]));
+
+  // ... so disclosure is provably NOT certain: the c = 1 verdict flips to
+  // the correct one, and the witness still reconstructs.
+  EXPECT_TRUE(IsSafeLogRatio(log_r, 1.0));
+  EXPECT_EQ(DisclosureFromLogRatio(log_r), 1.0)
+      << "the linear double saturates; only the log verdict is exact";
+  const std::vector<Minimize2Placement> placements = dp.WitnessPlacements();
+  uint32_t placed = 0;
+  size_t targets = 0;
+  for (const Minimize2Placement& p : placements) {
+    placed += p.atoms;
+    targets += p.has_target ? 1 : 0;
+  }
+  EXPECT_EQ(placed, kAtoms);
+  EXPECT_EQ(targets, 1u);
+}
+
+TEST(UnderflowRegressionTest, AgreesWithLinearKernelOutsideUnderflow) {
+  Rng rng(20260726);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto histograms =
+        NormalizeAll(testing::RandomHistograms(&rng, 40, 6, 24));
+    constexpr size_t kAtoms = 8;
+    const std::vector<Minimize2Bucket> inputs =
+        MakeInputs(histograms, kAtoms + 1);
+    const std::vector<double> linear = LinearKernelRMinCurve(inputs, kAtoms);
+    Minimize2Forward dp(kAtoms);
+    dp.Recompute(inputs, 0);
+    for (size_t h = 0; h <= kAtoms; ++h) {
+      const double r_new = std::exp(dp.LogRMinAt(h));
+      ASSERT_NE(linear[h], kInf);
+      EXPECT_LE(std::abs(r_new - linear[h]),
+                1e-12 * std::max(linear[h], 1e-300))
+          << "trial " << trial << " h=" << h;
+    }
+  }
+}
+
+TEST(UnderflowRegressionTest, ThousandsOfBucketsMatchLongDoubleOracle) {
+  // Mixed deep histograms across 2500 buckets: optimal chains traverse
+  // many distinct tables and reach ~e^-1000 at the full budget.
+  // Both histograms keep more distinct values than the full atom budget,
+  // so no structure saturates to probability 0 and the optimum stays a
+  // finite (huge, negative) log.
+  std::vector<std::vector<uint32_t>> histograms;
+  for (size_t i = 0; i < 2500; ++i) {
+    histograms.push_back(i % 2 == 0 ? DeepHistogram(1'000'000'000, 69)
+                                    : DeepHistogram(100'000'000, 79));
+  }
+  constexpr size_t kAtoms = 60;
+  const std::vector<Minimize2Bucket> inputs = MakeInputs(histograms, kAtoms + 1);
+  Minimize2Forward dp(kAtoms);
+  dp.Recompute(inputs, 0);
+  const std::vector<long double> oracle = OracleLogRMinCurve(histograms, kAtoms);
+  for (size_t h : {size_t{0}, size_t{1}, size_t{10}, size_t{30}, size_t{60}}) {
+    const LogProb log_r = dp.LogRMinAt(h);
+    ASSERT_TRUE(std::isfinite(log_r)) << "h=" << h;
+    EXPECT_LE(std::abs(static_cast<long double>(log_r) - oracle[h]),
+              1e-12L * std::max(std::abs(oracle[h]), 1.0L))
+        << "h=" << h;
+  }
+  // The log-ratio curve is nonincreasing in h (disclosure nondecreasing).
+  for (size_t h = 1; h <= kAtoms; ++h) {
+    EXPECT_LE(dp.LogRMinAt(h), dp.LogRMinAt(h - 1)) << "h=" << h;
+  }
+
+  // Per-bucket sweep: the most vulnerable bucket's log R equals the global
+  // minimum (the Definition 5 / Definition 6 consistency, now exact in
+  // the deep regime where linear disclosures all tie at 1.0).
+  const std::vector<LogProb> suffix = ComputeNoASuffix(inputs, kAtoms);
+  const std::vector<LogProb> per_bucket =
+      PerBucketLogRatioSweep(inputs, kAtoms, dp, suffix);
+  const LogProb best =
+      *std::min_element(per_bucket.begin(), per_bucket.end());
+  EXPECT_LE(std::abs(best - dp.LogRMin()),
+            1e-9 * std::abs(dp.LogRMin()));
+}
+
+TEST(UnderflowRegressionTest, PruningIsBitIdenticalToUnprunedLogKernel) {
+  Rng rng(77);
+  std::vector<std::vector<std::vector<uint32_t>>> cases;
+  for (int trial = 0; trial < 5; ++trial) {
+    cases.push_back(NormalizeAll(testing::RandomHistograms(&rng, 30, 5, 16)));
+  }
+  // One adversarial deep case: pruning must stay exact where everything
+  // is astronomically small.
+  cases.push_back(std::vector<std::vector<uint32_t>>(
+      150, DeepHistogram(1'000'000'000, 69)));
+  for (size_t c = 0; c < cases.size(); ++c) {
+    const size_t k = c + 4;  // vary the budget across cases
+    const std::vector<Minimize2Bucket> inputs = MakeInputs(cases[c], k + 1);
+    Minimize2Forward dp(k);
+    dp.Recompute(inputs, 0);
+    const UnprunedLogSweep ref = UnprunedLogKernel(inputs, k);
+    const size_t m = cases[c].size();
+    for (size_t h = 0; h <= k; ++h) {
+      EXPECT_EQ(dp.LogRMinAt(h), ref.with_a[m * ref.width + h])
+          << "case " << c << " h=" << h;
+    }
+    for (size_t i = 0; i <= m; ++i) {
+      const LogProb* row = dp.NoALogRow(i);
+      for (size_t h = 0; h <= k; ++h) {
+        ASSERT_EQ(row[h], ref.no_a[i * ref.width + h])
+            << "case " << c << " row " << i << " h=" << h;
+      }
+    }
+    // Witness reconstruction consumes the recorded argmins; replay the
+    // reference argmins and require the identical placement.
+    const std::vector<Minimize2Placement> placements = dp.WitnessPlacements();
+    size_t h = k;
+    bool in_with_a = true;
+    for (size_t i = m; i >= 1; --i) {
+      uint16_t t;
+      bool has_target = false;
+      if (in_with_a) {
+        t = ref.wa_choice_t[i * ref.width + h];
+        if (ref.wa_choice_branch[i * ref.width + h] == 1) {
+          has_target = true;
+          in_with_a = false;
+        }
+      } else {
+        t = ref.no_choice_t[i * ref.width + h];
+      }
+      EXPECT_EQ(placements[i - 1].atoms, t) << "case " << c << " bucket " << i;
+      EXPECT_EQ(placements[i - 1].has_target, has_target)
+          << "case " << c << " bucket " << i;
+      h -= t;
+    }
+  }
+}
+
+TEST(UnderflowRegressionTest, SaturatedBudgetBeyondPlaceableAtomsIsTotal) {
+  // Satellite regression: a budget larger than every bucket's distinct
+  // values saturates (some structure hits probability zero) instead of
+  // crashing — analyzer queries stay total and report certain disclosure.
+  auto fixture = testing::MakeBuckets({{2, 1, 0}, {1, 1, 1}}, 3);
+  DisclosureAnalyzer analyzer(fixture.bucketization);
+  constexpr size_t kAbsurd = 50;  // far beyond the 9 placeable atom slots
+  const WorstCaseDisclosure worst =
+      analyzer.MaxDisclosureImplications(kAbsurd);
+  EXPECT_EQ(worst.disclosure, 1.0);
+  EXPECT_EQ(worst.log_r_min, kLogZero);
+  EXPECT_FALSE(IsSafeLogRatio(worst.log_r_min, 1.0));  // genuinely certain
+  const std::vector<double> per_bucket =
+      analyzer.PerBucketDisclosure(kAbsurd);
+  for (double d : per_bucket) EXPECT_EQ(d, 1.0);
+  EXPECT_FALSE(analyzer.IsCkSafe(0.99, kAbsurd));
+}
+
+}  // namespace
+}  // namespace cksafe

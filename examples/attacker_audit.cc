@@ -16,6 +16,7 @@
 
 #include "cksafe/anon/bucketization.h"
 #include "cksafe/core/disclosure.h"
+#include "cksafe/core/minimize2.h"
 #include "cksafe/exact/exact_engine.h"
 #include "cksafe/exact/sampler.h"
 #include "cksafe/knowledge/parser.h"
@@ -100,6 +101,15 @@ int main(int argc, char** argv) {
   auto phi = parser.ParseFormula(knowledge_text);
   if (!phi.ok()) {
     std::fprintf(stderr, "parse error: %s\n", phi.status().ToString().c_str());
+    return 1;
+  }
+  // The parsed formula's k flows into the certified-bound sweep below;
+  // route it through the validated budget API so a pathological dossier
+  // (hundreds of implications) prints a clean Status instead of tripping
+  // the kernel's CHECK or an intractable O(k^3) memoization.
+  if (Status budget = Minimize2Forward::ValidateBudget(phi->k());
+      !budget.ok()) {
+    std::fprintf(stderr, "error: %s\n", budget.ToString().c_str());
     return 1;
   }
   KnowledgePrinter printer(table, sensitive);

@@ -3,6 +3,8 @@
 //   cksafe_cli analyze  [data flags] --node=... [--max_k --c --k]
 //   cksafe_cli publish  [data flags] --c --k [--objective --out --out_qit --out_st]
 //   cksafe_cli multi    [data flags] --policies=gold=0.5:4,free=0.8:1 [--objective]
+//   cksafe_cli serve    [data flags] --replay=FILE [--policies --readers
+//                       --stream_batches --queue --rounds]
 //   cksafe_cli audit    [data flags] --node=... --knowledge=FILE [--approx]
 //   cksafe_cli fig5     [--rows --seed --adult_csv --max_k]
 //   cksafe_cli fig6     [--rows --seed --adult_csv]
@@ -25,9 +27,16 @@
 //   cksafe_cli analyze --input=patients.csv --sensitive=Disease --qi=Age,Sex,Zip
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <sstream>
+#include <thread>
+#include <utility>
 
 #include "cksafe/adult/adult.h"
 #include "cksafe/anon/diversity.h"
@@ -39,6 +48,8 @@
 #include "cksafe/experiments/figures.h"
 #include "cksafe/knowledge/parser.h"
 #include "cksafe/search/publisher.h"
+#include "cksafe/serve/query_router.h"
+#include "cksafe/serve/serving_engine.h"
 #include "cksafe/stream/multi_policy_publisher.h"
 #include "cksafe/util/flags.h"
 #include "cksafe/util/string_util.h"
@@ -71,6 +82,12 @@ struct CliConfig {
   bool approx = false;
   // Multi-tenant publishing: comma-separated [name=]c:k policies.
   std::string policies;
+  // Serving (the `serve` replay driver).
+  std::string replay;
+  int64_t readers = 4;
+  int64_t queue = 4096;
+  int64_t stream_batches = 0;
+  int64_t rounds = 1;
 };
 
 struct LoadedData {
@@ -281,26 +298,20 @@ Status RunPublish(const CliConfig& config) {
   return Status::OK();
 }
 
-// Serves every tenant policy from ONE multi-policy lattice sweep: each
-// node's disclosure profile is computed once and classified against all
-// (c_i, k_i), so adding a tenant costs classification, not a search.
-Status RunMulti(const CliConfig& config) {
-  CKSAFE_ASSIGN_OR_RETURN(LoadedData data, LoadData(config));
-  if (config.policies.empty()) {
-    return Status::InvalidArgument(
-        "multi requires --policies=[name=]c:k,[name=]c:k,...");
-  }
+// One parsed [name=]c:k tenant policy.
+struct ParsedPolicy {
+  std::string name;
+  double c = 0.7;
+  size_t k = 3;
+};
 
-  PublisherOptions base;
-  base.seed = static_cast<uint64_t>(config.seed);
-  CKSAFE_ASSIGN_OR_RETURN(base.objective, ParseObjective(config.objective));
-
-  MultiPolicyPublisher publisher(std::move(data.table), data.qis,
-                                 data.sensitive_column, base);
-  size_t next_tenant = 0;
-  for (const std::string& raw : Split(config.policies, ',')) {
+// Parses the --policies flag ([name=]c:k, comma-separated), validating
+// every attacker power through the budget gate.
+StatusOr<std::vector<ParsedPolicy>> ParsePolicies(const std::string& flag) {
+  std::vector<ParsedPolicy> policies;
+  for (const std::string& raw : Split(flag, ',')) {
     std::string_view spec = Trim(raw);
-    std::string name = "tenant" + std::to_string(next_tenant);
+    std::string name = "tenant" + std::to_string(policies.size());
     if (const size_t eq = spec.find('='); eq != std::string_view::npos) {
       name = std::string(Trim(spec.substr(0, eq)));
       spec = Trim(spec.substr(eq + 1));
@@ -323,8 +334,31 @@ Status RunMulti(const CliConfig& config) {
       // aborting (or OOMing on the O(k^3) memo) deep in the sweep.
       return power;
     }
-    publisher.AddTenant(std::move(name), c, static_cast<size_t>(k));
-    ++next_tenant;
+    policies.push_back(ParsedPolicy{std::move(name), c, static_cast<size_t>(k)});
+  }
+  return policies;
+}
+
+// Serves every tenant policy from ONE multi-policy lattice sweep: each
+// node's disclosure profile is computed once and classified against all
+// (c_i, k_i), so adding a tenant costs classification, not a search.
+Status RunMulti(const CliConfig& config) {
+  CKSAFE_ASSIGN_OR_RETURN(LoadedData data, LoadData(config));
+  if (config.policies.empty()) {
+    return Status::InvalidArgument(
+        "multi requires --policies=[name=]c:k,[name=]c:k,...");
+  }
+
+  PublisherOptions base;
+  base.seed = static_cast<uint64_t>(config.seed);
+  CKSAFE_ASSIGN_OR_RETURN(base.objective, ParseObjective(config.objective));
+
+  MultiPolicyPublisher publisher(std::move(data.table), data.qis,
+                                 data.sensitive_column, base);
+  CKSAFE_ASSIGN_OR_RETURN(std::vector<ParsedPolicy> policies,
+                          ParsePolicies(config.policies));
+  for (ParsedPolicy& policy : policies) {
+    publisher.AddTenant(std::move(policy.name), policy.c, policy.k);
   }
 
   CKSAFE_ASSIGN_OR_RETURN(std::vector<TenantRelease> releases,
@@ -362,6 +396,350 @@ Status RunMulti(const CliConfig& config) {
               static_cast<unsigned long long>(stats.profiles_computed),
               static_cast<unsigned long long>(stats.verdicts),
               static_cast<unsigned long long>(stats.shared_verdicts()));
+  return Status::OK();
+}
+
+// --- serve: the replay driver over the serve/ subsystem --------------------
+
+// One replayed query plus everything recorded about its serving.
+struct ReplayRecord {
+  Query query;
+  StatusOr<QueryAnswer> answer = Status::FailedPrecondition("not served");
+  int64_t latency_ns = 0;
+};
+
+// Parses a replay file: one `tenant,kind,c,k,bucket` query per line, where
+// kind is safe|disclosure|profile|bucket. Blank lines and '#' comments are
+// skipped.
+StatusOr<std::vector<Query>> LoadReplayQueries(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot read " + path);
+  std::vector<Query> queries;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const std::vector<std::string> fields = Split(std::string(trimmed), ',');
+    if (fields.size() != 5) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: want tenant,kind,c,k,bucket (5 fields), got %zu",
+                    path.c_str(), line_no, fields.size()));
+    }
+    Query query;
+    query.tenant = std::string(Trim(fields[0]));
+    const std::string kind(Trim(fields[1]));
+    if (kind == "safe") {
+      query.kind = QueryKind::kIsCkSafe;
+    } else if (kind == "disclosure") {
+      query.kind = QueryKind::kDisclosure;
+    } else if (kind == "profile") {
+      query.kind = QueryKind::kProfileAtK;
+    } else if (kind == "bucket") {
+      query.kind = QueryKind::kPerBucket;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: unknown kind '%s'", path.c_str(), line_no,
+                    kind.c_str()));
+    }
+    CKSAFE_ASSIGN_OR_RETURN(query.c, ParseDouble(std::string(Trim(fields[2]))));
+    CKSAFE_ASSIGN_OR_RETURN(int64_t k, ParseInt64(std::string(Trim(fields[3]))));
+    CKSAFE_RETURN_IF_ERROR(ValidateAttackerPower("replay k", k));
+    query.k = static_cast<size_t>(k);
+    CKSAFE_ASSIGN_OR_RETURN(int64_t bucket,
+                            ParseInt64(std::string(Trim(fields[4]))));
+    if (bucket < 0) {
+      return Status::OutOfRange(
+          StrFormat("%s:%zu: bucket must be >= 0", path.c_str(), line_no));
+    }
+    query.bucket = static_cast<size_t>(bucket);
+    queries.push_back(std::move(query));
+  }
+  if (queries.empty()) {
+    return Status::InvalidArgument(path + " holds no queries");
+  }
+  return queries;
+}
+
+// Extracts rows [begin, end) of `table` as AddBatch-ready cell vectors.
+std::vector<std::vector<int32_t>> RowCells(const Table& table, size_t begin,
+                                           size_t end) {
+  std::vector<std::vector<int32_t>> rows;
+  rows.reserve(end - begin);
+  for (size_t row = begin; row < end; ++row) {
+    std::vector<int32_t> cells(table.num_columns());
+    for (size_t col = 0; col < table.num_columns(); ++col) {
+      cells[col] = table.at(static_cast<PersonId>(row), col);
+    }
+    rows.push_back(std::move(cells));
+  }
+  return rows;
+}
+
+// Replays a query file against the serving layer: publishes every tenant
+// policy through one MultiPolicyPublisher, spreads the queries over
+// --readers threads calling the batching QueryRouter, optionally streams
+// additional row batches through the publisher (each re-publish atomically
+// swaps new snapshots under the live readers), then verifies every served
+// answer bit-identically against a fresh synchronous DisclosureAnalyzer
+// over the snapshot the answer names.
+Status RunServe(const CliConfig& config) {
+  if (config.replay.empty()) {
+    return Status::InvalidArgument("serve requires --replay=FILE");
+  }
+  if (config.readers < 1) {
+    return Status::InvalidArgument("--readers must be >= 1");
+  }
+  if (config.rounds < 1) {
+    return Status::InvalidArgument("--rounds must be >= 1");
+  }
+  if (config.queue < 1) {
+    return Status::InvalidArgument("--queue must be >= 1");
+  }
+  if (config.stream_batches < 0) {
+    return Status::InvalidArgument("--stream_batches must be >= 0");
+  }
+  CKSAFE_ASSIGN_OR_RETURN(std::vector<Query> replay,
+                          LoadReplayQueries(config.replay));
+  CKSAFE_ASSIGN_OR_RETURN(LoadedData data, LoadData(config));
+
+  std::vector<ParsedPolicy> policies;
+  if (config.policies.empty()) {
+    CKSAFE_RETURN_IF_ERROR(ValidateAttackerPower("k", config.k));
+    policies.push_back(
+        ParsedPolicy{"default", config.c, static_cast<size_t>(config.k)});
+  } else {
+    CKSAFE_ASSIGN_OR_RETURN(policies, ParsePolicies(config.policies));
+  }
+
+  PublisherOptions base;
+  base.seed = static_cast<uint64_t>(config.seed);
+  CKSAFE_ASSIGN_OR_RETURN(base.objective, ParseObjective(config.objective));
+
+  // Hold back a slice of the table for streaming writes: the readers must
+  // observe snapshot swaps mid-replay when --stream_batches > 0.
+  const size_t total_rows = data.table.num_rows();
+  const size_t batches = static_cast<size_t>(config.stream_batches);
+  const size_t held_back =
+      batches == 0 ? 0 : std::min(total_rows / 4, batches * 50);
+  const size_t initial_rows = total_rows - held_back;
+  Table initial = [&] {
+    if (held_back == 0) return std::move(data.table);  // no copy needed
+    Table truncated(data.table.schema());
+    for (const auto& cells : RowCells(data.table, 0, initial_rows)) {
+      CKSAFE_CHECK(truncated.AppendRow(cells).ok());
+    }
+    return truncated;
+  }();
+
+  MultiPolicyPublisher publisher(std::move(initial), data.qis,
+                                 data.sensitive_column, base);
+  for (const ParsedPolicy& policy : policies) {
+    publisher.AddTenant(policy.name, policy.c, policy.k);
+  }
+
+  QueryRouter::Options router_options;
+  router_options.queue_capacity = static_cast<size_t>(config.queue);
+  ServingEngine engine(router_options);
+
+  // Registry of everything ever published, per (tenant, sequence): the
+  // verification pass resolves each answer's named snapshot here.
+  std::mutex registry_mu;
+  std::map<std::pair<std::string, uint64_t>,
+           std::shared_ptr<const ReleaseSnapshot>>
+      registry;
+  CKSAFE_ASSIGN_OR_RETURN(std::vector<TenantRelease> first_releases,
+                          publisher.PublishAll());
+  {
+    for (const TenantRelease& release : first_releases) {
+      if (!release.release.ok()) {
+        std::printf("tenant %s: %s (not served)\n", release.tenant.c_str(),
+                    release.release.status().ToString().c_str());
+        continue;
+      }
+      const auto snapshot = engine.PublishRelease(
+          release.tenant, *release.release, publisher.table().num_rows());
+      std::lock_guard<std::mutex> lock(registry_mu);
+      registry[{release.tenant, snapshot->sequence}] = snapshot;
+    }
+  }
+
+  // Writer: stream held-back rows through the shared publisher; every
+  // re-publish swaps fresh snapshots under the readers.
+  std::thread writer;
+  std::atomic<bool> writer_failed{false};
+  if (batches > 0 && held_back > 0) {
+    writer = std::thread([&] {
+      const size_t per_batch = held_back / batches;
+      for (size_t b = 0; b < batches; ++b) {
+        const size_t begin = initial_rows + b * per_batch;
+        const size_t end =
+            b + 1 == batches ? total_rows : begin + per_batch;
+        if (Status st = publisher.AddBatch(RowCells(data.table, begin, end));
+            !st.ok()) {
+          writer_failed = true;
+          return;
+        }
+        auto releases = publisher.PublishAll();
+        if (!releases.ok()) {
+          writer_failed = true;
+          return;
+        }
+        for (const TenantRelease& release : *releases) {
+          if (!release.release.ok()) continue;
+          const auto snapshot = engine.PublishRelease(
+              release.tenant, *release.release, publisher.table().num_rows());
+          std::lock_guard<std::mutex> lock(registry_mu);
+          registry[{release.tenant, snapshot->sequence}] = snapshot;
+        }
+      }
+    });
+  }
+
+  // Readers: split the replayed queries round-robin across --readers
+  // threads, --rounds times.
+  const size_t readers = static_cast<size_t>(config.readers);
+  const size_t rounds = static_cast<size_t>(config.rounds);
+  std::vector<std::vector<ReplayRecord>> per_reader(readers);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> reader_threads;
+  for (size_t r = 0; r < readers; ++r) {
+    reader_threads.emplace_back([&, r] {
+      for (size_t round = 0; round < rounds; ++round) {
+        for (size_t i = r; i < replay.size(); i += readers) {
+          ReplayRecord record;
+          record.query = replay[i];
+          const auto t0 = std::chrono::steady_clock::now();
+          record.answer = engine.Ask(record.query);
+          record.latency_ns =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+          per_reader[r].push_back(std::move(record));
+        }
+      }
+    });
+  }
+  for (auto& thread : reader_threads) thread.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (writer.joinable()) writer.join();
+  if (writer_failed) {
+    return Status::Internal("streaming writer failed to publish");
+  }
+  engine.router()->Stop();
+
+  // Traffic summary.
+  size_t ok_answers = 0;
+  size_t error_answers = 0;
+  std::vector<int64_t> latencies;
+  for (const auto& records : per_reader) {
+    for (const ReplayRecord& record : records) {
+      record.answer.ok() ? ++ok_answers : ++error_answers;
+      latencies.push_back(record.latency_ns);
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const auto percentile = [&](double p) -> double {
+    if (latencies.empty()) return 0.0;
+    const size_t index = std::min(
+        latencies.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(latencies.size())));
+    return static_cast<double>(latencies[index]) / 1e3;  // microseconds
+  };
+  const RouterStats stats = engine.router()->stats();
+  std::printf(
+      "served %zu queries (%zu ok, %zu errors) from %zu readers in %.3fs "
+      "(%.0f queries/sec)\n",
+      ok_answers + error_answers, ok_answers, error_answers, readers,
+      elapsed_s, static_cast<double>(ok_answers + error_answers) / elapsed_s);
+  std::printf("latency: p50 %.1fus  p99 %.1fus\n", percentile(0.50),
+              percentile(0.99));
+  std::printf(
+      "router: %llu batches, %llu profile sweeps, %llu per-bucket sweeps, "
+      "%llu snapshot reloads, %llu rejected; %.1f queries/sweep\n",
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.profile_sweeps),
+      static_cast<unsigned long long>(stats.per_bucket_sweeps),
+      static_cast<unsigned long long>(stats.snapshot_reloads),
+      static_cast<unsigned long long>(stats.rejected),
+      stats.CoalescingFactor());
+
+  // Verification: every OK answer must be bit-identical to a fresh
+  // synchronous analyzer over the snapshot it names.
+  size_t verified = 0;
+  std::map<std::pair<std::string, uint64_t>,
+           std::unique_ptr<DisclosureAnalyzer>>
+      fresh_analyzers;
+  for (const auto& records : per_reader) {
+    for (const ReplayRecord& record : records) {
+      if (!record.answer.ok()) continue;
+      const Query& query = record.query;
+      const QueryAnswer& answer = *record.answer;
+      const auto key = std::make_pair(query.tenant, answer.snapshot_sequence);
+      const auto snapshot_it = registry.find(key);
+      if (snapshot_it == registry.end()) {
+        return Status::Internal(StrFormat(
+            "answer names unpublished snapshot %llu of tenant %s",
+            static_cast<unsigned long long>(answer.snapshot_sequence),
+            query.tenant.c_str()));
+      }
+      auto& analyzer = fresh_analyzers[key];
+      if (analyzer == nullptr) {
+        analyzer = std::make_unique<DisclosureAnalyzer>(
+            snapshot_it->second->bucketization);
+      }
+      bool match = true;
+      switch (query.kind) {
+        case QueryKind::kIsCkSafe: {
+          const WorstCaseDisclosure worst =
+              analyzer->MaxDisclosureImplications(query.k);
+          match = answer.safe == IsSafeLogRatio(worst.log_r_min, query.c) &&
+                  answer.disclosure == worst.disclosure &&
+                  answer.log_r == worst.log_r_min;
+          break;
+        }
+        case QueryKind::kDisclosure: {
+          const WorstCaseDisclosure worst =
+              analyzer->MaxDisclosureImplications(query.k);
+          match = answer.disclosure == worst.disclosure &&
+                  answer.log_r == worst.log_r_min;
+          break;
+        }
+        case QueryKind::kProfileAtK: {
+          const DisclosureProfile profile = analyzer->Profile(query.k);
+          match = answer.disclosure == profile.implication[query.k] &&
+                  answer.negation == profile.negation[query.k];
+          break;
+        }
+        case QueryKind::kPerBucket:
+          match = answer.disclosure ==
+                  analyzer->PerBucketDisclosure(query.k)[query.bucket];
+          break;
+      }
+      if (!match) {
+        return Status::Internal(StrFormat(
+            "answer diverged from fresh analyzer (tenant %s, snapshot %llu)",
+            query.tenant.c_str(),
+            static_cast<unsigned long long>(answer.snapshot_sequence)));
+      }
+      ++verified;
+    }
+  }
+  if (verified == 0) {
+    // Don't print a vacuous success (the integration test pattern-matches
+    // the verified line): a replay where nothing could be verified is
+    // almost always a tenant-name mismatch between --policies and the
+    // replay file.
+    std::printf("nothing to verify: no query was answered successfully "
+                "(do the replay file's tenants match --policies?)\n");
+    return Status::OK();
+  }
+  std::printf("all %zu verified answers bit-identical to a fresh "
+              "synchronous analyzer\n",
+              verified);
   return Status::OK();
 }
 
@@ -496,6 +874,15 @@ int Main(int argc, char** argv) {
   flags.AddBool("approx", &config.approx, "force Monte Carlo audit");
   flags.AddString("policies", &config.policies,
                   "multi-tenant policies, comma-separated [name=]c:k");
+  flags.AddString("replay", &config.replay,
+                  "serve: query file (tenant,kind,c,k,bucket per line)");
+  flags.AddInt64("readers", &config.readers, "serve: reader thread count");
+  flags.AddInt64("queue", &config.queue, "serve: admission queue capacity");
+  flags.AddInt64("stream_batches", &config.stream_batches,
+                 "serve: row batches streamed (and re-published) while "
+                 "readers run");
+  flags.AddInt64("rounds", &config.rounds,
+                 "serve: times each reader replays its query share");
 
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -504,8 +891,8 @@ int Main(int argc, char** argv) {
   }
   if (flags.positional().size() != 1) {
     std::fprintf(stderr,
-                 "usage: cksafe_cli <analyze|publish|multi|audit|fig5|fig6> "
-                 "[flags]\n%s",
+                 "usage: cksafe_cli "
+                 "<analyze|publish|multi|serve|audit|fig5|fig6> [flags]\n%s",
                  flags.Usage("cksafe_cli <command>").c_str());
     return 1;
   }
@@ -517,6 +904,8 @@ int Main(int argc, char** argv) {
     st = RunPublish(config);
   } else if (command == "multi") {
     st = RunMulti(config);
+  } else if (command == "serve") {
+    st = RunServe(config);
   } else if (command == "audit") {
     st = RunAudit(config);
   } else if (command == "fig5") {

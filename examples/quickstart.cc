@@ -2,20 +2,51 @@
 // disclosure, and check (c,k)-safety.
 //
 //   $ ./quickstart
+//   $ ./quickstart --c=0.8 --k=3 --max_k=5
 //
 // This is the 60-second tour of the public API; see hospital.cc for the
 // paper's full running example and publish_adult.cc for the end-to-end
 // publishing pipeline.
+//
+// Attacker powers route through the validated budget API
+// (Minimize2Forward::ValidateBudget) before any analysis runs: an absurd
+// --k or --max_k prints a clean `error:` Status instead of CHECK-aborting
+// or attempting the intractable O(k^3) memoization (the same gate
+// cksafe_cli and the publishers use).
 
 #include <cstdio>
 
 #include "cksafe/anon/bucketization.h"
 #include "cksafe/core/disclosure.h"
+#include "cksafe/core/minimize2.h"
 #include "cksafe/knowledge/formula.h"
+#include "cksafe/util/flags.h"
 
 using namespace cksafe;
 
-int main() {
+namespace {
+
+// Validates an attacker-power flag through the shared budget gate.
+Status ValidatePower(const char* flag, int64_t value) {
+  if (value < 0) {
+    return Status::InvalidArgument(std::string("--") + flag +
+                                   " must be non-negative");
+  }
+  Status budget = Minimize2Forward::ValidateBudget(static_cast<size_t>(value));
+  if (!budget.ok()) {
+    return Status(budget.code(),
+                  std::string("--") + flag + ": " + budget.message());
+  }
+  return Status::OK();
+}
+
+Status Run(double c, int64_t k, int64_t max_k) {
+  CKSAFE_RETURN_IF_ERROR(ValidatePower("k", k));
+  CKSAFE_RETURN_IF_ERROR(ValidatePower("max_k", max_k));
+  if (!(c > 0.0)) {
+    return Status::InvalidArgument("--c must be > 0");
+  }
+
   // 1. A microdata table: one row per person, one sensitive attribute.
   Schema schema({
       AttributeDef::Numeric("Age", 20, 39),
@@ -26,34 +57,55 @@ int main() {
   const int32_t rows[][2] = {{23, 0}, {25, 1}, {27, 0}, {29, 2},
                              {31, 3}, {33, 2}, {35, 1}, {38, 3}};
   for (const auto& row : rows) {
-    Status st = table.AppendRow({row[0], row[1]});
-    CKSAFE_CHECK(st.ok()) << st.ToString();
+    CKSAFE_RETURN_IF_ERROR(table.AppendRow({row[0], row[1]}));
   }
 
   // 2. Bucketize: here, by decade of age (rows 0-3 vs 4-7).
-  auto bucketization =
-      BucketizeExplicit(table, {{0, 1, 2, 3}, {4, 5, 6, 7}}, 1);
-  CKSAFE_CHECK(bucketization.ok()) << bucketization.status().ToString();
-  std::printf("%s\n", bucketization->ToString().c_str());
+  CKSAFE_ASSIGN_OR_RETURN(
+      Bucketization bucketization,
+      BucketizeExplicit(table, {{0, 1, 2, 3}, {4, 5, 6, 7}}, 1));
+  std::printf("%s\n", bucketization.ToString().c_str());
 
-  // 3. Worst-case disclosure against an attacker with k pieces of
-  //    background knowledge (basic implications, Definition 6).
-  DisclosureAnalyzer analyzer(*bucketization);
+  // 3. Worst-case disclosure against an attacker with up to max_k pieces
+  //    of background knowledge (basic implications, Definition 6).
+  DisclosureAnalyzer analyzer(bucketization);
   KnowledgePrinter printer(table, /*sensitive_column=*/1);
-  for (size_t k = 0; k <= 3; ++k) {
-    const WorstCaseDisclosure worst = analyzer.MaxDisclosureImplications(k);
-    std::printf("k=%zu  max disclosure %.4f  worst-case knowledge: %s\n", k,
-                worst.disclosure,
+  for (size_t power = 0; power <= static_cast<size_t>(max_k); ++power) {
+    const WorstCaseDisclosure worst =
+        analyzer.MaxDisclosureImplications(power);
+    std::printf("k=%zu  max disclosure %.4f  worst-case knowledge: %s\n",
+                power, worst.disclosure,
                 worst.antecedents.empty()
                     ? "(none)"
                     : printer.FormulaToString(worst.ToFormula()).c_str());
   }
 
-  // 4. (c,k)-safety (Definition 13): tolerate any 2 pieces of knowledge
-  //    while keeping disclosure below 0.9.
-  const double c = 0.9;
-  const size_t k = 2;
-  std::printf("\n(c=%.2f, k=%zu)-safe? %s\n", c, k,
-              analyzer.IsCkSafe(c, k) ? "yes" : "no");
+  // 4. (c,k)-safety (Definition 13): tolerate any k pieces of knowledge
+  //    while keeping disclosure below c.
+  std::printf("\n(c=%.2f, k=%lld)-safe? %s\n", c,
+              static_cast<long long>(k),
+              analyzer.IsCkSafe(c, static_cast<size_t>(k)) ? "yes" : "no");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double c = 0.9;
+  int64_t k = 2;
+  int64_t max_k = 3;
+  FlagParser flags;
+  flags.AddDouble("c", &c, "(c,k)-safety threshold");
+  flags.AddInt64("k", &k, "attacker power for the safety check");
+  flags.AddInt64("max_k", &max_k, "largest attacker power for the tour");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "error: %s\n%s", st.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 1;
+  }
+  if (Status st = Run(c, k, max_k); !st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

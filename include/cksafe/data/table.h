@@ -39,7 +39,7 @@ class Table {
   /// Appends a row given textual values (parsed via the schema).
   Status AppendRowFromText(const std::vector<std::string>& cells);
 
-  /// Optional display label for a row (defaults to "p<row>").
+  /// Optional display label for a row (defaults to "p" + the row number).
   void SetRowLabel(PersonId row, std::string label);
   std::string RowLabel(PersonId row) const;
 

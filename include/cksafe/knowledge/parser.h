@@ -25,7 +25,7 @@ class KnowledgeParser {
  public:
   KnowledgeParser(const Table& table, size_t sensitive_column);
 
-  /// Parses "t[<row>].<attr> = <value>".
+  /// Parses one atom written as `t[ROW].ATTR = VALUE`.
   StatusOr<Atom> ParseAtom(std::string_view text) const;
 
   /// Parses one implication or negation line.

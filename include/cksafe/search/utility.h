@@ -28,10 +28,10 @@ struct UtilityMetrics {
 
 /// Which scalar a Publisher minimizes when several minimal safe nodes tie.
 enum class UtilityObjective {
-  kDiscernibility,
-  kAvgClassSize,
-  kHeight,
-  kLoss,
+  kDiscernibility,  ///< UtilityMetrics::discernibility
+  kAvgClassSize,    ///< UtilityMetrics::avg_class_size
+  kHeight,          ///< UtilityMetrics::height
+  kLoss,            ///< UtilityMetrics::loss
 };
 
 /// Computes all metrics for `table` generalized to `node`.

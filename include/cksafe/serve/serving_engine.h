@@ -1,0 +1,72 @@
+// Embeddable query service: directory + router + writer-side publish
+// helpers, wired to the existing publishing pipelines.
+//
+// A ServingEngine owns one ServingDirectory and one QueryRouter over it.
+// Writers push releases produced by Publisher / StreamingPublisher /
+// MultiPolicyPublisher through the Publish* helpers, which freeze them as
+// ReleaseSnapshots and atomically swap them into the tenant's store;
+// readers call Ask (or router()->Submit for async fan-in) from any number
+// of threads. The engine is the piece the CLI's `serve` replay driver and
+// serving_bench build on.
+//
+// Writer discipline: snapshots of one tenant must be published by one
+// writer at a time (the publisher loop) — sequences are assigned from the
+// store's current snapshot and must strictly increase. Readers are
+// unrestricted.
+
+#ifndef CKSAFE_SERVE_SERVING_ENGINE_H_
+#define CKSAFE_SERVE_SERVING_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cksafe/serve/query_router.h"
+#include "cksafe/serve/release_snapshot.h"
+#include "cksafe/serve/snapshot_store.h"
+#include "cksafe/stream/multi_policy_publisher.h"
+#include "cksafe/stream/streaming_publisher.h"
+
+namespace cksafe {
+
+class ServingEngine {
+ public:
+  explicit ServingEngine(QueryRouter::Options router_options = {});
+
+  ServingDirectory* directory() { return &directory_; }
+  const ServingDirectory* directory() const { return &directory_; }
+  QueryRouter* router() { return &router_; }
+
+  /// Freezes `release` (covering `num_rows` rows) as the tenant's next
+  /// snapshot and swaps it in; registers the tenant on first use. Returns
+  /// the published snapshot (whose sequence is the previous one + 1) so
+  /// callers can keep a registry for audits / differential checks.
+  std::shared_ptr<const ReleaseSnapshot> PublishRelease(
+      const std::string& tenant, const PublishedRelease& release,
+      size_t num_rows);
+
+  /// StreamingPublisher adapter: publishes release.release over
+  /// release.num_rows rows.
+  std::shared_ptr<const ReleaseSnapshot> PublishStreaming(
+      const std::string& tenant, const StreamingRelease& release);
+
+  /// MultiPolicyPublisher adapter: swaps in every tenant whose release
+  /// succeeded and returns the published snapshots; tenants with a non-OK
+  /// release (e.g. NotFound for an unsatisfiable policy) keep their
+  /// previous snapshot and are skipped.
+  std::vector<std::shared_ptr<const ReleaseSnapshot>> PublishTenantReleases(
+      const std::vector<TenantRelease>& releases, size_t num_rows);
+
+  /// Blocking read-side convenience (QueryRouter::Ask).
+  StatusOr<QueryAnswer> Ask(Query query) { return router_.Ask(std::move(query)); }
+
+ private:
+  ServingDirectory directory_;
+  // Declared after directory_: destroyed (and its worker joined) before
+  // the directory it reads from goes away.
+  QueryRouter router_;
+};
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_SERVE_SERVING_ENGINE_H_

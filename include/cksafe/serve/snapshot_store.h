@@ -1,0 +1,82 @@
+// Atomically swapped per-tenant snapshot slots (the RCU write side).
+//
+// SnapshotStore is one tenant's slot: readers load the current snapshot
+// with a single lock-free atomic shared_ptr load (never blocking, never
+// taking a mutex), writers publish a wholly new immutable snapshot with one
+// atomic store. There is no in-place mutation and therefore no torn state:
+// a reader observes either the old release or the new one, in full.
+//
+// ServingDirectory maps tenant names to stores. Registration is rare
+// (startup, a tenant joining a live stream) and goes through a mutex;
+// the returned SnapshotStore pointers are stable for the directory's
+// lifetime, so the hot read path touches the mutex only for the name
+// lookup, not for the snapshot load.
+
+#ifndef CKSAFE_SERVE_SNAPSHOT_STORE_H_
+#define CKSAFE_SERVE_SNAPSHOT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cksafe/serve/release_snapshot.h"
+
+namespace cksafe {
+
+/// One tenant's atomically swapped release slot. Any number of concurrent
+/// readers (Current) are safe alongside publishers. Sequences must
+/// strictly increase; the intended discipline is a single writer per
+/// tenant (the publisher loop), which satisfies it trivially. Publish
+/// swaps by compare-and-exchange against the snapshot it validated, so a
+/// racing stale publisher trips the monotonicity CHECK rather than
+/// silently regressing the slot — but *assigning* fresh sequences under
+/// multiple writers is the caller's problem (see ServingEngine's writer
+/// discipline note).
+class SnapshotStore {
+ public:
+  /// The latest published snapshot, or nullptr before the first Publish.
+  /// Lock free; the returned shared_ptr keeps the snapshot alive for as
+  /// long as the reader holds it, regardless of later swaps.
+  std::shared_ptr<const ReleaseSnapshot> Current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Atomically swaps in `snapshot` (non-null, sequence strictly greater
+  /// than the current one). Readers in flight keep the old snapshot;
+  /// subsequent Current() calls observe the new one.
+  void Publish(std::shared_ptr<const ReleaseSnapshot> snapshot);
+
+  /// Number of successful Publish calls.
+  uint64_t swaps() const { return swaps_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::shared_ptr<const ReleaseSnapshot>> current_{nullptr};
+  std::atomic<uint64_t> swaps_{0};
+};
+
+/// Name -> SnapshotStore registry. Store pointers are stable for the
+/// directory's lifetime (the map owns node-allocated stores), so callers
+/// may resolve a tenant once and hold the store across many queries.
+class ServingDirectory {
+ public:
+  /// Returns the tenant's store, creating an empty one on first use.
+  SnapshotStore* GetOrAddTenant(const std::string& tenant);
+
+  /// Returns the tenant's store, or nullptr when the tenant is unknown.
+  const SnapshotStore* Find(const std::string& tenant) const;
+
+  /// Registered tenant names, sorted.
+  std::vector<std::string> tenants() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<SnapshotStore>> stores_;
+};
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_SERVE_SNAPSHOT_STORE_H_

@@ -1,0 +1,107 @@
+// Bounded multi-producer admission queue with drain-style consumption.
+//
+// The serving layer's backpressure primitive: producers TryPush and get an
+// immediate ResourceExhausted Status when the queue is at capacity (no
+// blocking on the submission path — the caller decides whether to retry,
+// shed, or propagate), while the consumer drains *everything* pending in
+// one PopAll call. Draining whole batches instead of popping items one by
+// one is what lets the QueryRouter amortize one disclosure sweep across
+// every query that accumulated while the previous batch was in flight.
+
+#ifndef CKSAFE_UTIL_BOUNDED_QUEUE_H_
+#define CKSAFE_UTIL_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "cksafe/util/check.h"
+#include "cksafe/util/status.h"
+
+namespace cksafe {
+
+/// Bounded MPSC/MPMC FIFO queue. Producers never block; the consumer
+/// blocks in PopAll until items arrive or the queue is closed. Thread safe.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` must be >= 1; pushes beyond it are rejected, not queued.
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    CKSAFE_CHECK_GE(capacity, size_t{1});
+  }
+
+  /// Enqueues one item. ResourceExhausted when the queue is full (the
+  /// backpressure signal), FailedPrecondition after Close(). Never blocks.
+  Status TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return Status::FailedPrecondition("queue is closed");
+      }
+      if (items_.size() >= capacity_) {
+        return Status::ResourceExhausted("queue is full");
+      }
+      items_.push_back(std::move(item));
+    }
+    nonempty_.notify_one();
+    return Status::OK();
+  }
+
+  /// Blocks until at least one item is available or the queue is closed,
+  /// then moves *all* pending items into *out (cleared first, FIFO order).
+  /// Returns false only when the queue is closed AND drained — pending
+  /// items enqueued before Close() are still delivered.
+  bool PopAll(std::vector<T>* out) {
+    out->clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    nonempty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    out->swap(items_);
+    return true;
+  }
+
+  /// Non-blocking variant of PopAll: returns false when nothing is
+  /// pending (regardless of closed state).
+  bool TryPopAll(std::vector<T>* out) {
+    out->clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    out->swap(items_);
+    return true;
+  }
+
+  /// Rejects all future pushes and wakes blocked consumers. Items already
+  /// queued remain poppable (graceful drain). Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    nonempty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable nonempty_;
+  std::vector<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_UTIL_BOUNDED_QUEUE_H_

@@ -79,7 +79,7 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  /// "ok" or "<code>: <message>".
+  /// "ok", or the code name followed by the message ("io_error: ...").
   std::string ToString() const;
 
   bool operator==(const Status& other) const {

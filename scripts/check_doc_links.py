@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the cksafe docs.
+
+Validates every relative link and intra-repo anchor in the repo's Markdown
+documentation (README.md, docs/*.md, DESIGN.md, ...). External http(s)
+links are not fetched — only repo-local targets are checked:
+
+  * [text](path)          -> path must exist relative to the linking file
+  * [text](path#anchor)   -> path must exist AND contain a heading whose
+                             GitHub slug equals `anchor`
+  * [text](#anchor)       -> the linking file must contain the heading
+
+Exits non-zero listing every broken link, so doc rot fails CI (and
+`ctest -R docs_link_check`) instead of accumulating.
+"""
+
+import re
+import sys
+import unicodedata
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# The documentation surface under link hygiene. Glob patterns are relative
+# to the repo root.
+DOC_GLOBS = ["README.md", "DESIGN.md", "ROADMAP.md", "docs/*.md"]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: lowercase, spaces to dashes,
+    punctuation dropped (unicode letters/digits/dashes/underscores kept)."""
+    text = heading.strip().lower()
+    # Strip inline code/emphasis markers but keep their contents.
+    text = re.sub(r"[`*_]", "", text)
+    out = []
+    for ch in text:
+        if ch in (" ", "-"):
+            out.append("-")
+        elif ch == "_" or unicodedata.category(ch)[0] in ("L", "N"):
+            out.append(ch)
+        # everything else (punctuation, symbols) is dropped
+    return "".join(out)
+
+
+def anchors_of(markdown: str) -> set:
+    """All heading anchors of a document, with GitHub's -1/-2 dedup."""
+    slugs = {}
+    anchors = set()
+    for match in HEADING_RE.finditer(CODE_FENCE_RE.sub("", markdown)):
+        slug = github_slug(match.group(1))
+        count = slugs.get(slug, 0)
+        slugs[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def check_file(path: Path, anchor_cache: dict) -> list:
+    errors = []
+    markdown = path.read_text(encoding="utf-8")
+    # Links inside fenced code blocks are examples, not navigation.
+    checkable = CODE_FENCE_RE.sub("", markdown)
+    for match in LINK_RE.finditer(checkable):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            file_part, anchor = "", target[1:]
+        elif "#" in target:
+            file_part, anchor = target.split("#", 1)
+        else:
+            file_part, anchor = target, ""
+        target_path = (
+            path if not file_part else (path.parent / file_part).resolve()
+        )
+        if not target_path.exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: broken link "
+                          f"'{target}' (no such file {file_part})")
+            continue
+        if anchor:
+            if target_path.suffix.lower() != ".md":
+                continue  # anchors into non-Markdown files are not checked
+            if target_path not in anchor_cache:
+                anchor_cache[target_path] = anchors_of(
+                    target_path.read_text(encoding="utf-8"))
+            if anchor.lower() not in anchor_cache[target_path]:
+                errors.append(f"{path.relative_to(REPO_ROOT)}: broken anchor "
+                              f"'{target}' (no heading for #{anchor})")
+    return errors
+
+
+def main() -> int:
+    files = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(REPO_ROOT.glob(pattern)))
+    if not files:
+        print("check_doc_links: no documentation files found", file=sys.stderr)
+        return 2
+    anchor_cache = {}
+    errors = []
+    for path in files:
+        errors.extend(check_file(path, anchor_cache))
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"check_doc_links: {len(errors)} broken link(s) in "
+              f"{len(files)} files", file=sys.stderr)
+        return 1
+    print(f"check_doc_links: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+#include "cksafe/serve/release_snapshot.h"
+
+#include <utility>
+
+#include "cksafe/util/check.h"
+
+namespace cksafe {
+
+std::shared_ptr<const ReleaseSnapshot> MakeReleaseSnapshot(
+    uint64_t sequence, size_t num_rows, const PublishedRelease& release) {
+  CKSAFE_CHECK_GE(sequence, uint64_t{1}) << "sequence 0 means 'no release'";
+  auto snapshot = std::make_shared<ReleaseSnapshot>();
+  snapshot->sequence = sequence;
+  snapshot->num_rows = num_rows;
+  snapshot->node = release.node;
+  snapshot->bucketization = release.bucketization;
+  return snapshot;
+}
+
+std::shared_ptr<const ReleaseSnapshot> MakeReleaseSnapshot(
+    uint64_t sequence, Bucketization bucketization, LatticeNode node) {
+  CKSAFE_CHECK_GE(sequence, uint64_t{1}) << "sequence 0 means 'no release'";
+  auto snapshot = std::make_shared<ReleaseSnapshot>();
+  snapshot->sequence = sequence;
+  snapshot->num_rows = bucketization.num_tuples();
+  snapshot->node = std::move(node);
+  snapshot->bucketization = std::move(bucketization);
+  return snapshot;
+}
+
+}  // namespace cksafe

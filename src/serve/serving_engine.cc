@@ -1,0 +1,40 @@
+#include "cksafe/serve/serving_engine.h"
+
+#include <utility>
+
+namespace cksafe {
+
+ServingEngine::ServingEngine(QueryRouter::Options router_options)
+    : router_(&directory_, router_options) {}
+
+std::shared_ptr<const ReleaseSnapshot> ServingEngine::PublishRelease(
+    const std::string& tenant, const PublishedRelease& release,
+    size_t num_rows) {
+  SnapshotStore* store = directory_.GetOrAddTenant(tenant);
+  const std::shared_ptr<const ReleaseSnapshot> previous = store->Current();
+  const uint64_t sequence = (previous == nullptr ? 0 : previous->sequence) + 1;
+  std::shared_ptr<const ReleaseSnapshot> snapshot =
+      MakeReleaseSnapshot(sequence, num_rows, release);
+  store->Publish(snapshot);
+  return snapshot;
+}
+
+std::shared_ptr<const ReleaseSnapshot> ServingEngine::PublishStreaming(
+    const std::string& tenant, const StreamingRelease& release) {
+  return PublishRelease(tenant, release.release, release.num_rows);
+}
+
+std::vector<std::shared_ptr<const ReleaseSnapshot>>
+ServingEngine::PublishTenantReleases(const std::vector<TenantRelease>& releases,
+                                     size_t num_rows) {
+  std::vector<std::shared_ptr<const ReleaseSnapshot>> published;
+  published.reserve(releases.size());
+  for (const TenantRelease& tenant : releases) {
+    if (!tenant.release.ok()) continue;
+    published.push_back(
+        PublishRelease(tenant.tenant, *tenant.release, num_rows));
+  }
+  return published;
+}
+
+}  // namespace cksafe

@@ -1,0 +1,49 @@
+#include "cksafe/serve/snapshot_store.h"
+
+#include <utility>
+
+#include "cksafe/util/check.h"
+
+namespace cksafe {
+
+void SnapshotStore::Publish(std::shared_ptr<const ReleaseSnapshot> snapshot) {
+  CKSAFE_CHECK(snapshot != nullptr) << "cannot publish a null snapshot";
+  // CAS loop so racing publishers cannot silently regress the slot: the
+  // swap only lands against the exact snapshot whose sequence was
+  // compared, and a stale publish trips the CHECK instead of clobbering
+  // a newer release.
+  std::shared_ptr<const ReleaseSnapshot> previous =
+      current_.load(std::memory_order_acquire);
+  do {
+    CKSAFE_CHECK(previous == nullptr ||
+                 snapshot->sequence > previous->sequence)
+        << "snapshot sequences must strictly increase (publishing "
+        << snapshot->sequence << " over " << previous->sequence << ")";
+  } while (!current_.compare_exchange_weak(previous, snapshot,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire));
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+SnapshotStore* ServingDirectory::GetOrAddTenant(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<SnapshotStore>& slot = stores_[tenant];
+  if (slot == nullptr) slot = std::make_unique<SnapshotStore>();
+  return slot.get();
+}
+
+const SnapshotStore* ServingDirectory::Find(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = stores_.find(tenant);
+  return it == stores_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> ServingDirectory::tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(stores_.size());
+  for (const auto& [name, store] : stores_) names.push_back(name);
+  return names;
+}
+
+}  // namespace cksafe

@@ -1,0 +1,98 @@
+// BoundedQueue: the serving layer's backpressure/drain primitive.
+
+#include "cksafe/util/bounded_queue.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cksafe {
+namespace {
+
+TEST(BoundedQueueTest, PopAllDrainsInFifoOrder) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.TryPush(i).ok());
+  }
+  EXPECT_EQ(queue.size(), 5u);
+  std::vector<int> out;
+  ASSERT_TRUE(queue.PopAll(&out));
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueueTest, TryPushBackpressureAtCapacity) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1).ok());
+  EXPECT_TRUE(queue.TryPush(2).ok());
+  const Status full = queue.TryPush(3);
+  EXPECT_EQ(full.code(), StatusCode::kResourceExhausted);
+  // Draining frees capacity again.
+  std::vector<int> out;
+  ASSERT_TRUE(queue.PopAll(&out));
+  EXPECT_TRUE(queue.TryPush(3).ok());
+}
+
+TEST(BoundedQueueTest, CloseRejectsPushesButDeliversPending) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.TryPush(7).ok());
+  queue.Close();
+  EXPECT_EQ(queue.TryPush(8).code(), StatusCode::kFailedPrecondition);
+  std::vector<int> out;
+  ASSERT_TRUE(queue.PopAll(&out));  // pending item still delivered
+  EXPECT_EQ(out, std::vector<int>{7});
+  EXPECT_FALSE(queue.PopAll(&out));  // closed and drained
+}
+
+TEST(BoundedQueueTest, TryPopAllNonBlockingOnEmpty) {
+  BoundedQueue<int> queue(4);
+  std::vector<int> out;
+  EXPECT_FALSE(queue.TryPopAll(&out));
+  ASSERT_TRUE(queue.TryPush(1).ok());
+  EXPECT_TRUE(queue.TryPopAll(&out));
+  EXPECT_EQ(out, std::vector<int>{1});
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> queue(4);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    std::vector<int> out;
+    EXPECT_FALSE(queue.PopAll(&out));
+    returned = true;
+  });
+  queue.Close();
+  consumer.join();
+  EXPECT_TRUE(returned);
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersLoseNothing) {
+  BoundedQueue<int> queue(1 << 16);
+  constexpr int kPerProducer = 2000;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&queue, t] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.TryPush(t * kPerProducer + i).ok());
+      }
+    });
+  }
+  std::vector<int> all;
+  std::vector<int> out;
+  while (all.size() < 4 * kPerProducer) {
+    if (queue.PopAll(&out)) {
+      all.insert(all.end(), out.begin(), out.end());
+    }
+  }
+  for (auto& producer : producers) producer.join();
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < 4 * kPerProducer; ++i) {
+    ASSERT_EQ(all[i], i);
+  }
+}
+
+}  // namespace
+}  // namespace cksafe

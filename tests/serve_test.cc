@@ -1,0 +1,331 @@
+// serve/: snapshot stores, the batching QueryRouter, and the ServingEngine.
+//
+// The load-bearing assertions are the bit-identity ones: every answer the
+// router produces must equal — with exact double equality — what a fresh
+// synchronous DisclosureAnalyzer over the answering snapshot's
+// bucketization returns, for all four query kinds. Coalescing is asserted
+// through the sweep counters: one batch of mixed queries must cost one
+// profile sweep (plus one per-bucket sweep per distinct audited budget).
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cksafe/core/disclosure.h"
+#include "cksafe/search/publisher.h"
+#include "cksafe/serve/query_router.h"
+#include "cksafe/serve/release_snapshot.h"
+#include "cksafe/serve/serving_engine.h"
+#include "cksafe/serve/snapshot_store.h"
+#include "testing_util.h"
+
+namespace cksafe {
+namespace {
+
+using testing::MakeBuckets;
+using testing::MakeHospitalBucketization;
+using testing::MakeHospitalTable;
+using testing::RandomHistograms;
+using testing::SyntheticBuckets;
+
+std::shared_ptr<const ReleaseSnapshot> HospitalSnapshot(
+    const Table& table, uint64_t sequence) {
+  return MakeReleaseSnapshot(sequence, MakeHospitalBucketization(table));
+}
+
+TEST(SnapshotStoreTest, PublishSwapsAndOldReadersKeepTheirView) {
+  const Table table = MakeHospitalTable();
+  SnapshotStore store;
+  EXPECT_EQ(store.Current(), nullptr);
+  store.Publish(HospitalSnapshot(table, 1));
+  const auto first = store.Current();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->sequence, 1u);
+  store.Publish(HospitalSnapshot(table, 2));
+  EXPECT_EQ(store.Current()->sequence, 2u);
+  // The reader's pinned snapshot is unaffected by the swap.
+  EXPECT_EQ(first->sequence, 1u);
+  EXPECT_EQ(store.swaps(), 2u);
+}
+
+TEST(ServingDirectoryTest, GetOrAddIsStableAndFindReportsUnknown) {
+  ServingDirectory directory;
+  SnapshotStore* store = directory.GetOrAddTenant("gold");
+  EXPECT_EQ(directory.GetOrAddTenant("gold"), store);
+  EXPECT_EQ(directory.Find("gold"), store);
+  EXPECT_EQ(directory.Find("nobody"), nullptr);
+  EXPECT_EQ(directory.tenants(), std::vector<std::string>{"gold"});
+}
+
+class QueryRouterTest : public ::testing::Test {
+ protected:
+  QueryRouter::Options ManualOptions(size_t capacity = 64) {
+    QueryRouter::Options options;
+    options.queue_capacity = capacity;
+    options.start_worker = false;
+    return options;
+  }
+};
+
+TEST_F(QueryRouterTest, AdmissionValidation) {
+  ServingDirectory directory;
+  QueryRouter router(&directory, ManualOptions());
+  Query absurd;
+  absurd.tenant = "t";
+  absurd.k = Minimize2Forward::kMaxAnalysisBudget + 1;
+  EXPECT_EQ(router.Submit(absurd).status().code(), StatusCode::kOutOfRange);
+  Query bad_c;
+  bad_c.tenant = "t";
+  bad_c.kind = QueryKind::kIsCkSafe;
+  bad_c.c = 0.0;
+  EXPECT_EQ(router.Submit(bad_c).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(router.stats().submitted, 0u);
+}
+
+TEST_F(QueryRouterTest, BackpressureWhenQueueIsFull) {
+  ServingDirectory directory;
+  QueryRouter router(&directory, ManualOptions(/*capacity=*/2));
+  Query query;
+  query.tenant = "t";
+  auto a = router.Submit(query);
+  auto b = router.Submit(query);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const auto rejected = router.Submit(query);
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(router.stats().rejected, 1u);
+  // Draining frees capacity; the pending futures resolve (as errors —
+  // the tenant is unknown — but resolve).
+  EXPECT_EQ(router.DrainOnce(), 2u);
+  EXPECT_EQ(a.value().get().status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(router.Submit(query).ok());
+  router.Stop();
+}
+
+TEST_F(QueryRouterTest, UnknownTenantAndUnpublishedTenantErrors) {
+  ServingDirectory directory;
+  directory.GetOrAddTenant("registered");
+  QueryRouter router(&directory, ManualOptions());
+  Query unknown;
+  unknown.tenant = "ghost";
+  Query unpublished;
+  unpublished.tenant = "registered";
+  auto a = router.Submit(unknown);
+  auto b = router.Submit(unpublished);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(router.DrainOnce(), 2u);
+  EXPECT_EQ(a.value().get().status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(b.value().get().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(QueryRouterTest, BatchCoalescesToOneProfileSweepAndIsBitIdentical) {
+  const Table table = MakeHospitalTable();
+  ServingDirectory directory;
+  directory.GetOrAddTenant("t")->Publish(HospitalSnapshot(table, 1));
+  QueryRouter router(&directory, ManualOptions());
+
+  // A mixed batch: safety verdicts, disclosures, curve points, audits.
+  std::vector<Query> queries;
+  for (size_t k = 0; k <= 4; ++k) {
+    Query safe;
+    safe.tenant = "t";
+    safe.kind = QueryKind::kIsCkSafe;
+    safe.c = 0.6;
+    safe.k = k;
+    queries.push_back(safe);
+    Query disclosure;
+    disclosure.tenant = "t";
+    disclosure.kind = QueryKind::kDisclosure;
+    disclosure.k = k;
+    queries.push_back(disclosure);
+    Query profile;
+    profile.tenant = "t";
+    profile.kind = QueryKind::kProfileAtK;
+    profile.k = k;
+    queries.push_back(profile);
+  }
+  Query audit;
+  audit.tenant = "t";
+  audit.kind = QueryKind::kPerBucket;
+  audit.k = 2;
+  for (size_t bucket = 0; bucket < 2; ++bucket) {
+    audit.bucket = bucket;
+    queries.push_back(audit);
+  }
+
+  std::vector<std::future<StatusOr<QueryAnswer>>> futures;
+  for (const Query& query : queries) {
+    auto submitted = router.Submit(query);
+    ASSERT_TRUE(submitted.ok()) << submitted.status();
+    futures.push_back(std::move(submitted).value());
+  }
+  EXPECT_EQ(router.DrainOnce(), queries.size());
+
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.profile_sweeps, 1u) << "batch must coalesce to ONE sweep";
+  EXPECT_EQ(stats.per_bucket_sweeps, 1u) << "one audited budget, one sweep";
+  EXPECT_EQ(stats.answered, queries.size());
+
+  // Bit-identity against a fresh synchronous analyzer.
+  const Bucketization reference = MakeHospitalBucketization(table);
+  DisclosureAnalyzer fresh(reference);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Query& query = queries[i];
+    const auto answer = futures[i].get();
+    ASSERT_TRUE(answer.ok()) << answer.status();
+    EXPECT_EQ(answer->snapshot_sequence, 1u);
+    switch (query.kind) {
+      case QueryKind::kIsCkSafe:
+        EXPECT_EQ(answer->safe, fresh.IsCkSafe(query.c, query.k));
+        [[fallthrough]];
+      case QueryKind::kDisclosure: {
+        const WorstCaseDisclosure expected =
+            fresh.MaxDisclosureImplications(query.k);
+        EXPECT_EQ(answer->disclosure, expected.disclosure);
+        EXPECT_EQ(answer->log_r, expected.log_r_min);
+        break;
+      }
+      case QueryKind::kProfileAtK: {
+        const DisclosureProfile expected = fresh.Profile(query.k);
+        EXPECT_EQ(answer->disclosure, expected.implication[query.k]);
+        EXPECT_EQ(answer->negation, expected.negation[query.k]);
+        break;
+      }
+      case QueryKind::kPerBucket:
+        EXPECT_EQ(answer->disclosure,
+                  fresh.PerBucketDisclosure(query.k)[query.bucket]);
+        break;
+    }
+  }
+}
+
+TEST_F(QueryRouterTest, CachedProfileServesRepeatBatchesWithoutResweeping) {
+  const Table table = MakeHospitalTable();
+  ServingDirectory directory;
+  SnapshotStore* store = directory.GetOrAddTenant("t");
+  store->Publish(HospitalSnapshot(table, 1));
+  QueryRouter router(&directory, ManualOptions());
+
+  Query query;
+  query.tenant = "t";
+  query.kind = QueryKind::kDisclosure;
+  query.k = 3;
+  auto first = router.Submit(query);
+  ASSERT_TRUE(first.ok());
+  router.DrainOnce();
+  auto second = router.Submit(query);
+  ASSERT_TRUE(second.ok());
+  router.DrainOnce();
+  EXPECT_EQ(router.stats().profile_sweeps, 1u)
+      << "unchanged snapshot must be served from the cached profile";
+
+  // Widening the budget re-sweeps once; the wider profile then serves both.
+  query.k = 5;
+  auto wider = router.Submit(query);
+  ASSERT_TRUE(wider.ok());
+  router.DrainOnce();
+  EXPECT_EQ(router.stats().profile_sweeps, 2u);
+
+  // A snapshot swap invalidates the cache.
+  store->Publish(HospitalSnapshot(table, 2));
+  auto after_swap = router.Submit(query);
+  ASSERT_TRUE(after_swap.ok());
+  router.DrainOnce();
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.profile_sweeps, 3u);
+  EXPECT_EQ(stats.snapshot_reloads, 2u);
+  EXPECT_EQ(after_swap.value().get()->snapshot_sequence, 2u);
+}
+
+TEST_F(QueryRouterTest, PerBucketOutOfRangeIsAPerQueryError) {
+  const Table table = MakeHospitalTable();
+  ServingDirectory directory;
+  directory.GetOrAddTenant("t")->Publish(HospitalSnapshot(table, 1));
+  QueryRouter router(&directory, ManualOptions());
+  Query good;
+  good.tenant = "t";
+  good.kind = QueryKind::kPerBucket;
+  good.k = 1;
+  good.bucket = 0;
+  Query bad = good;
+  bad.bucket = 99;
+  auto good_future = router.Submit(good);
+  auto bad_future = router.Submit(bad);
+  ASSERT_TRUE(good_future.ok() && bad_future.ok());
+  router.DrainOnce();
+  EXPECT_TRUE(good_future.value().get().ok())
+      << "a bad query must not poison its batch";
+  EXPECT_EQ(bad_future.value().get().status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(QueryRouterTest, WorkerThreadModeAnswersIdenticallyToFresh) {
+  Rng rng(0x5e7e5e7eULL);
+  const SyntheticBuckets synthetic =
+      MakeBuckets(RandomHistograms(&rng, 10, 4, 6), 4);
+  ServingDirectory directory;
+  directory.GetOrAddTenant("t")->Publish(
+      MakeReleaseSnapshot(1, synthetic.bucketization));
+  QueryRouter router(&directory);  // worker thread mode
+  DisclosureAnalyzer fresh(synthetic.bucketization);
+  for (size_t k = 0; k <= 5; ++k) {
+    Query query;
+    query.tenant = "t";
+    query.kind = QueryKind::kDisclosure;
+    query.k = k;
+    const auto answer = router.Ask(query);
+    ASSERT_TRUE(answer.ok()) << answer.status();
+    EXPECT_EQ(answer->disclosure,
+              fresh.MaxDisclosureImplications(k).disclosure);
+  }
+  router.Stop();
+}
+
+TEST(ServingEngineTest, PublishesFromThePublisherPipelineAndServes) {
+  const Table table = MakeHospitalTable();
+  PublisherOptions options;
+  options.c = 0.95;
+  options.k = 1;
+  Publisher publisher(options);
+  std::vector<QuasiIdentifier> qis;
+  for (size_t column : {size_t{0}, size_t{2}}) {
+    qis.push_back(QuasiIdentifier{
+        column, MakeDefaultHierarchy(table.schema().attribute(column))});
+  }
+  const auto release =
+      publisher.Publish(table, qis, testing::kHospitalSensitiveColumn);
+  ASSERT_TRUE(release.ok()) << release.status();
+
+  ServingEngine engine;
+  const auto snapshot =
+      engine.PublishRelease("hospital", *release, table.num_rows());
+  EXPECT_EQ(snapshot->sequence, 1u);
+  EXPECT_EQ(snapshot->num_rows, table.num_rows());
+
+  Query query;
+  query.tenant = "hospital";
+  query.kind = QueryKind::kIsCkSafe;
+  query.c = options.c;
+  query.k = options.k;
+  const auto answer = engine.Ask(query);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_TRUE(answer->safe) << "a published release must satisfy its policy";
+  DisclosureAnalyzer fresh(release->bucketization);
+  EXPECT_EQ(answer->disclosure,
+            fresh.MaxDisclosureImplications(options.k).disclosure);
+
+  // Republishing bumps the sequence; the router serves the new snapshot.
+  const auto next =
+      engine.PublishRelease("hospital", *release, table.num_rows());
+  EXPECT_EQ(next->sequence, 2u);
+  const auto answer2 = engine.Ask(query);
+  ASSERT_TRUE(answer2.ok());
+  EXPECT_EQ(answer2->snapshot_sequence, 2u);
+}
+
+}  // namespace
+}  // namespace cksafe

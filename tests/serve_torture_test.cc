@@ -1,0 +1,171 @@
+// Snapshot-consistency torture test: N reader threads issue mixed
+// point/profile queries through the QueryRouter while a writer swaps
+// snapshots every few milliseconds.
+//
+// The contract under test is the RCU one: every served answer must be
+// consistent with EXACTLY ONE published snapshot — bit-identical to a
+// fresh synchronous DisclosureAnalyzer over that snapshot's bucketization
+// — never a torn mix of two releases. Each answer names the snapshot
+// sequence it was computed against, so the assertion is direct: look the
+// sequence up in the registry of everything the writer published and
+// compare against the precomputed reference answers with exact double
+// equality. Per reader, observed sequences must also be nondecreasing
+// (a router batch never travels back in time).
+//
+// Runs under the ASan/UBSan and TSan CI steps (see .github/workflows).
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cksafe/core/disclosure.h"
+#include "cksafe/serve/query_router.h"
+#include "cksafe/serve/release_snapshot.h"
+#include "cksafe/serve/snapshot_store.h"
+#include "testing_util.h"
+
+namespace cksafe {
+namespace {
+
+using testing::MakeBuckets;
+using testing::RandomHistograms;
+using testing::SyntheticBuckets;
+
+constexpr size_t kSnapshots = 12;
+constexpr size_t kMaxK = 6;
+constexpr size_t kReaders = 4;
+constexpr size_t kQueriesPerReader = 400;
+
+/// Reference answers for one snapshot, precomputed synchronously.
+struct Reference {
+  std::shared_ptr<const ReleaseSnapshot> snapshot;
+  DisclosureProfile profile;                        // budgets 0..kMaxK
+  std::vector<std::vector<double>> per_bucket;      // [k][bucket]
+};
+
+TEST(ServeTortureTest, AnswersMatchExactlyOnePublishedSnapshot) {
+  Rng rng(0x70727572ULL);
+  // Distinct random bucketizations, one per future snapshot. Buckets >= 2
+  // so per-bucket queries for buckets {0, 1} are always in range.
+  std::vector<SyntheticBuckets> instances;
+  std::vector<Reference> references(kSnapshots + 1);  // index = sequence
+  for (size_t s = 1; s <= kSnapshots; ++s) {
+    instances.push_back(MakeBuckets(
+        RandomHistograms(&rng, 6 + s % 5, 4, 7), 4));
+    const Bucketization& bucketization = instances.back().bucketization;
+    Reference& ref = references[s];
+    ref.snapshot = MakeReleaseSnapshot(s, bucketization);
+    DisclosureAnalyzer fresh(ref.snapshot->bucketization);
+    ref.profile = fresh.Profile(kMaxK);
+    ref.per_bucket.resize(kMaxK + 1);
+    for (size_t k = 0; k <= kMaxK; ++k) {
+      ref.per_bucket[k] = fresh.PerBucketDisclosure(k);
+    }
+  }
+
+  ServingDirectory directory;
+  SnapshotStore* store = directory.GetOrAddTenant("tenant");
+  store->Publish(references[1].snapshot);
+  QueryRouter router(&directory);  // live worker thread
+
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    for (size_t s = 2; s <= kSnapshots; ++s) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      store->Publish(references[s].snapshot);
+    }
+    writer_done = true;
+  });
+
+  std::atomic<size_t> torn{0};
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Rng reader_rng(0xbeef + r);
+      uint64_t last_sequence = 0;
+      // Keep querying until BOTH the minimum count is reached and the
+      // writer has swapped through every snapshot, so reads genuinely
+      // straddle every transition.
+      for (size_t i = 0; i < kQueriesPerReader || !writer_done.load(); ++i) {
+        Query query;
+        query.tenant = "tenant";
+        query.k = reader_rng.NextBelow(kMaxK + 1);
+        switch (reader_rng.NextBelow(4)) {
+          case 0:
+            query.kind = QueryKind::kIsCkSafe;
+            query.c = 0.3 + 0.1 * static_cast<double>(reader_rng.NextBelow(7));
+            break;
+          case 1:
+            query.kind = QueryKind::kDisclosure;
+            break;
+          case 2:
+            query.kind = QueryKind::kProfileAtK;
+            break;
+          default:
+            query.kind = QueryKind::kPerBucket;
+            query.bucket = reader_rng.NextBelow(2);
+            break;
+        }
+        const auto answer = router.Ask(query);
+        if (!answer.ok()) {
+          // Backpressure is the only admissible failure under load.
+          ASSERT_EQ(answer.status().code(), StatusCode::kResourceExhausted);
+          continue;
+        }
+        const uint64_t sequence = answer->snapshot_sequence;
+        ASSERT_GE(sequence, uint64_t{1});
+        ASSERT_LE(sequence, kSnapshots);
+        ASSERT_GE(sequence, last_sequence)
+            << "a reader observed snapshots moving backwards";
+        last_sequence = sequence;
+
+        // The answer must equal the reference for the ONE snapshot it
+        // names — exact double equality, no tolerance.
+        const Reference& ref = references[sequence];
+        bool match = true;
+        switch (query.kind) {
+          case QueryKind::kIsCkSafe:
+            match = answer->safe == ref.profile.IsCkSafe(query.c, query.k) &&
+                    answer->disclosure == ref.profile.implication[query.k];
+            break;
+          case QueryKind::kDisclosure:
+            match =
+                answer->disclosure == ref.profile.implication[query.k] &&
+                answer->log_r == ref.profile.implication_log_r[query.k];
+            break;
+          case QueryKind::kProfileAtK:
+            match = answer->disclosure == ref.profile.implication[query.k] &&
+                    answer->negation == ref.profile.negation[query.k];
+            break;
+          case QueryKind::kPerBucket:
+            match = answer->disclosure ==
+                    ref.per_bucket[query.k][query.bucket];
+            break;
+        }
+        if (!match) ++torn;
+      }
+    });
+  }
+
+  for (auto& reader : readers) reader.join();
+  writer.join();
+  router.Stop();
+
+  EXPECT_EQ(torn.load(), 0u)
+      << "answers inconsistent with their named snapshot";
+  EXPECT_TRUE(writer_done.load());
+  const RouterStats stats = router.stats();
+  EXPECT_GE(stats.answered, 1u);
+  // The coalescing machinery must actually have been exercised: strictly
+  // fewer sweeps than answers (the whole point of batching), and at least
+  // one snapshot reload observed from the writer's swaps.
+  EXPECT_LT(stats.profile_sweeps + stats.per_bucket_sweeps, stats.answered);
+  EXPECT_GE(stats.snapshot_reloads, 2u);
+}
+
+}  // namespace
+}  // namespace cksafe

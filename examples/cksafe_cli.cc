@@ -8,6 +8,8 @@
 //   cksafe_cli audit    [data flags] --node=... --knowledge=FILE [--approx]
 //   cksafe_cli fig5     [--rows --seed --adult_csv --max_k]
 //   cksafe_cli fig6     [--rows --seed --adult_csv]
+//   cksafe_cli foundry  [--scenario=NAME | --rows --seed] [--out=PATH]
+//   cksafe_cli scenario [--list | --scenario=NAME] [--scale=X]
 //
 // Data flags (analyze / publish / audit):
 //   --adult              use the built-in synthetic Adult workload
@@ -46,6 +48,8 @@
 #include "cksafe/exact/exact_engine.h"
 #include "cksafe/exact/sampler.h"
 #include "cksafe/experiments/figures.h"
+#include "cksafe/foundry/fingerprint.h"
+#include "cksafe/foundry/scenario.h"
 #include "cksafe/knowledge/parser.h"
 #include "cksafe/search/publisher.h"
 #include "cksafe/serve/query_router.h"
@@ -88,6 +92,10 @@ struct CliConfig {
   int64_t queue = 4096;
   int64_t stream_batches = 0;
   int64_t rounds = 1;
+  // Foundry / scenario catalog.
+  std::string scenario;
+  double scale = 1.0;
+  bool list = false;
 };
 
 struct LoadedData {
@@ -851,6 +859,108 @@ Status RunFig6(const CliConfig& config) {
   return Status::OK();
 }
 
+// Textual CSV dump of a foundry table (labels for categoricals, raw codes
+// for numerics) — inspectable with any external tool.
+Status DumpFoundryCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot open " + path);
+  for (size_t col = 0; col < table.num_columns(); ++col) {
+    out << (col ? "," : "") << table.schema().attribute(col).name();
+  }
+  out << "\n";
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    for (size_t col = 0; col < table.num_columns(); ++col) {
+      const AttributeDef& attr = table.schema().attribute(col);
+      const int32_t code = table.at(static_cast<PersonId>(row), col);
+      out << (col ? "," : "")
+          << (attr.is_categorical() ? attr.LabelOf(code)
+                                    : std::to_string(code));
+    }
+    out << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunFoundry(const CliConfig& config) {
+  TableFoundryConfig table_config;
+  HierarchyFoundryConfig hierarchy_config;
+  DeltaFoundryConfig delta_config;
+  bool with_deltas = false;
+  if (!config.scenario.empty()) {
+    CKSAFE_ASSIGN_OR_RETURN(ScenarioConfig scenario,
+                            FindScenario(config.scenario));
+    table_config = scenario.table;
+    hierarchy_config = scenario.hierarchy;
+    delta_config = scenario.deltas;
+    delta_config.num_ops = scenario.delta_ops;
+    with_deltas = scenario.delta_ops > 0;
+  } else {
+    table_config.seed = static_cast<uint64_t>(config.seed);
+    table_config.num_rows = static_cast<size_t>(config.rows);
+    table_config.quasi_identifiers = {
+        ColumnSpec{"Region", 12, true, ValueSkew::kZipf, 2},
+        ColumnSpec{"Age", 16, false, ValueSkew::kClustered, 4}};
+    table_config.sensitive = ColumnSpec{"Dx", 6, true, ValueSkew::kUniform, 1};
+    hierarchy_config.seed = static_cast<uint64_t>(config.seed);
+  }
+  CKSAFE_ASSIGN_OR_RETURN(Table table, TableFoundry::Generate(table_config));
+  std::printf("table: %zu rows x %zu columns (seed %llu)\n", table.num_rows(),
+              table.num_columns(),
+              static_cast<unsigned long long>(table_config.seed));
+  std::printf("table fingerprint: %016llx\n",
+              static_cast<unsigned long long>(FingerprintTable(table)));
+  const size_t sensitive_column = table_config.quasi_identifiers.size();
+  CKSAFE_ASSIGN_OR_RETURN(
+      std::vector<QuasiIdentifier> qis,
+      HierarchyFoundry::MakeQuasiIdentifiers(table, sensitive_column,
+                                             hierarchy_config));
+  for (const QuasiIdentifier& qi : qis) {
+    std::printf("hierarchy %s: %zu levels, fingerprint %016llx\n",
+                table.schema().attribute(qi.column).name().c_str(),
+                qi.hierarchy->num_levels(),
+                static_cast<unsigned long long>(
+                    FingerprintHierarchy(*qi.hierarchy)));
+  }
+  if (with_deltas) {
+    CKSAFE_ASSIGN_OR_RETURN(DeltaStream stream,
+                            DeltaFoundry::Generate(delta_config));
+    std::printf("delta stream: %zu initial + %zu ops, fingerprint %016llx\n",
+                stream.initial.size(), stream.ops.size(),
+                static_cast<unsigned long long>(
+                    FingerprintDeltaStream(stream)));
+  }
+  if (!config.out.empty()) {
+    CKSAFE_RETURN_IF_ERROR(DumpFoundryCsv(table, config.out));
+    std::printf("wrote %s\n", config.out.c_str());
+  }
+  return Status::OK();
+}
+
+Status RunScenario(const CliConfig& config) {
+  if (config.list) {
+    for (const ScenarioConfig& scenario : ScenarioCatalog()) {
+      std::printf("%-20s %s\n", scenario.name.c_str(),
+                  scenario.summary.c_str());
+    }
+    return Status::OK();
+  }
+  std::vector<ScenarioConfig> to_run;
+  if (!config.scenario.empty()) {
+    CKSAFE_ASSIGN_OR_RETURN(ScenarioConfig scenario,
+                            FindScenario(config.scenario));
+    to_run.push_back(std::move(scenario));
+  } else {
+    to_run = ScenarioCatalog();
+  }
+  for (const ScenarioConfig& scenario : to_run) {
+    CKSAFE_ASSIGN_OR_RETURN(ScenarioReport report,
+                            ScenarioRunner::Run(scenario, config.scale));
+    std::printf("scenario %s: PASS (%s)\n", scenario.name.c_str(),
+                report.ToString().c_str());
+  }
+  return Status::OK();
+}
+
 int Main(int argc, char** argv) {
   CliConfig config;
   FlagParser flags;
@@ -883,6 +993,11 @@ int Main(int argc, char** argv) {
                  "readers run");
   flags.AddInt64("rounds", &config.rounds,
                  "serve: times each reader replays its query share");
+  flags.AddString("scenario", &config.scenario,
+                  "foundry/scenario: catalog entry name");
+  flags.AddDouble("scale", &config.scale,
+                  "scenario: multiplier on rows, ops and query counts");
+  flags.AddBool("list", &config.list, "scenario: list the catalog and exit");
 
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -891,8 +1006,8 @@ int Main(int argc, char** argv) {
   }
   if (flags.positional().size() != 1) {
     std::fprintf(stderr,
-                 "usage: cksafe_cli "
-                 "<analyze|publish|multi|serve|audit|fig5|fig6> [flags]\n%s",
+                 "usage: cksafe_cli <analyze|publish|multi|serve|audit|fig5|"
+                 "fig6|foundry|scenario> [flags]\n%s",
                  flags.Usage("cksafe_cli <command>").c_str());
     return 1;
   }
@@ -912,6 +1027,10 @@ int Main(int argc, char** argv) {
     st = RunFig5(config);
   } else if (command == "fig6") {
     st = RunFig6(config);
+  } else if (command == "foundry") {
+    st = RunFoundry(config);
+  } else if (command == "scenario") {
+    st = RunScenario(config);
   } else {
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return 1;

@@ -1,0 +1,81 @@
+// DeltaFoundry: seeded insert/delete/shrink streams for the incremental
+// engine.
+//
+// A delta stream is a sequence of IncrementalAnalyzer mutations —
+// AddBucket / AddTuples / RemoveTuples / RemoveBucket — generated against
+// a simulated copy of the live state, so every op is valid by construction
+// (no removing from empty buckets, no draining a bucket to zero tuples,
+// never dropping below a bucket floor). Churn is the single tuning knob
+// the high-churn streaming scenario turns up: the percentage of ops that
+// remove rather than insert.
+//
+// Streams are integer-only and fingerprint-pinned like every other foundry
+// artifact: a seed is a complete, portable description of a workload.
+
+#ifndef CKSAFE_FOUNDRY_DELTA_FOUNDRY_H_
+#define CKSAFE_FOUNDRY_DELTA_FOUNDRY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cksafe/foundry/table_foundry.h"
+#include "cksafe/stream/incremental_analyzer.h"
+#include "cksafe/util/status.h"
+
+namespace cksafe {
+
+enum class DeltaKind : uint8_t {
+  kAddBucket = 0,
+  kAddTuples = 1,
+  kRemoveTuples = 2,
+  kRemoveBucket = 3,
+};
+
+/// One mutation. `bucket` targets an existing bucket (unused by
+/// kAddBucket); `values` holds sensitive codes (empty for kRemoveBucket).
+struct DeltaOp {
+  DeltaKind kind = DeltaKind::kAddBucket;
+  size_t bucket = 0;
+  std::vector<int32_t> values;
+};
+
+struct DeltaFoundryConfig {
+  uint64_t seed = 0xde17a5ULL;
+  /// Mutations generated after the initial state.
+  size_t num_ops = 100;
+  /// Sensitive domain the stream's values are drawn from.
+  size_t domain = 4;
+  /// Buckets created up front (each also emitted as a kAddBucket op).
+  size_t initial_buckets = 4;
+  /// The stream never removes below this many buckets.
+  size_t min_buckets = 1;
+  /// New buckets and tuple batches hold 1..max_batch tuples.
+  size_t max_batch = 10;
+  /// Percentage of ops (0..90) that remove tuples or whole buckets.
+  uint32_t churn_percent = 30;
+  /// Marginal distribution of sampled sensitive values.
+  ValueSkew skew = ValueSkew::kUniform;
+  uint32_t skew_param = 2;
+};
+
+/// A generated stream: `initial` seeds the starting state (kAddBucket ops
+/// only), then `ops` mutates it.
+struct DeltaStream {
+  std::vector<DeltaOp> initial;
+  std::vector<DeltaOp> ops;
+};
+
+class DeltaFoundry {
+ public:
+  static StatusOr<DeltaStream> Generate(const DeltaFoundryConfig& config);
+};
+
+/// Applies one op to the analyzer (the composition point with stream/).
+void ApplyDelta(const DeltaOp& op, IncrementalAnalyzer* analyzer);
+
+/// Digest over every op's kind, target, and values, in stream order.
+uint64_t FingerprintDeltaStream(const DeltaStream& stream);
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_FOUNDRY_DELTA_FOUNDRY_H_

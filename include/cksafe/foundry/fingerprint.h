@@ -1,0 +1,58 @@
+// Cross-platform fingerprints for foundry artifacts.
+//
+// The foundry's determinism contract — identical seeds yield byte-identical
+// tables, hierarchies, and delta streams on every compiler and platform —
+// is enforced by pinning FNV-1a digests in ctest. The digests therefore mix
+// only integer data (cell codes, group ids, delta op fields), byte by byte
+// from the least significant end, so they are independent of endianness,
+// of struct layout, and of anything floating-point. A pinned constant that
+// matches on gcc must match on clang or the generator itself diverged.
+
+#ifndef CKSAFE_FOUNDRY_FINGERPRINT_H_
+#define CKSAFE_FOUNDRY_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "cksafe/data/table.h"
+#include "cksafe/hierarchy/hierarchy.h"
+
+namespace cksafe {
+
+/// Incremental FNV-1a (64-bit) over a stream of integers.
+class Fingerprint {
+ public:
+  /// Mixes the eight bytes of `v`, least significant first.
+  void MixUint64(uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      digest_ ^= (v >> (8 * byte)) & 0xffu;
+      digest_ *= kPrime;
+    }
+  }
+
+  void MixInt32(int32_t v) {
+    MixUint64(static_cast<uint64_t>(static_cast<uint32_t>(v)));
+  }
+
+  void MixSize(size_t v) { MixUint64(static_cast<uint64_t>(v)); }
+
+  uint64_t digest() const { return digest_; }
+
+ private:
+  static constexpr uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr uint64_t kPrime = 0x00000100000001b3ULL;
+
+  uint64_t digest_ = kOffsetBasis;
+};
+
+/// Digest of a table's shape and every cell code (row-major).
+uint64_t FingerprintTable(const Table& table);
+
+/// Digest of a hierarchy's structure: per level, the group count and the
+/// group id of every base code. Labels are not mixed — two hierarchies
+/// fingerprint equal iff they induce the same partitions, which is what
+/// bucketization (and therefore disclosure) depends on.
+uint64_t FingerprintHierarchy(const AttributeHierarchy& hierarchy);
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_FOUNDRY_FINGERPRINT_H_

@@ -1,0 +1,54 @@
+// HierarchyFoundry: seeded generalization ladders of controllable shape.
+//
+// Numeric attributes get interval ladders (widths 1, f, f², ... capped at
+// `max_levels`, plus a suppressed top); categorical attributes get a
+// seeded nested tree: the base labels are shuffled once, then repeatedly
+// chunked `fanout` groups at a time, so every level partitions the domain
+// and nests with the previous one by construction (the TreeHierarchy
+// invariant). Depth and fanout are the two knobs that control lattice
+// height — the deep-hierarchy scenario drives searches through ladders no
+// hand-written fixture bothers to build.
+//
+// Like the rest of the foundry, generation is integer-only and
+// byte-identical across platforms for a given seed (fingerprint-pinned).
+
+#ifndef CKSAFE_FOUNDRY_HIERARCHY_FOUNDRY_H_
+#define CKSAFE_FOUNDRY_HIERARCHY_FOUNDRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cksafe/data/table.h"
+#include "cksafe/hierarchy/hierarchy.h"
+#include "cksafe/util/status.h"
+
+namespace cksafe {
+
+struct HierarchyFoundryConfig {
+  uint64_t seed = 0x1adde5ULL;
+  /// Groups merged per level (numeric: interval width ratio). >= 2.
+  size_t fanout = 2;
+  /// Cap on levels above the identity, before the suppressed top. >= 1.
+  size_t max_levels = 4;
+};
+
+class HierarchyFoundry {
+ public:
+  /// Builds a ladder for one attribute: interval widths for numerics, a
+  /// seeded nested tree for categoricals. Always topped by full
+  /// suppression, so the lattice search can fall back to B_top.
+  static StatusOr<std::shared_ptr<const AttributeHierarchy>> MakeLadder(
+      const AttributeDef& attribute, const HierarchyFoundryConfig& config);
+
+  /// Ladders for every non-sensitive column of `table`, in column order.
+  /// Column i's ladder is seeded with config.seed + i, so ladders differ
+  /// per column but the whole set is reproducible.
+  static StatusOr<std::vector<QuasiIdentifier>> MakeQuasiIdentifiers(
+      const Table& table, size_t sensitive_column,
+      const HierarchyFoundryConfig& config);
+};
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_FOUNDRY_HIERARCHY_FOUNDRY_H_

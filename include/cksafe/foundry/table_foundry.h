@@ -1,0 +1,100 @@
+// TableFoundry: deterministic, seed-parameterized microdata generation.
+//
+// The generator exists to make "as many scenarios as you can imagine"
+// (ROADMAP.md) an enumerable regression surface: every dataset shape a
+// test or bench wants — heavy value skew, many near-empty buckets, deep
+// numeric domains — is one declarative TableFoundryConfig, and identical
+// configs yield byte-identical tables on every compiler and platform.
+//
+// Determinism is achieved by keeping the entire sampling path in integer
+// arithmetic: skew profiles are materialized as uint64 weight vectors
+// (Zipf via integer powers, clusters via exact powers of two) and values
+// are drawn by binary search over cumulative weights with Rng::NextBelow.
+// No std:: distribution, no libm, no floating point anywhere in
+// generation — the pinned FNV fingerprints in foundry_test.cc hold across
+// gcc and clang because there is nothing implementation-defined to vary.
+
+#ifndef CKSAFE_FOUNDRY_TABLE_FOUNDRY_H_
+#define CKSAFE_FOUNDRY_TABLE_FOUNDRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cksafe/data/table.h"
+#include "cksafe/util/random.h"
+#include "cksafe/util/status.h"
+
+namespace cksafe {
+
+/// Shape of one column's marginal value distribution.
+enum class ValueSkew : uint8_t {
+  kUniform = 0,    ///< every value equally likely
+  kZipf = 1,       ///< weight(i) ∝ 1 / (i + 1)^e, integer exponent e
+  kClustered = 2,  ///< contiguous clusters with geometrically decaying mass
+};
+
+/// One generated column.
+struct ColumnSpec {
+  std::string name;
+  /// Number of distinct values. Categorical columns get labels
+  /// "<name>_v<i>"; numeric columns span [0, domain - 1].
+  size_t domain = 8;
+  bool categorical = true;
+  ValueSkew skew = ValueSkew::kUniform;
+  /// Zipf exponent e >= 1, or the cluster count for kClustered (>= 1,
+  /// <= 48 so cluster weights stay exact powers of two). Ignored for
+  /// kUniform.
+  uint32_t skew_param = 2;
+};
+
+/// Declarative description of one synthetic table. Columns are sampled
+/// independently unless `correlate_sensitive` ties the sensitive marginal
+/// to the first quasi-identifier.
+struct TableFoundryConfig {
+  uint64_t seed = 0xf00dd00fULL;
+  size_t num_rows = 1000;
+  std::vector<ColumnSpec> quasi_identifiers;
+  /// The sensitive column, appended after the quasi-identifiers.
+  ColumnSpec sensitive{"S", 6, true, ValueSkew::kUniform, 1};
+  /// Shifts each sensitive draw by the row's first QI value (mod the
+  /// sensitive domain), making per-bucket histograms depend on the QI
+  /// grouping — the regime where bucket boundaries matter most.
+  bool correlate_sensitive = false;
+};
+
+/// Draws indices in [0, n) with probability weight[i] / total, by binary
+/// search over cumulative uint64 weights. Fully deterministic given the
+/// Rng stream; the integer-domain counterpart of DiscreteSampler.
+class WeightedIndexSampler {
+ public:
+  /// Weights must be non-empty with a positive, non-overflowing sum.
+  static StatusOr<WeightedIndexSampler> Create(
+      const std::vector<uint64_t>& weights);
+
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return cumulative_.size(); }
+
+ private:
+  WeightedIndexSampler() = default;
+
+  std::vector<uint64_t> cumulative_;  // nondecreasing; back() == total
+};
+
+/// Materializes a skew profile as integer weights over `domain` values.
+/// Every value keeps weight >= 1, so no part of the domain is ever
+/// unreachable (deep Zipf tails saturate at 1 instead of vanishing).
+StatusOr<std::vector<uint64_t>> SkewWeights(size_t domain, ValueSkew skew,
+                                            uint32_t skew_param);
+
+class TableFoundry {
+ public:
+  /// Generates the table described by `config`. InvalidArgument on empty
+  /// domains, zero rows, or out-of-range skew parameters.
+  static StatusOr<Table> Generate(const TableFoundryConfig& config);
+};
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_FOUNDRY_TABLE_FOUNDRY_H_

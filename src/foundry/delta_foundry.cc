@@ -1,0 +1,178 @@
+#include "cksafe/foundry/delta_foundry.h"
+
+#include <algorithm>
+
+#include "cksafe/foundry/fingerprint.h"
+#include "cksafe/util/random.h"
+
+namespace cksafe {
+namespace {
+
+// The generator's simulated state: per-bucket histograms, kept exactly in
+// step with what the ops would do to an IncrementalAnalyzer.
+struct SimState {
+  std::vector<std::vector<uint32_t>> histograms;
+  std::vector<uint32_t> sizes;
+
+  size_t num_buckets() const { return histograms.size(); }
+};
+
+std::vector<int32_t> SampleValues(const WeightedIndexSampler& sampler,
+                                  Rng* rng, size_t count) {
+  std::vector<int32_t> values;
+  values.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    values.push_back(static_cast<int32_t>(sampler.Sample(rng)));
+  }
+  return values;
+}
+
+DeltaOp MakeAddBucket(SimState* sim, const WeightedIndexSampler& sampler,
+                      Rng* rng, size_t domain, size_t max_batch) {
+  const size_t count = 1 + rng->NextBelow(max_batch);
+  DeltaOp op;
+  op.kind = DeltaKind::kAddBucket;
+  op.values = SampleValues(sampler, rng, count);
+  std::vector<uint32_t> histogram(domain, 0);
+  for (int32_t v : op.values) ++histogram[static_cast<size_t>(v)];
+  sim->histograms.push_back(std::move(histogram));
+  sim->sizes.push_back(static_cast<uint32_t>(count));
+  return op;
+}
+
+// Removes `count` tuples from bucket `b`, choosing each victim uniformly
+// among the tuples still present (weighted walk over the histogram).
+DeltaOp MakeRemoveTuples(SimState* sim, Rng* rng, size_t b, size_t count) {
+  DeltaOp op;
+  op.kind = DeltaKind::kRemoveTuples;
+  op.bucket = b;
+  std::vector<uint32_t>& histogram = sim->histograms[b];
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t r = rng->NextBelow(sim->sizes[b]);
+    for (size_t code = 0; code < histogram.size(); ++code) {
+      if (r < histogram[code]) {
+        op.values.push_back(static_cast<int32_t>(code));
+        --histogram[code];
+        --sim->sizes[b];
+        break;
+      }
+      r -= histogram[code];
+    }
+  }
+  return op;
+}
+
+}  // namespace
+
+StatusOr<DeltaStream> DeltaFoundry::Generate(const DeltaFoundryConfig& config) {
+  if (config.domain == 0) {
+    return Status::InvalidArgument("delta stream needs a non-empty domain");
+  }
+  if (config.min_buckets < 1 || config.initial_buckets < config.min_buckets) {
+    return Status::InvalidArgument(
+        "delta stream needs initial_buckets >= min_buckets >= 1");
+  }
+  if (config.max_batch < 1) {
+    return Status::InvalidArgument("delta stream needs max_batch >= 1");
+  }
+  if (config.churn_percent > 90) {
+    return Status::InvalidArgument("churn_percent must be <= 90");
+  }
+  CKSAFE_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> weights,
+      SkewWeights(config.domain, config.skew, config.skew_param));
+  CKSAFE_ASSIGN_OR_RETURN(WeightedIndexSampler sampler,
+                          WeightedIndexSampler::Create(weights));
+
+  Rng rng(config.seed);
+  SimState sim;
+  DeltaStream stream;
+  for (size_t b = 0; b < config.initial_buckets; ++b) {
+    stream.initial.push_back(MakeAddBucket(&sim, sampler, &rng, config.domain,
+                                           config.max_batch));
+  }
+
+  for (size_t i = 0; i < config.num_ops; ++i) {
+    const bool want_removal = rng.NextBelow(100) < config.churn_percent;
+    if (want_removal) {
+      // Shrinkable buckets can lose tuples and still hold one; whole
+      // buckets can go once the floor allows it.
+      std::vector<size_t> shrinkable;
+      for (size_t b = 0; b < sim.num_buckets(); ++b) {
+        if (sim.sizes[b] >= 2) shrinkable.push_back(b);
+      }
+      const bool can_drop_bucket = sim.num_buckets() > config.min_buckets;
+      if (can_drop_bucket && (shrinkable.empty() || rng.NextBelow(5) == 0)) {
+        const size_t b = rng.NextBelow(sim.num_buckets());
+        DeltaOp op;
+        op.kind = DeltaKind::kRemoveBucket;
+        op.bucket = b;
+        sim.histograms.erase(sim.histograms.begin() + b);
+        sim.sizes.erase(sim.sizes.begin() + b);
+        stream.ops.push_back(std::move(op));
+        continue;
+      }
+      if (!shrinkable.empty()) {
+        const size_t b = shrinkable[rng.NextBelow(shrinkable.size())];
+        const size_t removable =
+            std::min<size_t>(sim.sizes[b] - 1, config.max_batch);
+        const size_t count = 1 + rng.NextBelow(removable);
+        stream.ops.push_back(MakeRemoveTuples(&sim, &rng, b, count));
+        continue;
+      }
+      // Nothing to remove; fall through to an insert.
+    }
+    if (sim.num_buckets() == 0 || rng.NextBelow(100) < 35) {
+      stream.ops.push_back(MakeAddBucket(&sim, sampler, &rng, config.domain,
+                                         config.max_batch));
+    } else {
+      const size_t b = rng.NextBelow(sim.num_buckets());
+      const size_t count = 1 + rng.NextBelow(config.max_batch);
+      DeltaOp op;
+      op.kind = DeltaKind::kAddTuples;
+      op.bucket = b;
+      op.values = SampleValues(sampler, &rng, count);
+      for (int32_t v : op.values) {
+        ++sim.histograms[b][static_cast<size_t>(v)];
+        ++sim.sizes[b];
+      }
+      stream.ops.push_back(std::move(op));
+    }
+  }
+  return stream;
+}
+
+void ApplyDelta(const DeltaOp& op, IncrementalAnalyzer* analyzer) {
+  switch (op.kind) {
+    case DeltaKind::kAddBucket:
+      analyzer->AddBucket(op.values);
+      break;
+    case DeltaKind::kAddTuples:
+      analyzer->AddTuples(op.bucket, op.values);
+      break;
+    case DeltaKind::kRemoveTuples:
+      analyzer->RemoveTuples(op.bucket, op.values);
+      break;
+    case DeltaKind::kRemoveBucket:
+      analyzer->RemoveBucket(op.bucket);
+      break;
+  }
+}
+
+uint64_t FingerprintDeltaStream(const DeltaStream& stream) {
+  Fingerprint fp;
+  const auto mix_ops = [&fp](const std::vector<DeltaOp>& ops) {
+    fp.MixSize(ops.size());
+    for (const DeltaOp& op : ops) {
+      fp.MixUint64(static_cast<uint64_t>(op.kind));
+      fp.MixSize(op.bucket);
+      fp.MixSize(op.values.size());
+      for (int32_t v : op.values) fp.MixInt32(v);
+    }
+  };
+  mix_ops(stream.initial);
+  mix_ops(stream.ops);
+  return fp.digest();
+}
+
+}  // namespace cksafe

@@ -1,0 +1,116 @@
+#include "cksafe/foundry/hierarchy_foundry.h"
+
+#include <string>
+#include <utility>
+
+#include "cksafe/util/random.h"
+#include "cksafe/util/string_util.h"
+
+namespace cksafe {
+namespace {
+
+Status ValidateConfig(const HierarchyFoundryConfig& config) {
+  if (config.fanout < 2) {
+    return Status::InvalidArgument("hierarchy fanout must be >= 2");
+  }
+  if (config.max_levels < 1) {
+    return Status::InvalidArgument("hierarchy max_levels must be >= 1");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<const AttributeHierarchy>> MakeIntervalLadder(
+    const AttributeDef& attribute, const HierarchyFoundryConfig& config) {
+  const int64_t domain = static_cast<int64_t>(attribute.domain_size());
+  std::vector<int32_t> widths{1};
+  int64_t width = 1;
+  for (size_t level = 1; level < config.max_levels; ++level) {
+    width *= static_cast<int64_t>(config.fanout);
+    if (width >= domain) break;  // the suppressed top covers the rest
+    widths.push_back(static_cast<int32_t>(width));
+  }
+  CKSAFE_ASSIGN_OR_RETURN(
+      IntervalHierarchy ladder,
+      IntervalHierarchy::Create(attribute, std::move(widths),
+                                /*add_suppressed_top=*/true));
+  return ShareHierarchy(std::move(ladder));
+}
+
+StatusOr<std::shared_ptr<const AttributeHierarchy>> MakeTreeLadder(
+    const AttributeDef& attribute, const HierarchyFoundryConfig& config) {
+  // Shuffle once, then chunk `fanout` groups at a time per level: chunks
+  // of chunks nest, which is exactly the TreeHierarchy invariant.
+  std::vector<std::string> order = attribute.labels();
+  Rng rng(config.seed);
+  rng.Shuffle(&order);
+  std::vector<std::vector<std::string>> chunks;
+  chunks.reserve(order.size());
+  for (std::string& label : order) {
+    chunks.push_back({std::move(label)});
+  }
+
+  std::vector<std::vector<TreeHierarchy::Group>> levels;
+  size_t level_no = 0;
+  while (chunks.size() > 1 && level_no < config.max_levels) {
+    ++level_no;
+    std::vector<std::vector<std::string>> merged;
+    std::vector<TreeHierarchy::Group> groups;
+    for (size_t begin = 0; begin < chunks.size(); begin += config.fanout) {
+      std::vector<std::string> members;
+      const size_t end = std::min(chunks.size(), begin + config.fanout);
+      for (size_t i = begin; i < end; ++i) {
+        members.insert(members.end(), chunks[i].begin(), chunks[i].end());
+      }
+      groups.push_back(TreeHierarchy::Group{
+          StrFormat("L%zuG%zu", level_no, merged.size()), members});
+      merged.push_back(std::move(members));
+    }
+    levels.push_back(std::move(groups));
+    chunks = std::move(merged);
+  }
+  if (chunks.size() > 1) {
+    // Depth cap reached before the tree closed: append full suppression.
+    std::vector<std::string> all;
+    for (const auto& chunk : chunks) {
+      all.insert(all.end(), chunk.begin(), chunk.end());
+    }
+    levels.push_back({TreeHierarchy::Group{"*", std::move(all)}});
+  }
+  CKSAFE_ASSIGN_OR_RETURN(TreeHierarchy tree,
+                          TreeHierarchy::Create(attribute, std::move(levels)));
+  return ShareHierarchy(std::move(tree));
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<const AttributeHierarchy>>
+HierarchyFoundry::MakeLadder(const AttributeDef& attribute,
+                             const HierarchyFoundryConfig& config) {
+  CKSAFE_RETURN_IF_ERROR(ValidateConfig(config));
+  if (attribute.is_categorical()) {
+    return MakeTreeLadder(attribute, config);
+  }
+  return MakeIntervalLadder(attribute, config);
+}
+
+StatusOr<std::vector<QuasiIdentifier>> HierarchyFoundry::MakeQuasiIdentifiers(
+    const Table& table, size_t sensitive_column,
+    const HierarchyFoundryConfig& config) {
+  CKSAFE_RETURN_IF_ERROR(ValidateConfig(config));
+  if (sensitive_column >= table.num_columns()) {
+    return Status::OutOfRange("sensitive column out of range");
+  }
+  std::vector<QuasiIdentifier> qis;
+  for (size_t column = 0; column < table.num_columns(); ++column) {
+    if (column == sensitive_column) continue;
+    HierarchyFoundryConfig per_column = config;
+    per_column.seed = config.seed + column;
+    CKSAFE_ASSIGN_OR_RETURN(
+        std::shared_ptr<const AttributeHierarchy> ladder,
+        MakeLadder(table.schema().attribute(column), per_column));
+    qis.push_back(QuasiIdentifier{column, std::move(ladder)});
+  }
+  return qis;
+}
+
+}  // namespace cksafe

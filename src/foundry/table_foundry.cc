@@ -1,0 +1,166 @@
+#include "cksafe/foundry/table_foundry.h"
+
+#include <algorithm>
+
+#include "cksafe/util/string_util.h"
+
+namespace cksafe {
+namespace {
+
+// Largest cluster count whose top weight 2^(n-1) keeps the cumulative sum
+// comfortably inside uint64 for any realistic domain size.
+constexpr uint32_t kMaxClusters = 48;
+
+// Zipf weights are floor(kZipfScale / (i + 1)^e), clamped below at 1.
+constexpr uint64_t kZipfScale = 1ULL << 32;
+
+StatusOr<AttributeDef> MakeAttribute(const ColumnSpec& spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("foundry column needs a name");
+  }
+  if (spec.domain == 0) {
+    return Status::InvalidArgument("foundry column " + spec.name +
+                                   " has an empty domain");
+  }
+  if (spec.categorical) {
+    std::vector<std::string> labels;
+    labels.reserve(spec.domain);
+    for (size_t i = 0; i < spec.domain; ++i) {
+      labels.push_back(spec.name + "_v" + std::to_string(i));
+    }
+    return AttributeDef::Categorical(spec.name, std::move(labels));
+  }
+  if (spec.domain > size_t{1} << 24) {
+    return Status::InvalidArgument("foundry numeric domain too large: " +
+                                   spec.name);
+  }
+  return AttributeDef::Numeric(spec.name, 0,
+                               static_cast<int32_t>(spec.domain) - 1);
+}
+
+}  // namespace
+
+StatusOr<WeightedIndexSampler> WeightedIndexSampler::Create(
+    const std::vector<uint64_t>& weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("sampler needs at least one weight");
+  }
+  WeightedIndexSampler sampler;
+  sampler.cumulative_.reserve(weights.size());
+  uint64_t total = 0;
+  for (uint64_t w : weights) {
+    if (w > UINT64_MAX - total) {
+      return Status::InvalidArgument("sampler weights overflow uint64");
+    }
+    total += w;
+    sampler.cumulative_.push_back(total);
+  }
+  if (total == 0) {
+    return Status::InvalidArgument("sampler weights sum to zero");
+  }
+  return sampler;
+}
+
+size_t WeightedIndexSampler::Sample(Rng* rng) const {
+  const uint64_t r = rng->NextBelow(cumulative_.back());
+  // First index whose cumulative weight exceeds r; zero-weight entries
+  // (equal adjacent cumulatives) are never selected.
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), r);
+  return static_cast<size_t>(it - cumulative_.begin());
+}
+
+StatusOr<std::vector<uint64_t>> SkewWeights(size_t domain, ValueSkew skew,
+                                            uint32_t skew_param) {
+  if (domain == 0) {
+    return Status::InvalidArgument("skew profile needs a non-empty domain");
+  }
+  std::vector<uint64_t> weights(domain, 1);
+  switch (skew) {
+    case ValueSkew::kUniform:
+      break;
+    case ValueSkew::kZipf: {
+      if (skew_param < 1 || skew_param > 16) {
+        return Status::InvalidArgument(
+            StrFormat("Zipf exponent must be in [1, 16], got %u", skew_param));
+      }
+      for (size_t i = 0; i < domain; ++i) {
+        // Integer (i + 1)^e in 128 bits; once the power exceeds the scale
+        // the weight has saturated at the floor of 1.
+        unsigned __int128 power = 1;
+        bool saturated = false;
+        for (uint32_t e = 0; e < skew_param; ++e) {
+          power *= static_cast<unsigned __int128>(i + 1);
+          if (power > kZipfScale) {
+            saturated = true;
+            break;
+          }
+        }
+        weights[i] =
+            saturated ? 1 : std::max<uint64_t>(
+                                1, kZipfScale / static_cast<uint64_t>(power));
+      }
+      break;
+    }
+    case ValueSkew::kClustered: {
+      if (skew_param < 1 || skew_param > kMaxClusters) {
+        return Status::InvalidArgument(
+            StrFormat("cluster count must be in [1, %u], got %u", kMaxClusters,
+                      skew_param));
+      }
+      const size_t clusters = std::min<size_t>(skew_param, domain);
+      for (size_t i = 0; i < domain; ++i) {
+        // Contiguous clusters; cluster j carries half the mass of j - 1.
+        const size_t cluster = i * clusters / domain;
+        weights[i] = uint64_t{1} << (clusters - 1 - cluster);
+      }
+      break;
+    }
+  }
+  return weights;
+}
+
+StatusOr<Table> TableFoundry::Generate(const TableFoundryConfig& config) {
+  if (config.num_rows == 0) {
+    return Status::InvalidArgument("foundry table needs at least one row");
+  }
+  if (config.quasi_identifiers.empty()) {
+    return Status::InvalidArgument(
+        "foundry table needs at least one quasi-identifier column");
+  }
+  std::vector<AttributeDef> attributes;
+  std::vector<WeightedIndexSampler> samplers;
+  std::vector<ColumnSpec> specs = config.quasi_identifiers;
+  specs.push_back(config.sensitive);
+  for (const ColumnSpec& spec : specs) {
+    CKSAFE_ASSIGN_OR_RETURN(AttributeDef attribute, MakeAttribute(spec));
+    attributes.push_back(std::move(attribute));
+    CKSAFE_ASSIGN_OR_RETURN(
+        std::vector<uint64_t> weights,
+        SkewWeights(spec.domain, spec.skew, spec.skew_param));
+    CKSAFE_ASSIGN_OR_RETURN(WeightedIndexSampler sampler,
+                            WeightedIndexSampler::Create(weights));
+    samplers.push_back(std::move(sampler));
+  }
+
+  Table table{Schema(std::move(attributes))};
+  Rng rng(config.seed);
+  const size_t sensitive_column = specs.size() - 1;
+  const size_t sensitive_domain = config.sensitive.domain;
+  std::vector<int32_t> cells(specs.size());
+  for (size_t row = 0; row < config.num_rows; ++row) {
+    for (size_t col = 0; col < specs.size(); ++col) {
+      cells[col] = static_cast<int32_t>(samplers[col].Sample(&rng));
+    }
+    if (config.correlate_sensitive) {
+      cells[sensitive_column] = static_cast<int32_t>(
+          (static_cast<size_t>(cells[sensitive_column]) +
+           static_cast<size_t>(cells[0])) %
+          sensitive_domain);
+    }
+    CKSAFE_RETURN_IF_ERROR(table.AppendRow(cells));
+  }
+  return table;
+}
+
+}  // namespace cksafe

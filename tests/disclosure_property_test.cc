@@ -43,8 +43,11 @@ std::vector<std::vector<uint32_t>> TinyHistograms(Rng* rng, size_t num_buckets,
 }
 
 TEST(DisclosurePropertyTest, DpMatchesExactEngineBruteForceOnTinyTables) {
-  Rng rng(20260726);
-  for (int trial = 0; trial < 12; ++trial) {
+  const uint64_t seed = testing::TestSeed(20260726);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
+  const size_t trials = testing::TestIters(12);
+  for (size_t trial = 0; trial < trials; ++trial) {
     const size_t num_buckets = 1 + rng.NextBelow(3);  // <= 3 buckets
     const size_t domain = 2 + rng.NextBelow(2);       // 2-3 values
     auto fixture =
@@ -72,8 +75,11 @@ TEST(DisclosurePropertyTest, DpMatchesExactEngineBruteForceOnTinyTables) {
 }
 
 TEST(DisclosurePropertyTest, PerBucketMaximumEqualsGlobalMaximum) {
-  Rng rng(42);
-  for (int trial = 0; trial < 20; ++trial) {
+  const uint64_t seed = testing::TestSeed(42);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
+  const size_t trials = testing::TestIters(20);
+  for (size_t trial = 0; trial < trials; ++trial) {
     const size_t num_buckets = 1 + rng.NextBelow(5);
     const size_t domain = 2 + rng.NextBelow(4);
     auto fixture = MakeBuckets(
@@ -92,8 +98,11 @@ TEST(DisclosurePropertyTest, PerBucketMaximumEqualsGlobalMaximum) {
 }
 
 TEST(DisclosurePropertyTest, DisclosureCurvesAreNonDecreasingInK) {
-  Rng rng(7);
-  for (int trial = 0; trial < 20; ++trial) {
+  const uint64_t seed = testing::TestSeed(7);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
+  const size_t trials = testing::TestIters(20);
+  for (size_t trial = 0; trial < trials; ++trial) {
     const size_t num_buckets = 1 + rng.NextBelow(4);
     const size_t domain = 2 + rng.NextBelow(4);
     auto fixture = MakeBuckets(

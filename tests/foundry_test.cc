@@ -1,0 +1,287 @@
+// Unit tests for the synthetic-workload foundry: cross-platform
+// determinism (pinned FNV-1a fingerprints — the same constants must hold
+// under gcc and clang, any libc, any architecture), seed sensitivity,
+// config validation, and valid-by-construction delta streams.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "cksafe/core/disclosure.h"
+#include "cksafe/foundry/delta_foundry.h"
+#include "cksafe/foundry/fingerprint.h"
+#include "cksafe/foundry/hierarchy_foundry.h"
+#include "cksafe/foundry/table_foundry.h"
+#include "cksafe/stream/incremental_analyzer.h"
+#include "testing_util.h"
+
+namespace cksafe {
+namespace {
+
+// Pinned digests. The foundry generates through integer arithmetic only
+// (no floating point, no std:: distributions, no pointer-order iteration),
+// so these exact values must reproduce on every compiler, libc, and
+// architecture — a mismatch means the generator's byte-identity contract
+// broke, not that the platform is "slightly different".
+constexpr uint64_t kPinnedZeroWordDigest = 0xa8c7f832281a39c5ULL;
+constexpr uint64_t kPinnedCountingDigest = 0x7eb5108b368a78edULL;
+constexpr uint64_t kPinnedTableDigest = 0x53976e30cb2da079ULL;
+constexpr uint64_t kPinnedHierarchyDigest = 0x13e79baaacf91a9eULL;
+constexpr uint64_t kPinnedDeltaDigest = 0x90d994436cb6290cULL;
+
+// The reference config every pinned fingerprint below is derived from.
+TableFoundryConfig ReferenceTableConfig() {
+  TableFoundryConfig config;
+  config.seed = 0x5eedf00dULL;
+  config.num_rows = 200;
+  config.quasi_identifiers = {
+      ColumnSpec{"Region", 12, true, ValueSkew::kZipf, 2},
+      ColumnSpec{"Age", 16, false, ValueSkew::kClustered, 4}};
+  config.sensitive = ColumnSpec{"Dx", 6, true, ValueSkew::kUniform, 1};
+  config.correlate_sensitive = true;
+  return config;
+}
+
+TEST(FingerprintTest, MatchesFnv1aTestVectors) {
+  // Empty input is the FNV-1a offset basis; the other vectors pin the
+  // byte-by-byte LSB-first mixing order.
+  Fingerprint empty;
+  EXPECT_EQ(empty.digest(), 0xcbf29ce484222325ULL);
+
+  Fingerprint zero;
+  zero.MixUint64(0);
+  EXPECT_EQ(zero.digest(), kPinnedZeroWordDigest);
+
+  Fingerprint counting;
+  counting.MixUint64(0x0807060504030201ULL);  // bytes 01 02 .. 08 in order
+  EXPECT_EQ(counting.digest(), kPinnedCountingDigest);
+
+  // Signed mixing is two's-complement: -1 mixes as eight 0xff bytes.
+  Fingerprint minus_one;
+  minus_one.MixInt32(-1);
+  Fingerprint ffffffff;
+  ffffffff.MixUint64(0xffffffffULL);
+  EXPECT_EQ(minus_one.digest(), ffffffff.digest());
+}
+
+TEST(TableFoundryTest, SameSeedIsByteIdentical) {
+  const TableFoundryConfig config = ReferenceTableConfig();
+  const auto first = TableFoundry::Generate(config);
+  const auto second = TableFoundry::Generate(config);
+  ASSERT_TRUE(first.ok() && second.ok());
+  ASSERT_EQ(first->num_rows(), config.num_rows);
+  for (size_t row = 0; row < first->num_rows(); ++row) {
+    for (size_t col = 0; col < first->num_columns(); ++col) {
+      ASSERT_EQ(first->at(static_cast<PersonId>(row), col),
+                second->at(static_cast<PersonId>(row), col))
+          << "row " << row << " col " << col;
+    }
+  }
+  EXPECT_EQ(FingerprintTable(*first), FingerprintTable(*second));
+}
+
+TEST(TableFoundryTest, FingerprintIsPinnedAcrossPlatforms) {
+  const auto table = TableFoundry::Generate(ReferenceTableConfig());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(FingerprintTable(*table), kPinnedTableDigest);
+}
+
+TEST(TableFoundryTest, DifferentSeedsDiverge) {
+  TableFoundryConfig config = ReferenceTableConfig();
+  const auto base = TableFoundry::Generate(config);
+  config.seed ^= 1;
+  const auto other = TableFoundry::Generate(config);
+  ASSERT_TRUE(base.ok() && other.ok());
+  EXPECT_NE(FingerprintTable(*base), FingerprintTable(*other));
+}
+
+TEST(TableFoundryTest, RejectsBadConfigs) {
+  TableFoundryConfig config = ReferenceTableConfig();
+  config.num_rows = 0;
+  EXPECT_FALSE(TableFoundry::Generate(config).ok());
+
+  config = ReferenceTableConfig();
+  config.quasi_identifiers.clear();
+  EXPECT_FALSE(TableFoundry::Generate(config).ok());
+
+  config = ReferenceTableConfig();
+  config.quasi_identifiers[0].domain = 0;
+  EXPECT_FALSE(TableFoundry::Generate(config).ok());
+
+  config = ReferenceTableConfig();
+  config.quasi_identifiers[0].skew_param = 0;  // Zipf exponent out of range
+  EXPECT_FALSE(TableFoundry::Generate(config).ok());
+
+  config = ReferenceTableConfig();
+  config.quasi_identifiers[0].skew_param = 17;
+  EXPECT_FALSE(TableFoundry::Generate(config).ok());
+}
+
+TEST(TableFoundryTest, SkewWeightShapesHold) {
+  const auto zipf = SkewWeights(10, ValueSkew::kZipf, 2);
+  ASSERT_TRUE(zipf.ok());
+  for (size_t i = 1; i < zipf->size(); ++i) {
+    EXPECT_LE((*zipf)[i], (*zipf)[i - 1]) << "Zipf weights must not increase";
+  }
+  EXPECT_EQ((*zipf)[0], uint64_t{1} << 32);  // floor(scale / 1^2)
+
+  const auto clustered = SkewWeights(8, ValueSkew::kClustered, 3);
+  ASSERT_TRUE(clustered.ok());
+  for (uint64_t w : *clustered) {
+    EXPECT_EQ(w & (w - 1), 0u) << "cluster weights are powers of two";
+  }
+  EXPECT_EQ(clustered->front(), 4u);  // 2^(clusters-1)
+  EXPECT_EQ(clustered->back(), 1u);
+
+  const auto uniform = SkewWeights(5, ValueSkew::kUniform, 1);
+  ASSERT_TRUE(uniform.ok());
+  EXPECT_EQ(*uniform, std::vector<uint64_t>(5, 1));
+}
+
+TEST(WeightedIndexSamplerTest, ValidatesAndStaysInRange) {
+  EXPECT_FALSE(WeightedIndexSampler::Create({}).ok());
+  EXPECT_FALSE(WeightedIndexSampler::Create({0, 0}).ok());
+
+  const auto sampler = WeightedIndexSampler::Create({3, 0, 5});
+  ASSERT_TRUE(sampler.ok());
+  const uint64_t seed = testing::TestSeed(99);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
+  for (size_t i = 0; i < testing::TestIters(500); ++i) {
+    const size_t drawn = sampler->Sample(&rng);
+    ASSERT_LT(drawn, 3u);
+    ASSERT_NE(drawn, 1u) << "zero-weight index must never be selected";
+  }
+}
+
+TEST(HierarchyFoundryTest, LaddersNestAndArePinned) {
+  const auto table = TableFoundry::Generate(ReferenceTableConfig());
+  ASSERT_TRUE(table.ok());
+  HierarchyFoundryConfig config;
+  config.seed = 0x1adde5ULL;
+  config.fanout = 3;
+  config.max_levels = 4;
+  const auto qis = HierarchyFoundry::MakeQuasiIdentifiers(
+      *table, /*sensitive_column=*/2, config);
+  ASSERT_TRUE(qis.ok()) << qis.status().ToString();
+  ASSERT_EQ(qis->size(), 2u);  // sensitive column skipped
+
+  for (const QuasiIdentifier& qi : *qis) {
+    const AttributeHierarchy& h = *qi.hierarchy;
+    const AttributeDef& attr = h.attribute();
+    const int32_t lo = attr.is_categorical() ? 0 : attr.min_value();
+    const int32_t hi = attr.is_categorical()
+                           ? static_cast<int32_t>(attr.domain_size()) - 1
+                           : attr.max_value();
+    ASSERT_GE(h.num_levels(), 2u);
+    EXPECT_EQ(h.NumGroups(h.num_levels() - 1), 1u) << "top must suppress";
+    for (size_t level = 0; level + 1 < h.num_levels(); ++level) {
+      // Nesting: values sharing a group at `level` share one at `level+1`.
+      std::map<int32_t, int32_t> parent_of;
+      for (int32_t code = lo; code <= hi; ++code) {
+        const int32_t group = h.GroupOf(code, level);
+        const int32_t parent = h.GroupOf(code, level + 1);
+        const auto [it, inserted] = parent_of.emplace(group, parent);
+        EXPECT_EQ(it->second, parent)
+            << attr.name() << " level " << level << " group " << group;
+      }
+    }
+  }
+
+  Fingerprint combined;
+  for (const QuasiIdentifier& qi : *qis) {
+    combined.MixUint64(FingerprintHierarchy(*qi.hierarchy));
+  }
+  EXPECT_EQ(combined.digest(), kPinnedHierarchyDigest);
+}
+
+TEST(HierarchyFoundryTest, RejectsBadConfigs) {
+  const auto table = TableFoundry::Generate(ReferenceTableConfig());
+  ASSERT_TRUE(table.ok());
+  HierarchyFoundryConfig config;
+  config.fanout = 1;
+  EXPECT_FALSE(
+      HierarchyFoundry::MakeQuasiIdentifiers(*table, 2, config).ok());
+  config.fanout = 2;
+  config.max_levels = 0;
+  EXPECT_FALSE(
+      HierarchyFoundry::MakeQuasiIdentifiers(*table, 2, config).ok());
+  config.max_levels = 4;
+  EXPECT_FALSE(
+      HierarchyFoundry::MakeQuasiIdentifiers(*table, 99, config).ok());
+}
+
+DeltaFoundryConfig ReferenceDeltaConfig() {
+  DeltaFoundryConfig config;
+  config.seed = 0xde17a5ULL;
+  config.num_ops = 120;
+  config.domain = 5;
+  config.initial_buckets = 4;
+  config.min_buckets = 2;
+  config.max_batch = 7;
+  config.churn_percent = 40;
+  config.skew = ValueSkew::kZipf;
+  config.skew_param = 2;
+  return config;
+}
+
+TEST(DeltaFoundryTest, StreamsAreValidByConstruction) {
+  const auto stream = DeltaFoundry::Generate(ReferenceDeltaConfig());
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  EXPECT_EQ(stream->initial.size(), 4u);
+  EXPECT_EQ(stream->ops.size(), 120u);
+
+  // Applying every op must hold the analyzer's invariants (CHECK-crashes
+  // on any invalid removal) and respect the bucket floor throughout.
+  IncrementalAnalyzer analyzer(/*sensitive_domain_size=*/5);
+  size_t removals = 0;
+  for (const DeltaOp& op : stream->initial) ApplyDelta(op, &analyzer);
+  for (const DeltaOp& op : stream->ops) {
+    ApplyDelta(op, &analyzer);
+    if (op.kind == DeltaKind::kRemoveTuples ||
+        op.kind == DeltaKind::kRemoveBucket) {
+      ++removals;
+    }
+    ASSERT_GE(analyzer.CurrentBucketization().num_buckets(), 2u);
+  }
+  EXPECT_GT(removals, 0u) << "40% churn must produce removals";
+
+  // The materialized end state agrees with a from-scratch analyzer.
+  const Bucketization final_state = analyzer.CurrentBucketization();
+  DisclosureAnalyzer fresh(final_state);
+  const DisclosureProfile incremental_profile = analyzer.Profile(3);
+  const DisclosureProfile fresh_profile = fresh.Profile(3);
+  EXPECT_EQ(incremental_profile.implication, fresh_profile.implication);
+  EXPECT_EQ(incremental_profile.negation, fresh_profile.negation);
+}
+
+TEST(DeltaFoundryTest, FingerprintIsPinnedAcrossPlatforms) {
+  const auto stream = DeltaFoundry::Generate(ReferenceDeltaConfig());
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(FingerprintDeltaStream(*stream), kPinnedDeltaDigest);
+  const auto replay = DeltaFoundry::Generate(ReferenceDeltaConfig());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(FingerprintDeltaStream(*replay), FingerprintDeltaStream(*stream));
+}
+
+TEST(DeltaFoundryTest, RejectsBadConfigs) {
+  DeltaFoundryConfig config = ReferenceDeltaConfig();
+  config.domain = 0;
+  EXPECT_FALSE(DeltaFoundry::Generate(config).ok());
+
+  config = ReferenceDeltaConfig();
+  config.min_buckets = 5;  // > initial_buckets
+  EXPECT_FALSE(DeltaFoundry::Generate(config).ok());
+
+  config = ReferenceDeltaConfig();
+  config.max_batch = 0;
+  EXPECT_FALSE(DeltaFoundry::Generate(config).ok());
+
+  config = ReferenceDeltaConfig();
+  config.churn_percent = 91;
+  EXPECT_FALSE(DeltaFoundry::Generate(config).ok());
+}
+
+}  // namespace
+}  // namespace cksafe

@@ -92,9 +92,12 @@ TEST(ParserFuzzTest, ParsePrintParseIsAFixedPoint) {
       static_cast<size_t>(table.schema().attribute(sensitive).max_value()) + 1;
   const KnowledgeParser parser(table, sensitive);
   const KnowledgePrinter printer(table, sensitive);
-  Rng rng(20260726);
+  const uint64_t seed = testing::TestSeed(20260726);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
 
-  for (int trial = 0; trial < 200; ++trial) {
+  const size_t trials = testing::TestIters(200);
+  for (size_t trial = 0; trial < trials; ++trial) {
     const std::string text =
         RandomDocument(&rng, printer, table.num_rows(), domain);
     auto first = parser.ParseFormula(text);
@@ -149,10 +152,13 @@ TEST(ParserFuzzTest, RandomMutationsNeverCrash) {
       static_cast<size_t>(table.schema().attribute(sensitive).max_value()) + 1;
   const KnowledgeParser parser(table, sensitive);
   const KnowledgePrinter printer(table, sensitive);
-  Rng rng(4242);
+  const uint64_t seed = testing::TestSeed(4242);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   const std::string alphabet = "t[].=&|->! #\nBobDisease\tflu\"\\%";
 
-  for (int trial = 0; trial < 500; ++trial) {
+  const size_t trials = testing::TestIters(500);
+  for (size_t trial = 0; trial < trials; ++trial) {
     std::string text =
         RandomDocument(&rng, printer, table.num_rows(), domain);
     const size_t mutations = 1 + rng.NextBelow(8);

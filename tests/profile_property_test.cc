@@ -24,8 +24,11 @@ namespace {
 constexpr double kTol = 1e-12;
 
 TEST(ProfilePropertyTest, CurvesAreNondecreasingInK) {
-  Rng rng(20260726);
-  for (int trial = 0; trial < 30; ++trial) {
+  const uint64_t seed = testing::TestSeed(20260726);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
+  const size_t trials = testing::TestIters(30);
+  for (size_t trial = 0; trial < trials; ++trial) {
     const size_t domain = 2 + rng.NextBelow(5);
     const auto buckets = testing::MakeBuckets(
         testing::RandomHistograms(&rng, 1 + rng.NextBelow(6), domain, 8),
@@ -46,8 +49,11 @@ TEST(ProfilePropertyTest, CurvesAreNondecreasingInK) {
 }
 
 TEST(ProfilePropertyTest, ProfileMatchesPerKPointQueries) {
-  Rng rng(7);
-  for (int trial = 0; trial < 20; ++trial) {
+  const uint64_t seed = testing::TestSeed(7);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
+  const size_t trials = testing::TestIters(20);
+  for (size_t trial = 0; trial < trials; ++trial) {
     const size_t domain = 2 + rng.NextBelow(4);
     const auto buckets = testing::MakeBuckets(
         testing::RandomHistograms(&rng, 1 + rng.NextBelow(5), domain, 7),
@@ -73,8 +79,11 @@ TEST(ProfilePropertyTest, ProfileMatchesPerKPointQueries) {
 }
 
 TEST(ProfilePropertyTest, ProfileMatchesExactOracleForSmallK) {
-  Rng rng(77);
-  for (int trial = 0; trial < 8; ++trial) {
+  const uint64_t seed = testing::TestSeed(77);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
+  const size_t trials = testing::TestIters(8);
+  for (size_t trial = 0; trial < trials; ++trial) {
     const size_t domain = 2 + rng.NextBelow(2);
     const auto buckets = testing::MakeBuckets(
         testing::RandomHistograms(&rng, 1 + rng.NextBelow(3), domain, 3),

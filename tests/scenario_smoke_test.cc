@@ -1,0 +1,85 @@
+// In-process checks of the scenario catalog and runner. The full catalog
+// runs end-to-end as `ctest -L scenario` (one process per scenario, driven
+// through cksafe_cli); this suite covers the parts a CLI exit code cannot:
+// catalog well-formedness, report accounting, the scale knob, and the
+// runner's own input validation.
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cksafe/foundry/scenario.h"
+#include "testing_util.h"
+
+namespace cksafe {
+namespace {
+
+TEST(ScenarioCatalogTest, CatalogIsWellFormed) {
+  const auto& catalog = ScenarioCatalog();
+  EXPECT_GE(catalog.size(), 6u);
+  std::set<std::string> names;
+  for (const ScenarioConfig& scenario : catalog) {
+    EXPECT_FALSE(scenario.name.empty());
+    EXPECT_FALSE(scenario.summary.empty());
+    EXPECT_FALSE(scenario.policies.empty()) << scenario.name;
+    EXPECT_TRUE(names.insert(scenario.name).second)
+        << "duplicate scenario name " << scenario.name;
+    const auto found = FindScenario(scenario.name);
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(found->name, scenario.name);
+  }
+  // The tentpole shapes the catalog promises are all present.
+  for (const char* required :
+       {"heavy_skew", "deep_hierarchy", "high_churn_stream", "tenant_fleet",
+        "serve_under_swap", "sequential_release", "small_world_exact"}) {
+    EXPECT_TRUE(names.count(required)) << "missing scenario " << required;
+  }
+  EXPECT_EQ(FindScenario("no_such_scenario").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ScenarioRunnerTest, SmallWorldExactRunsAndVerifies) {
+  const auto scenario = FindScenario("small_world_exact");
+  ASSERT_TRUE(scenario.ok());
+  const auto report = ScenarioRunner::Run(*scenario);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report->releases, 1u);
+  EXPECT_GT(report->answers_verified, 0u);
+  EXPECT_EQ(report->answers_verified, report->queries_answered);
+  EXPECT_GT(report->exact_checks, 0u) << "the small world must be enumerable";
+  EXPECT_FALSE(report->ToString().empty());
+}
+
+TEST(ScenarioRunnerTest, ScaleShrinksTheWorkload) {
+  const auto scenario = FindScenario("high_churn_stream");
+  ASSERT_TRUE(scenario.ok());
+  const auto small = ScenarioRunner::Run(*scenario, /*scale=*/0.2);
+  ASSERT_TRUE(small.ok()) << small.status().ToString();
+  EXPECT_GT(small->delta_ops_applied, 0u);
+  EXPECT_GT(small->delta_profiles_verified, 0u);
+  const auto full = ScenarioRunner::Run(*scenario);
+  ASSERT_TRUE(full.ok());
+  EXPECT_LT(small->delta_ops_applied, full->delta_ops_applied);
+  EXPECT_LT(small->queries_answered, full->queries_answered);
+}
+
+TEST(ScenarioRunnerTest, RejectsInvalidInputs) {
+  ScenarioConfig no_policies;
+  no_policies.name = "no_policies";
+  no_policies.table.quasi_identifiers = {
+      ColumnSpec{"G", 4, true, ValueSkew::kUniform, 1}};
+  EXPECT_EQ(ScenarioRunner::Run(no_policies).status().code(),
+            StatusCode::kInvalidArgument);
+
+  auto scenario = FindScenario("small_world_exact");
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_EQ(ScenarioRunner::Run(*scenario, /*scale=*/0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  scenario->release_batches = 0;
+  EXPECT_EQ(ScenarioRunner::Run(*scenario).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cksafe

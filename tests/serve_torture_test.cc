@@ -48,7 +48,9 @@ struct Reference {
 };
 
 TEST(ServeTortureTest, AnswersMatchExactlyOnePublishedSnapshot) {
-  Rng rng(0x70727572ULL);
+  const uint64_t seed = testing::TestSeed(0x70727572ULL);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
   // Distinct random bucketizations, one per future snapshot. Buckets >= 2
   // so per-bucket queries for buckets {0, 1} are always in range.
   std::vector<SyntheticBuckets> instances;
@@ -85,7 +87,7 @@ TEST(ServeTortureTest, AnswersMatchExactlyOnePublishedSnapshot) {
   std::vector<std::thread> readers;
   for (size_t r = 0; r < kReaders; ++r) {
     readers.emplace_back([&, r] {
-      Rng reader_rng(0xbeef + r);
+      Rng reader_rng(seed + 0xbeef + r);
       uint64_t last_sequence = 0;
       // Keep querying until BOTH the minimum count is reached and the
       // writer has swapped through every snapshot, so reads genuinely

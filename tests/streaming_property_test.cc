@@ -68,8 +68,11 @@ void ExpectIdentical(const WorstCaseDisclosure& a,
 
 TEST(StreamingDifferentialTest, RandomStreamsMatchFreshAnalyzerBitForBit) {
   constexpr size_t kDomain = 4;
-  Rng rng(20260726);
-  for (int trial = 0; trial < 6; ++trial) {
+  const uint64_t seed = testing::TestSeed(20260726);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
+  const size_t trials = testing::TestIters(6);
+  for (size_t trial = 0; trial < trials; ++trial) {
     IncrementalAnalyzer inc(kDomain);
     inc.AddBucket(RandomValues(&rng, kDomain, 5));
     for (int step = 0; step < 25; ++step) {
@@ -203,8 +206,11 @@ TEST(StreamingDifferentialTest, ShrinkThenQueryMatchesFreshAnalyzer) {
 
 TEST(StreamingDifferentialTest, MatchesExactOracleOnTinyStreams) {
   constexpr size_t kDomain = 3;
-  Rng rng(77);
-  for (int trial = 0; trial < 4; ++trial) {
+  const uint64_t seed = testing::TestSeed(77);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
+  const size_t trials = testing::TestIters(4);
+  for (size_t trial = 0; trial < trials; ++trial) {
     IncrementalAnalyzer inc(kDomain);
     inc.AddBucket(RandomValues(&rng, kDomain, 3));
     for (int step = 0; step < 10; ++step) {

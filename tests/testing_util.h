@@ -4,6 +4,8 @@
 #ifndef CKSAFE_TESTS_TESTING_UTIL_H_
 #define CKSAFE_TESTS_TESTING_UTIL_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,39 @@
 
 namespace cksafe {
 namespace testing {
+
+/// Seed for a randomized test: `fallback` unless the CKSAFE_TEST_SEED
+/// environment variable overrides it. Pair with SeedTrace so a failure
+/// always logs the seed that reproduces it:
+///
+///   const uint64_t seed = TestSeed(20260726);
+///   SCOPED_TRACE(SeedTrace(seed));
+///   Rng rng(seed);
+inline uint64_t TestSeed(uint64_t fallback) {
+  const char* override_value = std::getenv("CKSAFE_TEST_SEED");
+  if (override_value == nullptr || *override_value == '\0') return fallback;
+  return std::strtoull(override_value, nullptr, 0);
+}
+
+/// Failure annotation naming the seed and how to replay it.
+inline std::string SeedTrace(uint64_t seed) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer),
+                "seed=%llu (rerun with CKSAFE_TEST_SEED=%llu)",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(seed));
+  return buffer;
+}
+
+/// Iteration count for a randomized test: `base`, multiplied by the
+/// CKSAFE_TEST_ITERS environment variable when set (the nightly long-run
+/// profile exports CKSAFE_TEST_ITERS=10).
+inline size_t TestIters(size_t base) {
+  const char* multiplier = std::getenv("CKSAFE_TEST_ITERS");
+  if (multiplier == nullptr || *multiplier == '\0') return base;
+  const unsigned long long factor = std::strtoull(multiplier, nullptr, 0);
+  return factor > 0 ? base * static_cast<size_t>(factor) : base;
+}
 
 /// Disease codes of the hospital fixture, in schema order.
 enum HospitalDisease : int32_t {

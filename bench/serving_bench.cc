@@ -1,7 +1,7 @@
 // E10: the serving layer under concurrent readers and streaming writes.
 //
 // Measures queries/sec for two serving strategies over the same snapshot
-// store, at 1/2/8 reader threads, while a writer thread swaps release
+// store, at 1/2/4/8 reader threads, while a writer thread swaps release
 // snapshots every ~2 ms (the streaming re-publish cadence):
 //
 //   BM_ServeNaive    "per-query locking" baseline: a global mutex
@@ -260,8 +260,18 @@ void BM_ServeBatched(benchmark::State& state) {
   }
 }
 
-BENCHMARK(BM_ServeNaive)->Threads(1)->Threads(2)->Threads(8)->UseRealTime();
-BENCHMARK(BM_ServeBatched)->Threads(1)->Threads(2)->Threads(8)->UseRealTime();
+BENCHMARK(BM_ServeNaive)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+BENCHMARK(BM_ServeBatched)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace cksafe

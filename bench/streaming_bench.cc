@@ -18,6 +18,7 @@
 #include "cksafe/core/disclosure.h"
 #include "cksafe/search/publisher.h"
 #include "cksafe/stream/incremental_analyzer.h"
+#include "cksafe/stream/multi_policy_publisher.h"
 #include "cksafe/stream/streaming_publisher.h"
 
 namespace cksafe {
@@ -248,6 +249,102 @@ void BM_StreamingPublish(benchmark::State& state) {
                       : "cold publish per prefix");
 }
 BENCHMARK(BM_StreamingPublish)->Unit(benchmark::kMillisecond)->Arg(1)->Arg(0);
+
+// E11 thread matrix: the multi-tenant streaming publish at 1/2/4/8 worker
+// threads. Each iteration grows the table by one batch and republishes all
+// tenants through MultiPolicyPublisher, whose batched profile evaluation
+// (Minimize1BatchView) fans each lattice level out over the pool. Output
+// is CHECKed against a 1-thread baseline publisher every iteration;
+// compare real_time across the threads argument for the scaling, and the
+// table_* counters for the batch view's shared-cache amortization.
+void BM_MultiPolicyStreamingPublish(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  constexpr size_t kPublishRows = 2000;
+  constexpr size_t kBatch = 500;
+  const Table full = GenerateSyntheticAdult(kPublishRows, 7);
+  PublisherOptions base;
+
+  auto row_cells = [&](size_t row) {
+    std::vector<int32_t> cells(full.num_columns());
+    for (size_t c = 0; c < full.num_columns(); ++c) {
+      cells[c] = full.at(static_cast<PersonId>(row), c);
+    }
+    return cells;
+  };
+  auto make_publisher = [&](size_t num_threads) {
+    Table initial(full.schema());
+    for (size_t r = 0; r < kBatch; ++r) {
+      CKSAFE_CHECK(initial.AppendRow(row_cells(r)).ok());
+    }
+    auto publisher = std::make_unique<MultiPolicyPublisher>(
+        std::move(initial), AdultQis(), kAdultOccupationColumn, base);
+    publisher->AddTenant("strict", 0.7, 3);
+    publisher->AddTenant("medium", 0.8, 2);
+    publisher->AddTenant("loose", 0.9, 1);
+    publisher->mutable_search_options()->num_threads = num_threads;
+    return publisher;
+  };
+
+  // Reference frontier nodes per prefix from a sequential run (built once,
+  // shared across the thread-count args).
+  static std::vector<std::vector<LatticeNode>>* reference = [&] {
+    auto* nodes = new std::vector<std::vector<LatticeNode>>;
+    auto baseline = make_publisher(1);
+    for (size_t end = kBatch; end <= kPublishRows; end += kBatch) {
+      if (end > kBatch) {
+        std::vector<std::vector<int32_t>> rows;
+        for (size_t r = end - kBatch; r < end; ++r) rows.push_back(row_cells(r));
+        CKSAFE_CHECK(baseline->AddBatch(rows).ok());
+      }
+      auto releases = baseline->PublishAll();
+      CKSAFE_CHECK(releases.ok()) << releases.status();
+      std::vector<LatticeNode> per_tenant;
+      for (const TenantRelease& tenant : *releases) {
+        CKSAFE_CHECK(tenant.release.ok());
+        per_tenant.push_back(tenant.release->node);
+      }
+      nodes->push_back(std::move(per_tenant));
+    }
+    return nodes;
+  }();
+
+  uint64_t prepare_calls = 0;
+  uint64_t shared_lookups = 0;
+  for (auto _ : state) {
+    auto publisher = make_publisher(threads);
+    prepare_calls = shared_lookups = 0;
+    size_t prefix = 0;
+    for (size_t end = kBatch; end <= kPublishRows; end += kBatch, ++prefix) {
+      if (end > kBatch) {
+        std::vector<std::vector<int32_t>> rows;
+        for (size_t r = end - kBatch; r < end; ++r) rows.push_back(row_cells(r));
+        CKSAFE_CHECK(publisher->AddBatch(rows).ok());
+      }
+      auto releases = publisher->PublishAll();
+      CKSAFE_CHECK(releases.ok()) << releases.status();
+      for (size_t t = 0; t < releases->size(); ++t) {
+        CKSAFE_CHECK((*releases)[t].release.ok());
+        CKSAFE_CHECK((*releases)[t].release->node == (*reference)[prefix][t])
+            << "threaded multi-policy publish diverged from sequential";
+      }
+      prepare_calls += publisher->last_table_traffic().prepare_calls;
+      shared_lookups += publisher->last_table_traffic().shared_lookups;
+    }
+    benchmark::DoNotOptimize(prefix);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["table_requests"] = static_cast<double>(prepare_calls);
+  state.counters["table_shared_lookups"] = static_cast<double>(shared_lookups);
+  state.SetLabel("3 tenants, " + std::to_string(threads) +
+                 " threads incl. caller, level-batched table view");
+}
+BENCHMARK(BM_MultiPolicyStreamingPublish)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
 
 }  // namespace
 }  // namespace cksafe

@@ -20,7 +20,10 @@
 // minimization scans in cache-resident tiles, and a monotone-argmin prune
 // (per-budget MINIMIZE1 minima are nonincreasing, rows are prefix-min
 // summarized) cuts the per-cell O(k) scan — exactly, never changing which
-// candidate wins (DESIGN.md §9.2).
+// candidate wins (DESIGN.md §9.2). Since PR 7 the scans themselves run
+// behind the runtime-dispatched SIMD backends of simd/dispatch.h
+// (structure-of-arrays reversed rows; AVX2 with a scalar fallback, every
+// backend bit-identical — DESIGN.md §11).
 //
 // Row i depends only on row i - 1 and bucket i - 1, so after a mutation of
 // bucket j only rows > j need recomputation — the workhorse behind the
@@ -128,6 +131,19 @@ class Minimize2Forward {
   /// covers buckets [0, i).
   const LogProb* NoALogRow(size_t i) const;
 
+  /// Full argmin arrays (flattened rows x (k + 1); row 0 unused), exposed
+  /// so the SIMD differential tests can assert bit-identity of every
+  /// recorded choice across dispatch backends, not just the witness path.
+  const std::vector<uint16_t>& NoChoicesForTest() const {
+    return no_choice_t_;
+  }
+  const std::vector<uint16_t>& WaChoicesForTest() const {
+    return wa_choice_t_;
+  }
+  const std::vector<uint8_t>& WaBranchesForTest() const {
+    return wa_choice_branch_;
+  }
+
  private:
   size_t RowIndex(size_t i, size_t h) const { return i * (k_ + 1) + h; }
 
@@ -140,10 +156,13 @@ class Minimize2Forward {
   std::vector<uint16_t> no_choice_t_;
   std::vector<uint16_t> wa_choice_t_;
   std::vector<uint8_t> wa_choice_branch_;
-  // Scratch for the pruning bounds: prefix minima of the previous row
-  // (pm[s] = min over columns 0..s), rebuilt per row, reused across calls.
-  std::vector<LogProb> pm_no_;
-  std::vector<LogProb> pm_wa_;
+  // Structure-of-arrays scratch for the scan backends (simd/dispatch.h):
+  // the previous rows reversed (rev[j] = row[k - j]) and their reversed
+  // prefix-min pruning companions, rebuilt per row, reused across calls.
+  std::vector<LogProb> rev_no_;
+  std::vector<LogProb> rev_wa_;
+  std::vector<LogProb> rev_pm_no_;
+  std::vector<LogProb> rev_pm_wa_;
 };
 
 /// Reusable arena for the disclosure hot path: one forward sweep plus the

@@ -134,11 +134,30 @@ struct CkPolicy {
 using NodeProfiler =
     std::function<std::optional<DisclosureProfile>(const LatticeNode&)>;
 
+/// Whole-level profile evaluator: receives every node of one lattice level
+/// that still needs a profile (in the exact order the node-at-a-time path
+/// would evaluate them) plus the sweep's pool, and returns positionally
+/// aligned results. The contract is pure batching: element i must equal
+/// what the sweep's NodeProfiler would return for node i, so a correct
+/// batch profiler never changes frontiers, order, or stats — it only
+/// amortizes shared setup (MINIMIZE1 table resolution, bucketization
+/// scratch) across the level. See MultiPolicyPublisher for the canonical
+/// implementation over a Minimize1BatchView.
+using NodeBatchProfiler =
+    std::function<std::vector<std::optional<DisclosureProfile>>(
+        const std::vector<LatticeNode>&, ThreadPool*)>;
+
 struct MultiPolicySearchOptions {
   /// Worker threads for batched profile evaluations, including the caller;
   /// <= 1 means sequential. Ignored when `pool` is set.
   size_t num_threads = 1;
   ThreadPool* pool = nullptr;
+
+  /// When set, replaces the per-node fan-out over the NodeProfiler with
+  /// one call per level (the NodeProfiler argument is then unused on
+  /// levels where every node is pruned). Must satisfy the NodeBatchProfiler
+  /// contract above.
+  NodeBatchProfiler batch_profiler;
 };
 
 /// Shared-work counters of one multi-policy sweep. The per-policy

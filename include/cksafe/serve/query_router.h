@@ -167,8 +167,14 @@ class QueryRouter {
   struct TenantServingState {
     std::shared_ptr<const ReleaseSnapshot> snapshot;
     std::unique_ptr<DisclosureAnalyzer> analyzer;
-    DisclosureProfile profile;  ///< valid iff profile_budget has a value
+    DisclosureProfile profile;  ///< valid iff profile_valid
     bool profile_valid = false;
+    /// High-water profile budget across the tenant's lifetime — kept
+    /// through snapshot reloads, so the first sweep against a fresh
+    /// snapshot is already as wide as any budget the tenant has asked
+    /// for (recomputing at only the triggering batch's budget used to
+    /// narrow the cache and force an extra sweep per swap).
+    size_t profile_budget = 0;
     std::map<size_t, std::vector<double>> per_bucket;  ///< by budget k
   };
 

@@ -69,6 +69,20 @@ class MultiPolicyPublisher {
     return last_search_stats_;
   }
 
+  /// MINIMIZE1 table traffic of the last PublishAll's batched profile
+  /// evaluation: every bucket of every profiled node requests a table
+  /// (prepare_calls), but only distinct unresolved histograms reach the
+  /// shard-locked shared cache (shared_lookups) — the rest are absorbed by
+  /// the level-batched Minimize1BatchView. prepare_calls - shared_lookups
+  /// is the amortization win.
+  struct BatchTableTraffic {
+    uint64_t prepare_calls = 0;
+    uint64_t shared_lookups = 0;
+  };
+  const BatchTableTraffic& last_table_traffic() const {
+    return last_table_traffic_;
+  }
+
   /// Threading for the shared sweep's batched profile evaluations.
   MultiPolicySearchOptions* mutable_search_options() {
     return &search_options_;
@@ -86,6 +100,7 @@ class MultiPolicyPublisher {
   /// tables recur across lattice nodes, policies, and stream batches.
   DisclosureCache cache_;
   MultiPolicySearchStats last_search_stats_;
+  BatchTableTraffic last_table_traffic_;
 };
 
 }  // namespace cksafe

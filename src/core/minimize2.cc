@@ -3,19 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cksafe/simd/dispatch.h"
 #include "cksafe/util/check.h"
 #include "cksafe/util/string_util.h"
 
 namespace cksafe {
-
-namespace {
-
-// Tile width of the inner minimization scans: the unit of both cache
-// blocking (a tile touches <= kTile consecutive previous-row entries) and
-// pruning granularity (the monotone bound is checked once per tile).
-constexpr size_t kScanTile = 64;
-
-}  // namespace
 
 Status Minimize2Forward::ValidateBudget(size_t k) {
   if (k > kMaxAnalysisBudget) {
@@ -58,9 +50,18 @@ void Minimize2Forward::Recompute(const std::vector<Minimize2Bucket>& buckets,
   no_choice_t_.resize(rows * width);
   wa_choice_t_.resize(rows * width);
   wa_choice_branch_.resize(rows * width);
-  pm_no_.resize(width);
-  pm_wa_.resize(width);
+  rev_no_.resize(width);
+  rev_wa_.resize(width);
+  rev_pm_no_.resize(width);
+  rev_pm_wa_.resize(width);
   num_rows_ = rows;
+
+  // Resolved once per sweep: a concurrent override (test-only) can never
+  // mix backends inside one recomputation. Every backend is bit-identical
+  // to the scalar reference (simd/dispatch.h), so which one runs is
+  // unobservable in the results — including incremental row reuse across
+  // calls that happen to resolve different backends.
+  const ScanKernels& kernels = ActiveScanKernels();
 
   // Boundary: the empty bucket prefix has the empty product (log 1 = 0)
   // and no way to have placed the target atom.
@@ -77,100 +78,29 @@ void Minimize2Forward::Recompute(const std::vector<Minimize2Bucket>& buckets,
     const LogProb* no_prev = no_a_.data() + RowIndex(i - 1, 0);
     const LogProb* wa_prev = with_a_.data() + RowIndex(i - 1, 0);
 
-    // Prefix minima of the previous row: pm[s] = min over columns 0..s.
-    // no_prev[0] is always 0 (log of the empty product), so pm_no_ is
-    // finite everywhere; pm_wa_ may be kLogInfeasible (row 0).
-    LogProb run_no = kLogInfeasible;
-    LogProb run_wa = kLogInfeasible;
-    for (size_t s = 0; s < width; ++s) {
-      run_no = std::min(run_no, no_prev[s]);
-      run_wa = std::min(run_wa, wa_prev[s]);
-      pm_no_[s] = run_no;
-      pm_wa_[s] = run_wa;
-    }
+    // Structure-of-arrays row preparation: the previous rows reversed
+    // (rev[j] = row[width - 1 - j]) together with their reversed prefix-min
+    // pruning companions, so the anti-diagonal read prev[h - t] of the
+    // recurrence becomes the forward-contiguous rev[(width - 1 - h) + t]
+    // every backend can stream. no_prev[0] is always 0 (log of the empty
+    // product), so rev_pm_no_ is finite everywhere; rev_pm_wa_ may be
+    // kLogInfeasible (row 0).
+    kernels.prepare_row(no_prev, width, rev_no_.data(), rev_pm_no_.data());
+    kernels.prepare_row(wa_prev, width, rev_wa_.data(), rev_pm_wa_.data());
 
+    // One fused scan per cell pair computes both DP cells, exactly like
+    // the historical kernel shared its head reads; minima, argmins, and
+    // monotone pruning semantics live in the backend (simd/dispatch.h).
     for (size_t h = 0; h < width; ++h) {
-      // Monotone floors of the per-bucket minima over the remaining scan:
-      // f is nonincreasing as stored (clamped in minimize1.cc), so min
-      // over t' in [t, h] of f(t') is f[h] and of f(t' + 1) is f[h + 1].
-      const LogProb f_floor = f[h];
-      const LogProb f_floor_target = f[h + 1] + log_ratio;
-
-      // One fused scan computes both cells, exactly like the historical
-      // kernel shared its head reads. Monotone-argmin pruning per branch:
-      // every remaining candidate at position t is >= floor + pm[h - t]
-      // (f monotone, pm a prefix min, the bound nondecreasing in t, and
-      // floating addition monotone — so the bound holds for the
-      // *computed* sums too); once a branch's bound cannot beat its
-      // current best that branch stops scanning, never changing which
-      // candidate wins. The tile is the cache-blocking unit (<= kScanTile
-      // consecutive previous-row reads per burst). The bound sums are
-      // plain adds: pm_no_ and the floors are never +inf, and a NaN from
-      // (-inf) + kLogInfeasible in bound0 compares false, which merely
-      // keeps branch 0 scanning — pruning stays conservative-exact.
-      LogProb best = kLogInfeasible;
-      uint16_t best_t = 0;
-      LogProb best_w = kLogInfeasible;
-      uint16_t best_w_t = 0;
-      uint8_t best_w_branch = 0;
-      bool no_done = false;
-      bool wa0_done = false;  // branch 0 of with_a (head in wa_prev)
-      bool wa1_done = false;  // branch 1 of with_a (target joins bucket)
-      for (size_t t0 = 0; t0 <= h && !(no_done && wa0_done && wa1_done);
-           t0 += kScanTile) {
-        const size_t t_end = std::min(h, t0 + kScanTile - 1);
-        for (size_t t = t0; t <= t_end; ++t) {
-          const size_t s = h - t;
-          const LogProb pm_no = pm_no_[s];
-          const LogProb head_no = no_prev[s];
-          if (!no_done) {
-            if (f_floor + pm_no >= best) {
-              no_done = true;
-            } else if (head_no != kLogInfeasible) {
-              const LogProb candidate = f[t] + head_no;
-              if (candidate < best) {
-                best = candidate;
-                best_t = static_cast<uint16_t>(t);
-              }
-            }
-          }
-          // with_a evaluates branch 0 before branch 1 at each t, exactly
-          // like the historical kernel, so tie-breaking is unchanged.
-          if (!wa0_done) {
-            if (f_floor + pm_wa_[s] >= best_w) {
-              wa0_done = true;
-            } else {
-              const LogProb head_with = wa_prev[s];
-              if (head_with != kLogInfeasible) {
-                const LogProb candidate = f[t] + head_with;
-                if (candidate < best_w) {
-                  best_w = candidate;
-                  best_w_t = static_cast<uint16_t>(t);
-                  best_w_branch = 0;
-                }
-              }
-            }
-          }
-          if (!wa1_done) {
-            if (f_floor_target + pm_no >= best_w) {
-              wa1_done = true;
-            } else if (head_no != kLogInfeasible) {
-              const LogProb candidate = f[t + 1] + log_ratio + head_no;
-              if (candidate < best_w) {
-                best_w = candidate;
-                best_w_t = static_cast<uint16_t>(t);
-                best_w_branch = 1;
-              }
-            }
-          }
-          if (no_done && wa0_done && wa1_done) break;
-        }
-      }
-      no_a_[RowIndex(i, h)] = best;
-      no_choice_t_[RowIndex(i, h)] = best_t;
-      with_a_[RowIndex(i, h)] = best_w;
-      wa_choice_t_[RowIndex(i, h)] = best_w_t;
-      wa_choice_branch_[RowIndex(i, h)] = best_w_branch;
+      FusedScanCell cell;
+      kernels.fused_scan(f, log_ratio, rev_no_.data(), rev_wa_.data(),
+                         rev_pm_no_.data(), rev_pm_wa_.data(),
+                         width - 1 - h, h, &cell);
+      no_a_[RowIndex(i, h)] = cell.no;
+      no_choice_t_[RowIndex(i, h)] = cell.no_t;
+      with_a_[RowIndex(i, h)] = cell.wa;
+      wa_choice_t_[RowIndex(i, h)] = cell.wa_t;
+      wa_choice_branch_[RowIndex(i, h)] = cell.wa_branch;
     }
   }
 }
@@ -218,36 +148,19 @@ void ComputeNoASuffix(const std::vector<Minimize2Bucket>& buckets, size_t k,
   const size_t width = k + 1;
   suffix->assign((m + 1) * width, kLogInfeasible);
   (*suffix)[m * width + 0] = 0.0;  // log 1
-  std::vector<LogProb> pm(width);  // prefix minima of row i + 1
+  const ScanKernels& kernels = ActiveScanKernels();
+  // Row i + 1 reversed, with its reversed prefix-min pruning companion.
+  std::vector<LogProb> rev_next(width);
+  std::vector<LogProb> rev_pm(width);
   for (size_t i = m; i-- > 0;) {
     const LogProb* next = suffix->data() + (i + 1) * width;
-    LogProb run = kLogInfeasible;
-    for (size_t s = 0; s < width; ++s) {
-      run = std::min(run, next[s]);
-      pm[s] = run;
-    }
+    kernels.prepare_row(next, width, rev_next.data(), rev_pm.data());
     const Minimize1Table& table = *buckets[i].table;
     CKSAFE_CHECK_GE(table.max_k(), k) << "table budget too small for sweep";
     const LogProb* f = table.MinLogRow();
     for (size_t h = 0; h < width; ++h) {
-      const LogProb f_floor = f[h];
-      LogProb best = kLogInfeasible;
-      bool done = false;
-      for (size_t t0 = 0; t0 <= h && !done; t0 += kScanTile) {
-        const size_t t_end = std::min(h, t0 + kScanTile - 1);
-        for (size_t t = t0; t <= t_end; ++t) {
-          // pm may be +inf (no feasible tail yet): a NaN bound from
-          // (-inf) + inf compares false and merely keeps scanning.
-          if (f_floor + pm[h - t] >= best) {
-            done = true;
-            break;
-          }
-          const LogProb tail = next[h - t];
-          if (tail == kLogInfeasible) continue;
-          best = std::min(best, f[t] + tail);
-        }
-      }
-      (*suffix)[i * width + h] = best;
+      (*suffix)[i * width + h] = kernels.suffix_scan(
+          f, rev_next.data(), rev_pm.data(), width - 1 - h, h);
     }
   }
 }
@@ -268,28 +181,32 @@ std::vector<LogProb> PerBucketLogRatioSweep(
   CKSAFE_CHECK_EQ(prefix.k(), k);
   CKSAFE_CHECK_EQ(suffix.size(), (m + 1) * width);
 
+  const ScanKernels& kernels = ActiveScanKernels();
   std::vector<LogProb> result(m);
-  std::vector<LogProb> others(width);
+  std::vector<LogProb> rev_tail(width);
+  std::vector<LogProb> rev_others(width);
   for (size_t j = 0; j < m; ++j) {
-    // others[h] = min log-product when h atoms go to buckets other than j.
+    // rev_others[t] = others[k - t] = min log-product when k - t atoms go
+    // to buckets other than j: the unpruned min-plus convolution of the
+    // forward no-target row with the reversed suffix row, built directly
+    // in the reversed layout the composition below consumes.
     const LogProb* head_row = prefix.NoALogRow(j);
-    std::fill(others.begin(), others.end(), kLogInfeasible);
+    const LogProb* tail = suffix.data() + (j + 1) * width;
+    for (size_t s = 0; s < width; ++s) rev_tail[width - 1 - s] = tail[s];
     for (size_t h = 0; h < width; ++h) {
-      for (size_t a = 0; a <= h; ++a) {
-        const LogProb head = head_row[a];
-        const LogProb tail = suffix[(j + 1) * width + (h - a)];
-        if (head == kLogInfeasible || tail == kLogInfeasible) continue;
-        others[h] = std::min(others[h], head + tail);
-      }
+      rev_others[width - 1 - h] =
+          kernels.conv_scan(head_row, rev_tail.data(), width - 1 - h, h);
     }
+    // Close with the MINIMIZE1 MinLogRow composition: the bucket absorbs
+    // t + 1 atoms (its t antecedent atoms plus the target), the rest go
+    // elsewhere. The CHECK keeps the raw row read at t + 1 <= k + 1 in
+    // bounds, as MinLogProbability's own guard did historically.
     const double log_ratio = std::log(buckets[j].ratio);
-    LogProb log_r_min = kLogInfeasible;
-    for (size_t t = 0; t <= k; ++t) {
-      if (others[k - t] == kLogInfeasible) continue;
-      log_r_min = std::min(log_r_min,
-                           buckets[j].table->MinLogProbability(t + 1) +
-                               log_ratio + others[k - t]);
-    }
+    const Minimize1Table& table = *buckets[j].table;
+    CKSAFE_CHECK_GT(table.max_k(), k) << "table budget too small for sweep";
+    const LogProb log_r_min =
+        kernels.compose_scan(table.MinLogRow(), log_ratio,
+                             rev_others.data(), k);
     // No feasible placement for this bucket: report certain disclosure
     // (log R = log 0) rather than aborting. Unreachable from the
     // analyzers — others[0] (head 0, tail 0 atoms) is always feasible —

@@ -208,9 +208,16 @@ MultiPolicySearchResult FindMinimalSafeNodesMultiPolicy(
     // dominated policy never forces a profile a dominating policy did not
     // already require (its implied set is a superset, so its needs are a
     // subset — see MultiPolicySearchStats).
-    std::vector<std::optional<DisclosureProfile>> profiles(level.size());
-    ParallelFor(pool, level.size(),
-                [&](size_t i) { profiles[i] = profile_of(level[i]); });
+    std::vector<std::optional<DisclosureProfile>> profiles;
+    if (options.batch_profiler != nullptr && !level.empty()) {
+      profiles = options.batch_profiler(level, pool);
+      CKSAFE_CHECK_EQ(profiles.size(), level.size())
+          << "batch profiler must return one result per node";
+    } else {
+      profiles.resize(level.size());
+      ParallelFor(pool, level.size(),
+                  [&](size_t i) { profiles[i] = profile_of(level[i]); });
+    }
     result.stats.profiles_computed += level.size();
 
     for (size_t i = 0; i < level.size(); ++i) {

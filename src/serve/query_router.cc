@@ -35,7 +35,15 @@ StatusOr<std::future<StatusOr<QueryAnswer>>> QueryRouter::Submit(Query query) {
   Pending pending;
   pending.query = std::move(query);
   std::future<StatusOr<QueryAnswer>> future = pending.promise.get_future();
+  // Count the submission BEFORE the push: the instant TryPush succeeds the
+  // worker may pop and answer the query, so incrementing afterwards let a
+  // concurrent stats() reader observe answered > submitted. Counting first
+  // and rolling back on rejection keeps the invariant answered <= submitted
+  // at every instant (a not-yet-rolled-back rejection only overcounts
+  // submitted, which is the benign direction).
+  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
   if (Status admitted = queue_.TryPush(std::move(pending)); !admitted.ok()) {
+    stats_.submitted.fetch_sub(1, std::memory_order_relaxed);
     if (admitted.code() == StatusCode::kResourceExhausted) {
       // Only genuine backpressure counts; a closed-queue rejection after
       // Stop() is shutdown, not load.
@@ -43,7 +51,6 @@ StatusOr<std::future<StatusOr<QueryAnswer>>> QueryRouter::Submit(Query query) {
     }
     return admitted;
   }
-  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
   return future;
 }
 
@@ -162,7 +169,16 @@ void QueryRouter::ServeBatch(std::vector<Pending>* batch) {
     }
     if (needs_profile &&
         (!state.profile_valid || state.profile.max_k() < needed_k)) {
-      state.profile = state.analyzer->Profile(needed_k, &workspace_);
+      // Sweep at the tenant's historical high-water budget, not just this
+      // batch's maximum: a snapshot reload invalidates the cached profile,
+      // and recomputing at exactly needed_k used to narrow the cache so
+      // the next wide query forced a second sweep per swap. Widening is
+      // free of answer drift (column k of a wider sweep is bit-identical
+      // to a dedicated budget-k sweep), so remembering the width only
+      // removes sweeps.
+      state.profile_budget = std::max(needed_k, state.profile_budget);
+      state.profile = state.analyzer->Profile(state.profile_budget,
+                                              &workspace_);
       state.profile_valid = true;
       ++profile_sweeps;
     }

@@ -1,0 +1,371 @@
+// AVX2 backend for the MINIMIZE2 scans. Compiled with -mavx2 for this one
+// TU (see CMakeLists.txt: per-file ISA flags, never global, so the rest of
+// the binary stays runnable on pre-AVX2 hosts); selected at runtime via
+// cpuid in simd/dispatch.cc.
+//
+// Bit-identity discipline (the contract simd_kernel_test enforces against
+// the scalar backend):
+//   * only IEEE adds, mins, compares and blends — no FMA, which would
+//     contract two roundings into one and change low bits;
+//   * infeasible (+inf) operands are masked to +inf candidates instead of
+//     branching; a +inf candidate can never win a strict-improvement
+//     update, which is exactly the scalar `continue`;
+//   * NaN lanes cannot arise in candidates: f and the pruning floors are
+//     never +inf, and every +inf head/tail lane is masked *before* the
+//     add, so the (-inf) + (+inf) trap is confined to the pruning bound —
+//     which both backends evaluate as a scalar compare where NaN >= best
+//     is false (keep scanning; conservative-exact, DESIGN.md §11);
+//   * argmins reproduce the scalar left-to-right strict-improvement scan:
+//     per 4-lane chunk a running lane-min keeps the earliest t per lane,
+//     the horizontal fold picks the smallest t among lanes attaining the
+//     chunk min, and cross-tile/tail merges update on strictly-less only;
+//   * the wa branches are merged per tile by the lexicographic
+//     (value, t, branch) rule, which equals the scalar interleaved order
+//     (t ascending, branch 0 before branch 1 at equal t).
+//
+// Pruning runs at block granularity: the monotone bound (nondecreasing in
+// t) is checked once per kPruneBlock elements with the block's first —
+// smallest — bound value, so a block is skipped only when the scalar
+// reference would have evaluated no winning candidate in it either;
+// conversely any candidate the vector path evaluates beyond the scalar
+// stop point sits at or above the branch's best and cannot win a
+// strict-improvement update. Exactness argument in DESIGN.md §11. The
+// block is deliberately much smaller than kScanTile: the scalar reference
+// re-checks the bound per element and typically stops within a few
+// candidates once the best tightens, so a coarse-grained vector path
+// would evaluate tens of doomed candidates per cell and lose to scalar
+// outright (observed 4-10x on the E9 kernel shapes with 64-element
+// granularity). Two vector iterations per bound check keeps the pruned
+// regime within a small constant of scalar while dense scans still run
+// 4 lanes wide.
+
+#include "cksafe/simd/dispatch.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace cksafe {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr size_t kNoPos = static_cast<size_t>(-1);
+
+// Bound re-check granularity of the pruned scans (see file comment).
+constexpr size_t kPruneBlock = 8;
+
+// Length of the scalar probe head of the pruned scans: the first
+// kScalarProbe candidates run the exact per-element scalar loop (bound
+// re-checked per element) before the vector blocks take over. The scalar
+// reference usually stops inside this window once the DP's best
+// tightens, so the probe keeps the pruned regime at scalar cost; only
+// branches still alive after it — the dense scans vectorization is for —
+// pay the block-granularity overshoot.
+constexpr size_t kScalarProbe = 8;
+
+struct TileMin {
+  double value = kInf;  // +inf: no feasible candidate in the range
+  size_t t = kNoPos;
+};
+
+/// min over t in [t0, t_end] of a[t] (+ addend when kAddend) + b[offset+t]
+/// with b == +inf lanes masked out, plus the smallest t attaining it.
+/// Matches a scalar scan doing strict-improvement updates in t order.
+template <bool kAddend>
+inline TileMin MaskedMinPlusArgmin(const double* a, double addend,
+                                   const double* b, size_t offset, size_t t0,
+                                   size_t t_end) {
+  TileMin r;
+  size_t t = t0;
+  if (t + 3 <= t_end) {
+    const __m256d vinf = _mm256_set1_pd(kInf);
+    const __m256d vadd = _mm256_set1_pd(addend);
+    __m256d vmin = vinf;
+    __m256i vidx = _mm256_setzero_si256();
+    __m256i curidx =
+        _mm256_set_epi64x(static_cast<long long>(t0) + 3,
+                          static_cast<long long>(t0) + 2,
+                          static_cast<long long>(t0) + 1,
+                          static_cast<long long>(t0));
+    const __m256i vstep = _mm256_set1_epi64x(4);
+    for (; t + 3 <= t_end; t += 4) {
+      const __m256d va = _mm256_loadu_pd(a + t);
+      const __m256d vb = _mm256_loadu_pd(b + offset + t);
+      __m256d cand = kAddend ? _mm256_add_pd(_mm256_add_pd(va, vadd), vb)
+                             : _mm256_add_pd(va, vb);
+      const __m256d feasible = _mm256_cmp_pd(vb, vinf, _CMP_NEQ_OQ);
+      cand = _mm256_blendv_pd(vinf, cand, feasible);
+      // Strictly-less keeps the earliest t per lane, like the scalar scan.
+      const __m256d improved = _mm256_cmp_pd(cand, vmin, _CMP_LT_OQ);
+      vmin = _mm256_blendv_pd(vmin, cand, improved);
+      vidx = _mm256_castpd_si256(_mm256_blendv_pd(
+          _mm256_castsi256_pd(vidx), _mm256_castsi256_pd(curidx), improved));
+      curidx = _mm256_add_epi64(curidx, vstep);
+    }
+    alignas(32) double vals[4];
+    alignas(32) long long idxs[4];
+    _mm256_store_pd(vals, vmin);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(idxs), vidx);
+    // Horizontal fold: the chunk min, attained at the smallest recorded t
+    // (each lane already holds its own earliest attainer).
+    for (int lane = 0; lane < 4; ++lane) {
+      const auto lane_t = static_cast<size_t>(idxs[lane]);
+      if (vals[lane] < r.value) {
+        r.value = vals[lane];
+        r.t = lane_t;
+      } else if (vals[lane] == r.value && lane_t < r.t) {
+        r.t = lane_t;
+      }
+    }
+    if (r.value == kInf) r.t = kNoPos;  // untouched lanes carry idx 0
+  }
+  for (; t <= t_end; ++t) {
+    const double head = b[offset + t];
+    if (head == kInf) continue;
+    const double cand = kAddend ? (a[t] + addend) + head : a[t] + head;
+    if (cand < r.value) {
+      r.value = cand;
+      r.t = t;
+    }
+  }
+  return r;
+}
+
+/// Value-only variant, same masking, for scans that record no argmin.
+template <bool kDualMask>
+inline double MaskedMinPlus(const double* a, const double* b, size_t offset,
+                            size_t t0, size_t t_end) {
+  double m = kInf;
+  size_t t = t0;
+  if (t + 3 <= t_end) {
+    const __m256d vinf = _mm256_set1_pd(kInf);
+    __m256d vmin = vinf;
+    for (; t + 3 <= t_end; t += 4) {
+      const __m256d va = _mm256_loadu_pd(a + t);
+      const __m256d vb = _mm256_loadu_pd(b + offset + t);
+      __m256d cand = _mm256_add_pd(va, vb);
+      __m256d feasible = _mm256_cmp_pd(vb, vinf, _CMP_NEQ_OQ);
+      if (kDualMask) {
+        feasible =
+            _mm256_and_pd(feasible, _mm256_cmp_pd(va, vinf, _CMP_NEQ_OQ));
+      }
+      cand = _mm256_blendv_pd(vinf, cand, feasible);
+      const __m256d improved = _mm256_cmp_pd(cand, vmin, _CMP_LT_OQ);
+      vmin = _mm256_blendv_pd(vmin, cand, improved);
+    }
+    alignas(32) double vals[4];
+    _mm256_store_pd(vals, vmin);
+    for (int lane = 0; lane < 4; ++lane) m = std::min(m, vals[lane]);
+  }
+  for (; t <= t_end; ++t) {
+    const double av = a[t];
+    const double bv = b[offset + t];
+    if (bv == kInf || (kDualMask && av == kInf)) continue;
+    const double cand = av + bv;
+    m = std::min(m, cand);
+  }
+  return m;
+}
+
+void PrepareRowAvx2(const LogProb* row, size_t width, LogProb* rev,
+                    LogProb* rev_pm) {
+  const __m256d vinf = _mm256_set1_pd(kInf);
+  __m256d vcarry = vinf;  // running min over row[0 .. s - 1], broadcast
+  size_t s = 0;
+  for (; s + 3 < width; s += 4) {
+    const __m256d v = _mm256_loadu_pd(row + s);
+    // In-register prefix min over the 4 lanes (log-step shifts), then
+    // fold in the carry from previous chunks. Plain mins only: the result
+    // is the same multiset-min std::min computes, element for element.
+    const __m256d shift1 = _mm256_blend_pd(
+        _mm256_permute4x64_pd(v, _MM_SHUFFLE(2, 1, 0, 0)), vinf, 0x1);
+    const __m256d m1 = _mm256_min_pd(v, shift1);
+    const __m256d shift2 = _mm256_blend_pd(
+        _mm256_permute4x64_pd(m1, _MM_SHUFFLE(1, 0, 0, 0)), vinf, 0x3);
+    const __m256d m2 = _mm256_min_pd(m1, shift2);
+    const __m256d pm = _mm256_min_pd(m2, vcarry);
+    vcarry = _mm256_permute4x64_pd(pm, _MM_SHUFFLE(3, 3, 3, 3));
+    // Destination indices j = width - 1 - s' run *down* as s' runs up, so
+    // the chunk lands reversed at the matching descending j range.
+    const size_t j = width - 1 - s - 3;
+    _mm256_storeu_pd(rev + j, _mm256_permute4x64_pd(v, _MM_SHUFFLE(0, 1, 2, 3)));
+    _mm256_storeu_pd(rev_pm + j,
+                     _mm256_permute4x64_pd(pm, _MM_SHUFFLE(0, 1, 2, 3)));
+  }
+  double run = _mm256_cvtsd_f64(vcarry);
+  for (; s < width; ++s) {
+    const size_t j = width - 1 - s;
+    rev[j] = row[s];
+    run = std::min(run, row[s]);
+    rev_pm[j] = run;
+  }
+}
+
+void FusedScanAvx2(const LogProb* f, double log_ratio, const LogProb* rev_no,
+                   const LogProb* rev_wa, const LogProb* rev_pm_no,
+                   const LogProb* rev_pm_wa, size_t offset, size_t h,
+                   FusedScanCell* out) {
+  const LogProb f_floor = f[h];
+  const LogProb f_floor_target = f[h + 1] + log_ratio;
+  LogProb best = kLogInfeasible;
+  uint16_t best_t = 0;
+  LogProb best_w = kLogInfeasible;
+  uint16_t best_w_t = 0;
+  uint8_t best_w_branch = 0;
+  bool no_done = false;
+  bool wa0_done = false;
+  bool wa1_done = false;
+  // Scalar probe: bit-for-bit the scalar reference loop over the first
+  // candidates, bounds re-checked per element.
+  const size_t head_end = std::min(h, kScalarProbe - 1);
+  for (size_t t = 0; t <= head_end; ++t) {
+    const size_t j = offset + t;
+    const LogProb pm_no = rev_pm_no[j];
+    const LogProb head_no = rev_no[j];
+    if (!no_done) {
+      if (f_floor + pm_no >= best) {
+        no_done = true;
+      } else if (head_no != kLogInfeasible) {
+        const LogProb candidate = f[t] + head_no;
+        if (candidate < best) {
+          best = candidate;
+          best_t = static_cast<uint16_t>(t);
+        }
+      }
+    }
+    if (!wa0_done) {
+      if (f_floor + rev_pm_wa[j] >= best_w) {
+        wa0_done = true;
+      } else {
+        const LogProb head_with = rev_wa[j];
+        if (head_with != kLogInfeasible) {
+          const LogProb candidate = f[t] + head_with;
+          if (candidate < best_w) {
+            best_w = candidate;
+            best_w_t = static_cast<uint16_t>(t);
+            best_w_branch = 0;
+          }
+        }
+      }
+    }
+    if (!wa1_done) {
+      if (f_floor_target + pm_no >= best_w) {
+        wa1_done = true;
+      } else if (head_no != kLogInfeasible) {
+        const LogProb candidate = f[t + 1] + log_ratio + head_no;
+        if (candidate < best_w) {
+          best_w = candidate;
+          best_w_t = static_cast<uint16_t>(t);
+          best_w_branch = 1;
+        }
+      }
+    }
+    if (no_done && wa0_done && wa1_done) break;
+  }
+  for (size_t t0 = kScalarProbe;
+       t0 <= h && !(no_done && wa0_done && wa1_done); t0 += kPruneBlock) {
+    const size_t t_end = std::min(h, t0 + kPruneBlock - 1);
+    // Block-granularity pruning: the bound is nondecreasing in t, so the
+    // block's first bound is its smallest; NaN compares false (scan on).
+    const size_t j0 = offset + t0;
+    if (!no_done && f_floor + rev_pm_no[j0] >= best) no_done = true;
+    if (!wa0_done && f_floor + rev_pm_wa[j0] >= best_w) wa0_done = true;
+    if (!wa1_done && f_floor_target + rev_pm_no[j0] >= best_w) wa1_done = true;
+    if (no_done && wa0_done && wa1_done) break;
+
+    if (!no_done) {
+      const TileMin r =
+          MaskedMinPlusArgmin<false>(f, 0.0, rev_no, offset, t0, t_end);
+      if (r.value < best) {
+        best = r.value;
+        best_t = static_cast<uint16_t>(r.t);
+      }
+    }
+    if (!wa0_done || !wa1_done) {
+      TileMin r0, r1;
+      if (!wa0_done) {
+        r0 = MaskedMinPlusArgmin<false>(f, 0.0, rev_wa, offset, t0, t_end);
+      }
+      if (!wa1_done) {
+        r1 = MaskedMinPlusArgmin<true>(f + 1, log_ratio, rev_no, offset, t0,
+                                       t_end);
+      }
+      // Lexicographic (value, t, branch) merge == the scalar interleaved
+      // scan order: smaller value wins; at equal value the smaller t; at
+      // equal t branch 0 (evaluated first) wins. kNoPos sentinels make a
+      // skipped branch lose every tie.
+      if (r1.value < r0.value || (r1.value == r0.value && r1.t < r0.t)) {
+        if (r1.value < best_w) {
+          best_w = r1.value;
+          best_w_t = static_cast<uint16_t>(r1.t);
+          best_w_branch = 1;
+        }
+      } else if (r0.value < best_w) {
+        best_w = r0.value;
+        best_w_t = static_cast<uint16_t>(r0.t);
+        best_w_branch = 0;
+      }
+    }
+  }
+  out->no = best;
+  out->no_t = best_t;
+  out->wa = best_w;
+  out->wa_t = best_w_t;
+  out->wa_branch = best_w_branch;
+}
+
+LogProb SuffixScanAvx2(const LogProb* f, const LogProb* rev_next,
+                       const LogProb* rev_pm, size_t offset, size_t h) {
+  const LogProb f_floor = f[h];
+  LogProb best = kLogInfeasible;
+  // Scalar probe, then vector blocks — same structure as the fused scan.
+  const size_t head_end = std::min(h, kScalarProbe - 1);
+  for (size_t t = 0; t <= head_end; ++t) {
+    if (f_floor + rev_pm[offset + t] >= best) return best;
+    const LogProb tail = rev_next[offset + t];
+    if (tail == kLogInfeasible) continue;
+    best = std::min(best, f[t] + tail);
+  }
+  for (size_t t0 = kScalarProbe; t0 <= h; t0 += kPruneBlock) {
+    if (f_floor + rev_pm[offset + t0] >= best) break;
+    const size_t t_end = std::min(h, t0 + kPruneBlock - 1);
+    best = std::min(best,
+                    MaskedMinPlus<false>(f, rev_next, offset, t0, t_end));
+  }
+  return best;
+}
+
+LogProb ConvScanAvx2(const LogProb* head, const LogProb* rev_tail,
+                     size_t offset, size_t h) {
+  return MaskedMinPlus<true>(head, rev_tail, offset, 0, h);
+}
+
+LogProb ComposeScanAvx2(const LogProb* f, double log_ratio,
+                        const LogProb* rev_others, size_t k) {
+  const TileMin r =
+      MaskedMinPlusArgmin<true>(f + 1, log_ratio, rev_others, 0, 0, k);
+  return r.value == kInf ? kLogInfeasible : r.value;
+}
+
+const ScanKernels kAvx2Kernels = {
+    "avx2",         PrepareRowAvx2, FusedScanAvx2,
+    SuffixScanAvx2, ConvScanAvx2,   ComposeScanAvx2,
+};
+
+}  // namespace
+
+const ScanKernels* GetAvx2ScanKernels() { return &kAvx2Kernels; }
+
+}  // namespace cksafe
+
+#else  // !defined(__AVX2__)
+
+namespace cksafe {
+const ScanKernels* GetAvx2ScanKernels() { return nullptr; }
+}  // namespace cksafe
+
+#endif

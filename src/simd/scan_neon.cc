@@ -1,0 +1,39 @@
+// NEON backend stub (aarch64). Registers behind the same dispatch seam as
+// the AVX2 path so the selection logic, env/test overrides, and the
+// differential tests all exercise the ARM route today; the ops currently
+// forward to the scalar reference, so results are trivially bit-identical.
+// A tuned float64x2_t implementation can replace the forwarding table
+// without touching the driver or the dispatch surface.
+
+#include "cksafe/simd/dispatch.h"
+
+#if defined(__aarch64__)
+
+namespace cksafe {
+
+const ScanKernels* GetScalarScanKernels();
+
+namespace {
+
+const ScanKernels MakeNeonKernels() {
+  ScanKernels kernels = *GetScalarScanKernels();
+  kernels.name = "neon";
+  return kernels;
+}
+
+}  // namespace
+
+const ScanKernels* GetNeonScanKernels() {
+  static const ScanKernels kernels = MakeNeonKernels();
+  return &kernels;
+}
+
+}  // namespace cksafe
+
+#else  // !defined(__aarch64__)
+
+namespace cksafe {
+const ScanKernels* GetNeonScanKernels() { return nullptr; }
+}  // namespace cksafe
+
+#endif

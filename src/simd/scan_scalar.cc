@@ -1,0 +1,166 @@
+// The scalar reference backend: the exact per-element scans the MINIMIZE2
+// driver ran before the dispatch seam existed, re-indexed onto the
+// reversed rows (rev[offset + t] == original row[h - t]). This backend is
+// the bit-identity anchor every vector backend is differential-tested
+// against, so its semantics are frozen: candidates are evaluated left to
+// right with strict-improvement updates (ties keep the earlier t, and at
+// equal t the wa scan evaluates branch 0 before branch 1), infeasible
+// (+inf) heads are skipped, and the monotone pruning bound is re-checked
+// per element — a NaN bound from (-inf) + kLogInfeasible compares false
+// and merely keeps the branch scanning, so pruning stays conservative.
+
+#include <algorithm>
+
+#include "cksafe/simd/dispatch.h"
+
+namespace cksafe {
+namespace {
+
+void PrepareRowScalar(const LogProb* row, size_t width, LogProb* rev,
+                      LogProb* rev_pm) {
+  LogProb run = kLogInfeasible;
+  for (size_t s = 0; s < width; ++s) {
+    const size_t j = width - 1 - s;
+    rev[j] = row[s];
+    run = std::min(run, row[s]);
+    rev_pm[j] = run;
+  }
+}
+
+void FusedScanScalar(const LogProb* f, double log_ratio,
+                     const LogProb* rev_no, const LogProb* rev_wa,
+                     const LogProb* rev_pm_no, const LogProb* rev_pm_wa,
+                     size_t offset, size_t h, FusedScanCell* out) {
+  // Monotone floors of the per-bucket minima over the remaining scan: f is
+  // nonincreasing as stored (clamped in minimize1.cc), so min over t' in
+  // [t, h] of f(t') is f[h] and of f(t' + 1) is f[h + 1].
+  const LogProb f_floor = f[h];
+  const LogProb f_floor_target = f[h + 1] + log_ratio;
+
+  // Monotone-argmin pruning per branch: every remaining candidate at
+  // position t is >= floor + rev_pm[offset + t] (f monotone, rev_pm a
+  // prefix min of the original row, the bound nondecreasing in t, and
+  // floating addition monotone — so the bound holds for the *computed*
+  // sums too); once a branch's bound cannot beat its current best that
+  // branch stops scanning, never changing which candidate wins. The tile
+  // is the cache-blocking unit (<= kScanTile consecutive reversed-row
+  // reads per burst).
+  LogProb best = kLogInfeasible;
+  uint16_t best_t = 0;
+  LogProb best_w = kLogInfeasible;
+  uint16_t best_w_t = 0;
+  uint8_t best_w_branch = 0;
+  bool no_done = false;
+  bool wa0_done = false;  // branch 0 of with_a (head in the wa row)
+  bool wa1_done = false;  // branch 1 of with_a (target joins the bucket)
+  for (size_t t0 = 0; t0 <= h && !(no_done && wa0_done && wa1_done);
+       t0 += kScanTile) {
+    const size_t t_end = std::min(h, t0 + kScanTile - 1);
+    for (size_t t = t0; t <= t_end; ++t) {
+      const size_t j = offset + t;
+      const LogProb pm_no = rev_pm_no[j];
+      const LogProb head_no = rev_no[j];
+      if (!no_done) {
+        if (f_floor + pm_no >= best) {
+          no_done = true;
+        } else if (head_no != kLogInfeasible) {
+          const LogProb candidate = f[t] + head_no;
+          if (candidate < best) {
+            best = candidate;
+            best_t = static_cast<uint16_t>(t);
+          }
+        }
+      }
+      // with_a evaluates branch 0 before branch 1 at each t, exactly like
+      // the historical kernel, so tie-breaking is unchanged.
+      if (!wa0_done) {
+        if (f_floor + rev_pm_wa[j] >= best_w) {
+          wa0_done = true;
+        } else {
+          const LogProb head_with = rev_wa[j];
+          if (head_with != kLogInfeasible) {
+            const LogProb candidate = f[t] + head_with;
+            if (candidate < best_w) {
+              best_w = candidate;
+              best_w_t = static_cast<uint16_t>(t);
+              best_w_branch = 0;
+            }
+          }
+        }
+      }
+      if (!wa1_done) {
+        if (f_floor_target + pm_no >= best_w) {
+          wa1_done = true;
+        } else if (head_no != kLogInfeasible) {
+          const LogProb candidate = f[t + 1] + log_ratio + head_no;
+          if (candidate < best_w) {
+            best_w = candidate;
+            best_w_t = static_cast<uint16_t>(t);
+            best_w_branch = 1;
+          }
+        }
+      }
+      if (no_done && wa0_done && wa1_done) break;
+    }
+  }
+  out->no = best;
+  out->no_t = best_t;
+  out->wa = best_w;
+  out->wa_t = best_w_t;
+  out->wa_branch = best_w_branch;
+}
+
+LogProb SuffixScanScalar(const LogProb* f, const LogProb* rev_next,
+                         const LogProb* rev_pm, size_t offset, size_t h) {
+  const LogProb f_floor = f[h];
+  LogProb best = kLogInfeasible;
+  bool done = false;
+  for (size_t t0 = 0; t0 <= h && !done; t0 += kScanTile) {
+    const size_t t_end = std::min(h, t0 + kScanTile - 1);
+    for (size_t t = t0; t <= t_end; ++t) {
+      // rev_pm may be +inf (no feasible tail yet): a NaN bound from
+      // (-inf) + inf compares false and merely keeps scanning.
+      if (f_floor + rev_pm[offset + t] >= best) {
+        done = true;
+        break;
+      }
+      const LogProb tail = rev_next[offset + t];
+      if (tail == kLogInfeasible) continue;
+      best = std::min(best, f[t] + tail);
+    }
+  }
+  return best;
+}
+
+LogProb ConvScanScalar(const LogProb* head, const LogProb* rev_tail,
+                       size_t offset, size_t h) {
+  LogProb best = kLogInfeasible;
+  for (size_t a = 0; a <= h; ++a) {
+    const LogProb head_v = head[a];
+    const LogProb tail_v = rev_tail[offset + a];
+    if (head_v == kLogInfeasible || tail_v == kLogInfeasible) continue;
+    best = std::min(best, head_v + tail_v);
+  }
+  return best;
+}
+
+LogProb ComposeScanScalar(const LogProb* f, double log_ratio,
+                          const LogProb* rev_others, size_t k) {
+  LogProb best = kLogInfeasible;
+  for (size_t t = 0; t <= k; ++t) {
+    if (rev_others[t] == kLogInfeasible) continue;
+    best = std::min(best, f[t + 1] + log_ratio + rev_others[t]);
+  }
+  return best;
+}
+
+const ScanKernels kScalarKernels = {
+    "scalar",          PrepareRowScalar, FusedScanScalar,
+    SuffixScanScalar,  ConvScanScalar,   ComposeScanScalar,
+};
+
+}  // namespace
+
+const ScanKernels* GetScalarScanKernels() { return &kScalarKernels; }
+
+}  // namespace cksafe

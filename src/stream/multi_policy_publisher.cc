@@ -62,12 +62,15 @@ StatusOr<std::vector<TenantRelease>> MultiPolicyPublisher::PublishAll() {
   // single-tenant PublishSession.
   Status first_error = Status::OK();
   std::mutex error_mu;
+  const auto record_error = [&](const Status& status) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (first_error.ok()) first_error = status;
+  };
   const NodeProfiler profile_of =
       [&](const LatticeNode& node) -> std::optional<DisclosureProfile> {
     auto bucketization = BucketizeAtNode(table_, qis_, node, sensitive_column_);
     if (!bucketization.ok()) {
-      std::lock_guard<std::mutex> lock(error_mu);
-      if (first_error.ok()) first_error = bucketization.status();
+      record_error(bucketization.status());
       return std::nullopt;
     }
     // Classification reads only the implication curves (linear + log), so
@@ -78,10 +81,71 @@ StatusOr<std::vector<TenantRelease>> MultiPolicyPublisher::PublishAll() {
     return analyzer.Profile(max_k, &workspace, /*with_negation=*/false);
   };
 
+  // Whole-level batching: the sweep hands each level's surviving nodes
+  // over at once, and the three phases below turn the per-bucket shard
+  // traffic of the per-node path into one shared-cache resolution per
+  // distinct histogram for the WHOLE level (and, since the view persists
+  // across levels, per publish). Each phase is answer-neutral — phase 3
+  // runs the exact sweeps profile_of would — so the batch path inherits
+  // the bit-identity contract of FindMinimalSafeNodesMultiPolicy.
+  Minimize1BatchView batch_tables(&cache_);
+  struct NodeEval {
+    std::optional<Bucketization> bucketization;
+    std::optional<DisclosureAnalyzer> analyzer;
+  };
+  const NodeBatchProfiler profile_batch =
+      [&](const std::vector<LatticeNode>& batch, ThreadPool* pool)
+      -> std::vector<std::optional<DisclosureProfile>> {
+    // Phase 1 (parallel): bucketize and compute bucket statistics — no
+    // table traffic yet. `evals` is pre-sized, so the analyzers' internal
+    // references to their sibling bucketizations stay stable.
+    std::vector<NodeEval> evals(batch.size());
+    ParallelFor(pool, batch.size(), [&](size_t i) {
+      auto bucketization =
+          BucketizeAtNode(table_, qis_, batch[i], sensitive_column_);
+      if (!bucketization.ok()) {
+        record_error(bucketization.status());
+        return;
+      }
+      evals[i].bucketization = *std::move(bucketization);
+      evals[i].analyzer.emplace(*evals[i].bucketization, &cache_,
+                                &batch_tables);
+    });
+    // Phase 2 (sequential): resolve every histogram the level needs, once
+    // each, at the one budget every sweep below uses (max_k + 1: the
+    // target atom joins the k antecedents).
+    batch_tables.Thaw();
+    for (const NodeEval& eval : evals) {
+      if (!eval.analyzer.has_value()) continue;
+      for (const BucketStats& stats : eval.analyzer->bucket_stats()) {
+        batch_tables.Prepare(stats.counts, max_k + 1);
+      }
+    }
+    batch_tables.Freeze();
+    // Phase 3 (parallel): the candidate sweeps, served lock-free from the
+    // frozen view.
+    std::vector<std::optional<DisclosureProfile>> profiles(batch.size());
+    ParallelFor(pool, batch.size(), [&](size_t i) {
+      if (!evals[i].analyzer.has_value()) return;
+      thread_local Minimize2Workspace workspace;
+      profiles[i] =
+          evals[i].analyzer->Profile(max_k, &workspace,
+                                     /*with_negation=*/false);
+    });
+    return profiles;
+  };
+
+  MultiPolicySearchOptions search_options = search_options_;
+  if (search_options.batch_profiler == nullptr) {
+    search_options.batch_profiler = profile_batch;
+  }
   MultiPolicySearchResult search = FindMinimalSafeNodesMultiPolicy(
-      lattice, profile_of, policies_, search_options_);
+      lattice, profile_of, policies_, search_options);
   CKSAFE_RETURN_IF_ERROR(first_error);
   last_search_stats_ = search.stats;
+  last_table_traffic_ = BatchTableTraffic{
+      batch_tables.local_hits() + batch_tables.shared_lookups(),
+      batch_tables.shared_lookups()};
 
   std::vector<TenantRelease> releases;
   releases.reserve(policies_.size());

@@ -77,8 +77,21 @@ Status FlagParser::Parse(int argc, char** argv) {
       auto it = flags_.find(name);
       if (it != flags_.end() && it->second.kind == Kind::kBool) {
         value = "true";  // bare --flag enables a bool
-      } else if (i + 1 < argc) {
+      } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
         value = argv[++i];
+      } else if (i + 1 < argc) {
+        // The next token is another flag: `--rows --k=4` used to consume
+        // `--k=4` as the value of --rows, silently dropping a flag and
+        // producing a baffling parse error (or worse, a silently accepted
+        // string). A flag-shaped token is never a value; say what's
+        // missing instead. Values that legitimately start with dashes
+        // (negative numbers, strings) still work: `-5` is not
+        // flag-shaped, and `--name=--weird` stays available for the rest.
+        return Status::InvalidArgument(
+            "missing value for --" + name + " (next argument " +
+            std::string(argv[i + 1]) +
+            " is a flag; use --" + name + "=VALUE to pass a value "
+            "beginning with --)");
       } else {
         return Status::InvalidArgument("missing value for --" + name);
       }

@@ -38,6 +38,9 @@ double EntropyBits(const std::vector<uint32_t>& counts) {
 
 double SafeDiv(double a, double b) {
   if (b == 0.0) {
+    // CheckFailureStream inserts one space before every streamed operand,
+    // so the fragments must not carry their own padding or the message
+    // double-spaces (pinned by check_death_test).
     CKSAFE_CHECK(a == 0.0) << "division of nonzero" << a << "by zero";
     return 0.0;
   }

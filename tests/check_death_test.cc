@@ -8,6 +8,7 @@
 #include "cksafe/core/minimize1.h"
 #include "cksafe/data/table.h"
 #include "cksafe/util/check.h"
+#include "cksafe/util/math_util.h"
 #include "cksafe/util/status.h"
 
 namespace cksafe {
@@ -17,6 +18,13 @@ TEST(CheckDeathTest, CheckAbortsWithMessage) {
   EXPECT_DEATH(CKSAFE_CHECK(1 == 2) << "extra context", "CKSAFE_CHECK failed");
   EXPECT_DEATH(CKSAFE_CHECK_EQ(3, 4), "3.*4");
   EXPECT_DEATH(CKSAFE_CHECK_LT(5, 5), "CKSAFE_CHECK failed");
+}
+
+TEST(CheckDeathTest, SafeDivNonzeroByZeroAbortsWithReadableMessage) {
+  // Regression (PR 7): the diagnostic used to print
+  // "division of nonzero0.5by zero" — missing both spaces around the
+  // operand. The pattern pins the spacing so the message stays readable.
+  EXPECT_DEATH((void)SafeDiv(0.5, 0.0), "division of nonzero 0\\.5 by zero");
 }
 
 TEST(CheckDeathTest, PassingChecksAreSilent) {

@@ -334,5 +334,109 @@ TEST(MultiPolicyPublisherTest, StreamingBatchesKeepTenantsConsistent) {
   EXPECT_GT(multi.cache().hits(), 0u);
 }
 
+TEST(MultiPolicySearchTest, BatchProfilerIsAnswerNeutral) {
+  // The NodeBatchProfiler contract: a pure-batching evaluator (element i ==
+  // what the NodeProfiler returns for node i) must leave every frontier,
+  // order, and counter bit-identical to the per-node path — the batch hook
+  // may only amortize setup, never change answers. Also pins the plumbing:
+  // the hook really is called once per level with the surviving nodes, and
+  // their total matches profiles_computed.
+  Rng rng(20260809);
+  const GeneralizationLattice lattice({4, 3, 3, 2});
+  constexpr size_t kMaxK = 5;
+  for (int trial = 0; trial < 6; ++trial) {
+    const NodeProfiler profile_of =
+        RandomProfiler(&rng, lattice.num_attributes(), kMaxK);
+    const std::vector<CkPolicy> policies =
+        RandomPolicies(&rng, 3 + rng.NextBelow(3), kMaxK);
+    const MultiPolicySearchResult plain = FindMinimalSafeNodesMultiPolicy(
+        lattice, profile_of, policies, MultiPolicySearchOptions{});
+
+    for (const size_t threads : {1u, 2u, 8u}) {
+      uint64_t batch_calls = 0;
+      uint64_t batched_nodes = 0;
+      MultiPolicySearchOptions options;
+      options.num_threads = threads;
+      options.batch_profiler =
+          [&](const std::vector<LatticeNode>& batch, ThreadPool* pool)
+          -> std::vector<std::optional<DisclosureProfile>> {
+        ++batch_calls;
+        batched_nodes += batch.size();
+        std::vector<std::optional<DisclosureProfile>> profiles(batch.size());
+        ParallelFor(pool, batch.size(),
+                    [&](size_t i) { profiles[i] = profile_of(batch[i]); });
+        return profiles;
+      };
+      const MultiPolicySearchResult batched = FindMinimalSafeNodesMultiPolicy(
+          lattice, profile_of, policies, options);
+      const std::string label = "trial " + std::to_string(trial) +
+                                " threads=" + std::to_string(threads);
+      for (size_t p = 0; p < policies.size(); ++p) {
+        ExpectIdenticalResults(plain.per_policy[p], batched.per_policy[p],
+                               label + " policy=" + std::to_string(p));
+      }
+      EXPECT_EQ(batched.stats.profiles_computed,
+                plain.stats.profiles_computed)
+          << label;
+      EXPECT_EQ(batched.stats.verdicts, plain.stats.verdicts) << label;
+      EXPECT_EQ(batched_nodes, batched.stats.profiles_computed) << label;
+      // One call per level that had survivors; never more than the height
+      // range, and at least one (the bottom level always needs verdicts).
+      EXPECT_GE(batch_calls, 1u) << label;
+      EXPECT_LE(batch_calls, lattice.MaxHeight() + 1) << label;
+    }
+  }
+}
+
+TEST(MultiPolicyPublisherTest, BatchedTableResolutionAmortizesSharedLookups) {
+  // The point of the Minimize1BatchView inside PublishAll: every bucket of
+  // every profiled node requests a MINIMIZE1 table (prepare_calls), but
+  // only distinct unresolved histograms reach the shard-locked shared
+  // cache (shared_lookups). On real data histograms recur heavily across
+  // nodes and levels, so the gap must be large — while the releases stay
+  // exactly what dedicated publishers produce (answer neutrality of the
+  // batch path end to end).
+  const Table adult = GenerateSyntheticAdult(180, 5);
+  auto qis = AdultQuasiIdentifiers();
+  ASSERT_TRUE(qis.ok()) << qis.status();
+  PublisherOptions base;
+
+  MultiPolicyPublisher multi(adult, *qis, kAdultOccupationColumn, base);
+  multi.AddTenant("strict", 0.75, 3);
+  multi.AddTenant("loose", 0.9, 1);
+  auto releases = multi.PublishAll();
+  ASSERT_TRUE(releases.ok()) << releases.status();
+
+  const auto traffic = multi.last_table_traffic();
+  // Every profiled node has >= 1 bucket, so prepare_calls covers at least
+  // the profile count; and the whole sweep resolves each distinct
+  // histogram against the shared cache at most once, so the local view
+  // must absorb the (strictly positive) remainder.
+  EXPECT_GE(traffic.prepare_calls,
+            multi.last_search_stats().profiles_computed);
+  EXPECT_GT(traffic.shared_lookups, 0u);
+  EXPECT_LT(traffic.shared_lookups, traffic.prepare_calls)
+      << "batched table view absorbed no traffic";
+
+  for (const TenantRelease& tenant_release : *releases) {
+    PublisherOptions options = base;
+    options.c = tenant_release.policy.c;
+    options.k = tenant_release.policy.k;
+    auto expected =
+        Publisher(options).Publish(adult, *qis, kAdultOccupationColumn);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+    ASSERT_TRUE(tenant_release.release.ok())
+        << tenant_release.release.status();
+    EXPECT_EQ(expected->node, tenant_release.release->node)
+        << tenant_release.tenant;
+    EXPECT_EQ(expected->minimal_safe_nodes,
+              tenant_release.release->minimal_safe_nodes)
+        << tenant_release.tenant;
+    EXPECT_EQ(expected->published_sensitive,
+              tenant_release.release->published_sensitive)
+        << tenant_release.tenant;
+  }
+}
+
 }  // namespace
 }  // namespace cksafe

@@ -241,6 +241,65 @@ TEST_F(QueryRouterTest, CachedProfileServesRepeatBatchesWithoutResweeping) {
   EXPECT_EQ(after_swap.value().get()->snapshot_sequence, 2u);
 }
 
+TEST_F(QueryRouterTest, ProfileWidthSurvivesSnapshotReload) {
+  // Regression (PR 7): a snapshot swap invalidates the cached profile, and
+  // the next batch used to recompute at exactly its own maximum budget —
+  // narrowing the cache, so a tenant alternating narrow and wide queries
+  // paid a second sweep after every swap. The recomputed profile must come
+  // back at the tenant's high-water budget (widening is answer-neutral:
+  // column k of a wider sweep is bit-identical to a dedicated budget-k
+  // sweep), making the post-swap wide query free.
+  const Table table = MakeHospitalTable();
+  ServingDirectory directory;
+  SnapshotStore* store = directory.GetOrAddTenant("t");
+  const auto snapshot1 = HospitalSnapshot(table, 1);
+  store->Publish(snapshot1);
+  QueryRouter router(&directory, ManualOptions());
+
+  Query wide;
+  wide.tenant = "t";
+  wide.kind = QueryKind::kDisclosure;
+  wide.k = 5;
+  auto warmup = router.Submit(wide);
+  ASSERT_TRUE(warmup.ok());
+  router.DrainOnce();
+  ASSERT_EQ(router.stats().profile_sweeps, 1u);
+
+  // Swap, then serve a NARROW query first — the case that used to narrow
+  // the cache.
+  const auto snapshot2 = HospitalSnapshot(table, 2);
+  store->Publish(snapshot2);
+  Query narrow = wide;
+  narrow.k = 2;
+  auto post_swap_narrow = router.Submit(narrow);
+  ASSERT_TRUE(post_swap_narrow.ok());
+  router.DrainOnce();
+  ASSERT_EQ(router.stats().profile_sweeps, 2u)
+      << "the reload itself must cost exactly one fresh sweep";
+
+  // The wide query now rides the already-wide cached profile: the pinned
+  // count stays at 2 (it was 3 before the fix).
+  auto post_swap_wide = router.Submit(wide);
+  ASSERT_TRUE(post_swap_wide.ok());
+  router.DrainOnce();
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.profile_sweeps, 2u)
+      << "profile cache narrowed across the snapshot reload";
+  EXPECT_EQ(stats.snapshot_reloads, 2u);  // initial load + the swap
+
+  // And the answers are still the fresh-analyzer answers for snapshot 2.
+  DisclosureAnalyzer fresh(snapshot2->bucketization);
+  const auto narrow_answer = post_swap_narrow.value().get();
+  const auto wide_answer = post_swap_wide.value().get();
+  ASSERT_TRUE(narrow_answer.ok() && wide_answer.ok());
+  EXPECT_EQ(narrow_answer->snapshot_sequence, 2u);
+  EXPECT_EQ(wide_answer->snapshot_sequence, 2u);
+  EXPECT_EQ(narrow_answer->disclosure,
+            fresh.MaxDisclosureImplications(narrow.k).disclosure);
+  EXPECT_EQ(wide_answer->disclosure,
+            fresh.MaxDisclosureImplications(wide.k).disclosure);
+}
+
 TEST_F(QueryRouterTest, PerBucketOutOfRangeIsAPerQueryError) {
   const Table table = MakeHospitalTable();
   ServingDirectory directory;

@@ -112,6 +112,15 @@ TEST(ServeTortureTest, AnswersMatchExactlyOnePublishedSnapshot) {
             query.bucket = reader_rng.NextBelow(2);
             break;
         }
+        // Counter sanity from inside the storm (regression, PR 7):
+        // submitted is counted before the push, so no interleaving of
+        // submitters, worker, and this read may show more answers than
+        // submissions. Sampled every few queries to keep the loop hot.
+        if (i % 16 == 0) {
+          const RouterStats mid = router.stats();
+          ASSERT_LE(mid.answered, mid.submitted)
+              << "stats raced: answered overtook submitted";
+        }
         const auto answer = router.Ask(query);
         if (!answer.ok()) {
           // Backpressure is the only admissible failure under load.
@@ -162,6 +171,10 @@ TEST(ServeTortureTest, AnswersMatchExactlyOnePublishedSnapshot) {
   EXPECT_TRUE(writer_done.load());
   const RouterStats stats = router.stats();
   EXPECT_GE(stats.answered, 1u);
+  // At quiescence every admitted query has been answered (the worker
+  // drains the queue before joining), so the inequality tightens to
+  // equality — rejected queries were rolled back out of `submitted`.
+  EXPECT_EQ(stats.answered, stats.submitted);
   // The coalescing machinery must actually have been exercised: strictly
   // fewer sweeps than answers (the whole point of batching), and at least
   // one snapshot reload observed from the writer's swaps.

@@ -280,5 +280,59 @@ TEST(FlagsTest, RejectsUnknownAndMalformed) {
   EXPECT_NE(parser.Usage("prog").find("--k"), std::string::npos);
 }
 
+TEST(FlagsTest, FlagShapedTokenIsNeverAValue) {
+  // Regression (PR 7): `--rows --k=4` used to consume `--k=4` as the
+  // value of --rows, silently dropping a flag. A token starting with --
+  // must be rejected as a value with a clear Status, and the targets must
+  // stay untouched.
+  int64_t rows = 7;
+  int64_t k = 3;
+  FlagParser parser;
+  parser.AddInt64("rows", &rows, "");
+  parser.AddInt64("k", &k, "");
+  const char* argv[] = {"prog", "--rows", "--k=4"};
+  const Status status = parser.Parse(3, const_cast<char**>(argv));
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("missing value for --rows"),
+            std::string::npos);
+  EXPECT_NE(status.message().find("--k=4"), std::string::npos);
+  EXPECT_EQ(rows, 7);
+  EXPECT_EQ(k, 3);
+
+  // Dash-prefixed values that are not flag-shaped still parse
+  // space-separated (negative numbers), and --name=VALUE passes
+  // anything, including values beginning with --.
+  const char* negative[] = {"prog", "--rows", "-5"};
+  ASSERT_TRUE(parser.Parse(3, const_cast<char**>(negative)).ok());
+  EXPECT_EQ(rows, -5);
+  std::string label;
+  parser.AddString("label", &label, "");
+  const char* dashed[] = {"prog", "--label=--weird"};
+  ASSERT_TRUE(parser.Parse(2, const_cast<char**>(dashed)).ok());
+  EXPECT_EQ(label, "--weird");
+}
+
+TEST(FlagsTest, EmptyEqualsValueOnBoolMeansTrue) {
+  // Locked-in behavior: an explicit empty value on a bool (`--verbose=`)
+  // enables it, matching bare `--verbose`. On non-bool flags an empty
+  // value is a parse error for numbers but a legal empty string.
+  bool verbose = false;
+  int64_t k = 3;
+  std::string name = "x";
+  FlagParser parser;
+  parser.AddBool("verbose", &verbose, "");
+  parser.AddInt64("k", &k, "");
+  parser.AddString("name", &name, "");
+  const char* bool_empty[] = {"prog", "--verbose="};
+  ASSERT_TRUE(parser.Parse(2, const_cast<char**>(bool_empty)).ok());
+  EXPECT_TRUE(verbose);
+  const char* int_empty[] = {"prog", "--k="};
+  EXPECT_FALSE(parser.Parse(2, const_cast<char**>(int_empty)).ok());
+  EXPECT_EQ(k, 3);
+  const char* string_empty[] = {"prog", "--name="};
+  ASSERT_TRUE(parser.Parse(2, const_cast<char**>(string_empty)).ok());
+  EXPECT_EQ(name, "");
+}
+
 }  // namespace
 }  // namespace cksafe

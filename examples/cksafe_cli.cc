@@ -4,7 +4,8 @@
 //   cksafe_cli publish  [data flags] --c --k [--objective --out --out_qit --out_st]
 //   cksafe_cli multi    [data flags] --policies=gold=0.5:4,free=0.8:1 [--objective]
 //   cksafe_cli serve    [data flags] --replay=FILE [--policies --readers
-//                       --stream_batches --queue --rounds]
+//                       --stream_batches --queue --rounds --persist=DIR]
+//   cksafe_cli persist  --dir=DIR [--dump] [--verify]
 //   cksafe_cli audit    [data flags] --node=... --knowledge=FILE [--approx]
 //   cksafe_cli fig5     [--rows --seed --adult_csv --max_k]
 //   cksafe_cli fig6     [--rows --seed --adult_csv]
@@ -51,6 +52,7 @@
 #include "cksafe/foundry/fingerprint.h"
 #include "cksafe/foundry/scenario.h"
 #include "cksafe/knowledge/parser.h"
+#include "cksafe/persist/durable_store.h"
 #include "cksafe/search/publisher.h"
 #include "cksafe/serve/query_router.h"
 #include "cksafe/serve/serving_engine.h"
@@ -96,6 +98,13 @@ struct CliConfig {
   std::string scenario;
   double scale = 1.0;
   bool list = false;
+  // Durable store (serve --persist=DIR writes through; the `persist`
+  // command inspects/audits a store directory).
+  std::string persist;
+  std::string dir;
+  int64_t pool_pages = 64;
+  bool dump = false;
+  bool verify = false;
 };
 
 struct LoadedData {
@@ -549,7 +558,26 @@ Status RunServe(const CliConfig& config) {
 
   QueryRouter::Options router_options;
   router_options.queue_capacity = static_cast<size_t>(config.queue);
-  ServingEngine engine(router_options);
+  std::unique_ptr<ServingEngine> engine_owner;
+  if (config.persist.empty()) {
+    engine_owner = std::make_unique<ServingEngine>(router_options);
+  } else {
+    DurableStoreOptions store_options;
+    store_options.dir = config.persist;
+    store_options.buffer_pool_pages = static_cast<size_t>(config.pool_pages);
+    store_options.profile_max_k = static_cast<size_t>(config.max_k);
+    CKSAFE_ASSIGN_OR_RETURN(
+        engine_owner, ServingEngine::CreateDurable(std::move(store_options),
+                                                   router_options));
+    const RecoveryInfo& recovery = engine_owner->durable_store()->recovery();
+    std::printf(
+        "durable store %s: recovered %zu publishes across %zu tenants "
+        "(%llu torn manifest bytes, %llu orphaned segment bytes discarded)\n",
+        config.persist.c_str(), recovery.records, recovery.tenants,
+        static_cast<unsigned long long>(recovery.manifest_torn_bytes),
+        static_cast<unsigned long long>(recovery.segment_torn_bytes));
+  }
+  ServingEngine& engine = *engine_owner;
 
   // Registry of everything ever published, per (tenant, sequence): the
   // verification pass resolves each answer's named snapshot here.
@@ -566,8 +594,10 @@ Status RunServe(const CliConfig& config) {
                     release.release.status().ToString().c_str());
         continue;
       }
-      const auto snapshot = engine.PublishRelease(
-          release.tenant, *release.release, publisher.table().num_rows());
+      CKSAFE_ASSIGN_OR_RETURN(
+          const auto snapshot,
+          engine.PublishRelease(release.tenant, *release.release,
+                                publisher.table().num_rows()));
       std::lock_guard<std::mutex> lock(registry_mu);
       registry[{release.tenant, snapshot->sequence}] = snapshot;
     }
@@ -596,10 +626,14 @@ Status RunServe(const CliConfig& config) {
         }
         for (const TenantRelease& release : *releases) {
           if (!release.release.ok()) continue;
-          const auto snapshot = engine.PublishRelease(
+          auto snapshot = engine.PublishRelease(
               release.tenant, *release.release, publisher.table().num_rows());
+          if (!snapshot.ok()) {
+            writer_failed = true;
+            return;
+          }
           std::lock_guard<std::mutex> lock(registry_mu);
-          registry[{release.tenant, snapshot->sequence}] = snapshot;
+          registry[{release.tenant, (*snapshot)->sequence}] = *snapshot;
         }
       }
     });
@@ -675,6 +709,35 @@ Status RunServe(const CliConfig& config) {
       static_cast<unsigned long long>(stats.rejected),
       stats.CoalescingFactor());
 
+  if (!config.persist.empty()) {
+    // Reopen the directory exactly as a post-crash recovery would and
+    // demand that every snapshot served this run reloads bit-identically.
+    DurableStoreOptions reopen_options;
+    reopen_options.dir = config.persist;
+    reopen_options.buffer_pool_pages = static_cast<size_t>(config.pool_pages);
+    CKSAFE_ASSIGN_OR_RETURN(std::unique_ptr<DurableStore> reopened,
+                            DurableStore::Open(std::move(reopen_options)));
+    size_t durable_checked = 0;
+    for (const auto& [key, snapshot] : registry) {
+      CKSAFE_ASSIGN_OR_RETURN(
+          const std::shared_ptr<const ReleaseSnapshot> reloaded,
+          reopened->LoadSnapshot(key.first, key.second));
+      if (!SnapshotsBitIdentical(*reloaded, *snapshot)) {
+        return Status::Internal(StrFormat(
+            "rehydrated snapshot %llu of tenant %s differs from the served "
+            "one",
+            static_cast<unsigned long long>(key.second), key.first.c_str()));
+      }
+      ++durable_checked;
+    }
+    CKSAFE_ASSIGN_OR_RETURN(const DurableStore::VerifyReport audit,
+                            reopened->Verify());
+    std::printf(
+        "durable store: %zu rehydrated snapshots bit-identical to served "
+        "(%zu records, %zu pages audited)\n",
+        durable_checked, audit.records, audit.pages);
+  }
+
   // Verification: every OK answer must be bit-identical to a fresh
   // synchronous analyzer over the snapshot it names.
   size_t verified = 0;
@@ -748,6 +811,53 @@ Status RunServe(const CliConfig& config) {
   std::printf("all %zu verified answers bit-identical to a fresh "
               "synchronous analyzer\n",
               verified);
+  return Status::OK();
+}
+
+// Inspects / audits a durable store directory. Opening performs the same
+// recovery a restart would (scanning the manifest, discarding torn tails),
+// so `persist` on a crashed directory reports exactly what a reopening
+// server will serve.
+Status RunPersist(const CliConfig& config) {
+  if (config.dir.empty()) {
+    return Status::InvalidArgument("persist requires --dir=DIR");
+  }
+  DurableStoreOptions options;
+  options.dir = config.dir;
+  options.buffer_pool_pages = static_cast<size_t>(config.pool_pages);
+  CKSAFE_ASSIGN_OR_RETURN(std::unique_ptr<DurableStore> store,
+                          DurableStore::Open(std::move(options)));
+  const RecoveryInfo& recovery = store->recovery();
+  std::printf(
+      "store %s: %zu committed publishes across %zu tenants\n"
+      "manifest: %llu committed bytes, %llu torn bytes discarded\n"
+      "segments: %llu committed bytes, %llu orphaned bytes discarded\n",
+      config.dir.c_str(), recovery.records, recovery.tenants,
+      static_cast<unsigned long long>(recovery.manifest_bytes),
+      static_cast<unsigned long long>(recovery.manifest_torn_bytes),
+      static_cast<unsigned long long>(recovery.segment_bytes),
+      static_cast<unsigned long long>(recovery.segment_torn_bytes));
+  if (config.dump) {
+    TextTable out;
+    out.SetHeader({"tenant", "seq", "rows", "pages", "offset", "dict"});
+    for (const ManifestRecord& record : store->records()) {
+      out.AddRow({record.tenant, std::to_string(record.sequence),
+                  std::to_string(record.num_rows),
+                  std::to_string(record.snapshot.pages),
+                  std::to_string(record.snapshot.offset),
+                  record.has_dict ? "+" + std::to_string(record.dict_count)
+                                  : "-"});
+    }
+    std::printf("%s", out.Render().c_str());
+  }
+  if (config.verify) {
+    CKSAFE_ASSIGN_OR_RETURN(const DurableStore::VerifyReport report,
+                            store->Verify());
+    std::printf(
+        "verify OK: %zu records re-read (%zu pages), %zu disclosure "
+        "profiles recomputed bit-identically\n",
+        report.records, report.pages, report.profiles_checked);
+  }
   return Status::OK();
 }
 
@@ -998,6 +1108,14 @@ int Main(int argc, char** argv) {
   flags.AddDouble("scale", &config.scale,
                   "scenario: multiplier on rows, ops and query counts");
   flags.AddBool("list", &config.list, "scenario: list the catalog and exit");
+  flags.AddString("persist", &config.persist,
+                  "serve: write-through durable store directory");
+  flags.AddString("dir", &config.dir, "persist: store directory to inspect");
+  flags.AddInt64("pool_pages", &config.pool_pages,
+                 "durable store buffer pool capacity (4 KiB pages)");
+  flags.AddBool("dump", &config.dump, "persist: list committed records");
+  flags.AddBool("verify", &config.verify,
+                "persist: re-read, decode and recompute everything");
 
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
@@ -1007,7 +1125,7 @@ int Main(int argc, char** argv) {
   if (flags.positional().size() != 1) {
     std::fprintf(stderr,
                  "usage: cksafe_cli <analyze|publish|multi|serve|audit|fig5|"
-                 "fig6|foundry|scenario> [flags]\n%s",
+                 "fig6|foundry|scenario|persist> [flags]\n%s",
                  flags.Usage("cksafe_cli <command>").c_str());
     return 1;
   }
@@ -1031,6 +1149,8 @@ int Main(int argc, char** argv) {
     st = RunFoundry(config);
   } else if (command == "scenario") {
     st = RunScenario(config);
+  } else if (command == "persist") {
+    st = RunPersist(config);
   } else {
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return 1;

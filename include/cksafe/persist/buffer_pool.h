@@ -1,0 +1,95 @@
+// Fixed-size page cache between the segment readers and the segment file.
+//
+// The buffer pool holds a bounded number of 4 KiB frames. Fetch returns a
+// pinned reference to the requested page, reading it from disk only on a
+// miss; pinned frames can never be evicted, unpinned frames are recycled
+// in least-recently-used order. This is what lets a fleet whose tenant
+// count exceeds RAM serve from disk: hot tenants' pages stay resident,
+// cold tenants' pages are evicted and transparently re-read — and because
+// pages are checksummed and decoding is deterministic, an
+// evicted-then-reloaded snapshot is bit-identical to the one first
+// written (asserted in tests).
+//
+// Thread safety: all operations take the pool mutex; PageRef's data is
+// immutable while pinned, so concurrent readers may hold refs to the same
+// frame. The file must outlive the pool.
+
+#ifndef CKSAFE_PERSIST_BUFFER_POOL_H_
+#define CKSAFE_PERSIST_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "cksafe/util/page_io.h"
+#include "cksafe/util/status.h"
+
+namespace cksafe {
+
+class BufferPool {
+ public:
+  /// Cumulative traffic counters (monotone; relaxed reads).
+  struct Stats {
+    uint64_t hits = 0;        ///< Fetch served from a resident frame
+    uint64_t misses = 0;      ///< Fetch that had to read the file
+    uint64_t evictions = 0;   ///< frames recycled to serve a miss
+  };
+
+  /// A pinned page. The referenced bytes stay valid and immutable until
+  /// the ref is destroyed (or moved from); destruction unpins.
+  class PageRef {
+   public:
+    PageRef() = default;
+    PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+    PageRef& operator=(PageRef&& other) noexcept;
+    PageRef(const PageRef&) = delete;
+    PageRef& operator=(const PageRef&) = delete;
+    ~PageRef();
+
+    const uint8_t* data() const;
+    bool valid() const { return pool_ != nullptr; }
+
+   private:
+    friend class BufferPool;
+    PageRef(BufferPool* pool, size_t frame) : pool_(pool), frame_(frame) {}
+    BufferPool* pool_ = nullptr;
+    size_t frame_ = 0;
+  };
+
+  /// `capacity_pages` >= 1 frames over `file` (not owned, must outlive).
+  BufferPool(const RandomReadFile* file, size_t capacity_pages);
+
+  /// Pins page `page_no` (byte offset page_no * kPageSize), reading it on a
+  /// miss. ResourceExhausted when every frame is pinned by live refs —
+  /// the caller is holding more pages than the pool has frames.
+  StatusOr<PageRef> Fetch(uint64_t page_no);
+
+  Stats stats() const;
+  size_t capacity() const { return frames_.size(); }
+
+  /// Frames currently holding a page (for tests / --dump).
+  size_t resident() const;
+
+ private:
+  struct Frame {
+    bool occupied = false;
+    uint64_t page_no = 0;
+    uint32_t pins = 0;
+    uint64_t last_use = 0;  // LRU clock value of the most recent use
+    std::vector<uint8_t> bytes;
+  };
+
+  void Unpin(size_t frame);
+
+  const RandomReadFile* file_;
+  mutable std::mutex mu_;
+  std::vector<Frame> frames_;
+  std::map<uint64_t, size_t> resident_;  // page_no -> frame index
+  uint64_t clock_ = 0;
+  Stats stats_;
+};
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_PERSIST_BUFFER_POOL_H_

@@ -1,0 +1,177 @@
+// The durable tiered snapshot store: segments + manifest + buffer pool.
+//
+// One DurableStore owns one directory holding exactly two files:
+//
+//   segments.dat  — page-structured segment data (snapshots, dict deltas)
+//   MANIFEST      — the write-ahead commit log (persist/manifest.h)
+//
+// AppendPublish is the atomic-append commit protocol: segment pages are
+// appended and fsynced first, then the manifest record is appended and
+// fsynced — the manifest record is the commit point. A crash anywhere in
+// between leaves either a fully committed publish or a torn tail that
+// Open() detects (checksums, extents, per-tenant sequence contiguity),
+// truncates from both files, and forgets; the store always reopens to the
+// exact prefix of publishes whose manifest records survived.
+//
+// Reads go through a fixed-capacity BufferPool, so a directory whose
+// snapshot history exceeds RAM still serves loads: cold pages are evicted
+// LRU and transparently re-read, and because decoding is deterministic an
+// evicted-then-reloaded snapshot is bit-identical to the first decode.
+//
+// Thread safety: one writer (AppendPublish) at a time; loads and
+// inspection methods may run concurrently with each other and with the
+// writer (everything shared is behind the store mutex, page caching
+// behind the pool's own).
+
+#ifndef CKSAFE_PERSIST_DURABLE_STORE_H_
+#define CKSAFE_PERSIST_DURABLE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cksafe/persist/buffer_pool.h"
+#include "cksafe/persist/manifest.h"
+#include "cksafe/persist/segment.h"
+#include "cksafe/serve/snapshot_store.h"
+#include "cksafe/util/page_io.h"
+#include "cksafe/util/status.h"
+
+namespace cksafe {
+
+/// Configuration seam for the durable path. The in-memory serving path
+/// never constructs one of these; everything durable hangs off it.
+struct DurableStoreOptions {
+  /// Store directory (created if absent; parent must exist).
+  std::string dir;
+
+  /// Buffer pool capacity in 4 KiB frames (>= 1).
+  size_t buffer_pool_pages = 64;
+
+  /// When > 0, each publish stores the tenant's disclosure-vs-k curves up
+  /// to this budget as an integrity rider that `persist --verify`
+  /// recomputes and compares bit-identically. 0 skips the rider.
+  size_t profile_max_k = 0;
+
+  /// Test-only crash seam: when >= 0, the process raises SIGKILL the
+  /// moment the store's cumulative appended-byte count reaches this
+  /// threshold — mid-segment, mid-manifest-record, wherever it lands.
+  /// The kill-and-recover torture sweeps this through a publish's byte
+  /// range to prove every torn prefix recovers exactly.
+  int64_t test_crash_after_bytes = -1;
+};
+
+/// What Open() found and repaired.
+struct RecoveryInfo {
+  size_t records = 0;                ///< committed publishes recovered
+  size_t tenants = 0;                ///< distinct tenants among them
+  uint64_t manifest_bytes = 0;       ///< committed manifest prefix
+  uint64_t manifest_torn_bytes = 0;  ///< manifest tail truncated
+  uint64_t segment_bytes = 0;        ///< committed segment prefix
+  uint64_t segment_torn_bytes = 0;   ///< orphaned segment tail truncated
+};
+
+class DurableStore {
+ public:
+  /// Opens (creating or recovering) the store at `options.dir`. Recovery
+  /// scans the manifest, validates every referenced segment page, stops at
+  /// the first record that fails, and truncates both files to the
+  /// committed prefix; recovery() reports what was kept and discarded.
+  static StatusOr<std::unique_ptr<DurableStore>> Open(
+      DurableStoreOptions options);
+
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+
+  /// Durably commits `snapshot` for `tenant` (sequence must be exactly
+  /// the tenant's latest committed sequence + 1). When this returns OK the
+  /// publish survives any crash; on an IO error the store wedges (further
+  /// appends refused) and the next Open() rolls back the partial append.
+  Status AppendPublish(const std::string& tenant,
+                       const ReleaseSnapshot& snapshot);
+
+  /// Loads any committed snapshot through the buffer pool, decoding it to
+  /// a bit-identical ReleaseSnapshot. `profile` (optional) receives the
+  /// stored disclosure rider (empty when the publish carried none).
+  StatusOr<std::shared_ptr<const ReleaseSnapshot>> LoadSnapshot(
+      const std::string& tenant, uint64_t sequence,
+      StoredProfile* profile = nullptr) const;
+
+  /// Publishes every tenant's latest committed snapshot into `directory`
+  /// (skipping tenants whose slot already holds that sequence or newer),
+  /// restoring the exact pre-crash serving state.
+  Status RehydrateInto(ServingDirectory* directory) const;
+
+  /// Committed tenant names, sorted.
+  std::vector<std::string> tenants() const;
+
+  /// Committed sequences for `tenant`, ascending (empty when unknown).
+  std::vector<uint64_t> Sequences(const std::string& tenant) const;
+
+  /// Latest committed sequence for `tenant` (0 when none).
+  uint64_t LatestSequence(const std::string& tenant) const;
+
+  struct VerifyReport {
+    size_t records = 0;           ///< publishes re-validated
+    size_t tenants = 0;
+    size_t pages = 0;             ///< segment pages re-read and checksummed
+    size_t profiles_checked = 0;  ///< riders recomputed bit-identically
+  };
+
+  /// Full offline audit: re-reads every committed segment from disk
+  /// (bypassing the buffer pool), replays the dictionary history, decodes
+  /// every snapshot, and recomputes each stored disclosure rider,
+  /// requiring bit-identical doubles. IOError on the first discrepancy.
+  StatusOr<VerifyReport> Verify() const;
+
+  /// Committed manifest records in commit order (for `persist --dump`).
+  std::vector<ManifestRecord> records() const;
+
+  const RecoveryInfo& recovery() const { return recovery_; }
+  BufferPool::Stats buffer_stats() const { return pool_->stats(); }
+  const DurableStoreOptions& options() const { return options_; }
+
+ private:
+  struct TenantState {
+    LabelDictionary dict;
+    std::map<uint64_t, size_t> history;  // sequence -> index into records_
+    uint64_t latest = 0;
+  };
+
+  explicit DurableStore(DurableStoreOptions options)
+      : options_(std::move(options)) {}
+
+  Status Recover();
+  /// Appends honouring the test crash seam (SIGKILLs the process when the
+  /// cumulative appended-byte count crosses the configured threshold).
+  Status CrashableAppend(AppendFile* file, const std::vector<uint8_t>& bytes);
+  /// Reads a segment's pages (direct pread), unframes, and validates the
+  /// blob against `ref`. Shared by recovery and Verify.
+  Status ReadSegmentDirect(const SegmentRef& ref, PageType type,
+                           std::vector<uint8_t>* blob) const;
+  /// Same, but each page goes through the buffer pool (the load path).
+  Status ReadSegmentPooled(const SegmentRef& ref, PageType type,
+                           std::vector<uint8_t>* blob) const;
+
+  const DurableStoreOptions options_;
+  std::string manifest_path_;
+  std::string segments_path_;
+
+  mutable std::mutex mu_;
+  AppendFile manifest_;
+  AppendFile segments_;
+  RandomReadFile reader_;
+  std::unique_ptr<BufferPool> pool_;
+  std::map<std::string, TenantState> tenants_;
+  std::vector<ManifestRecord> records_;
+  RecoveryInfo recovery_;
+  uint64_t appended_bytes_ = 0;  // cumulative, for the crash seam
+  bool wedged_ = false;          // an append failed mid-protocol
+};
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_PERSIST_DURABLE_STORE_H_

@@ -1,0 +1,70 @@
+// The write-ahead manifest: the durable store's commit log.
+//
+// Every Publish appends exactly one manifest record *after* its segment
+// pages are written and fsynced, then fsyncs the manifest — the manifest
+// record is the commit point. A record that scans as valid (magic, length,
+// checksum) therefore refers to segment pages that are already durable; a
+// record cut short by a crash fails the scan and is discarded along with
+// everything after it (the torn tail), which also orphans — and recovery
+// truncates — any segment pages the lost publishes had written.
+//
+// Records are framed independently of the 4 KiB page grid (they are tiny),
+// but follow the same discipline: little-endian integers, explicit
+// lengths, an FNV-1a checksum over the payload.
+
+#ifndef CKSAFE_PERSIST_MANIFEST_H_
+#define CKSAFE_PERSIST_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cksafe/util/status.h"
+
+namespace cksafe {
+
+/// Where one segment lives in the segment file.
+struct SegmentRef {
+  uint64_t offset = 0;        ///< byte offset, always page-aligned
+  uint32_t pages = 0;         ///< whole 4 KiB pages
+  uint64_t blob_size = 0;     ///< payload bytes before page framing
+  uint64_t blob_checksum = 0; ///< FNV-1a of the unframed blob
+};
+
+/// One committed publish: the tenant's next snapshot segment, plus the
+/// dictionary delta (possibly empty) committed atomically with it.
+struct ManifestRecord {
+  std::string tenant;
+  uint64_t sequence = 0;
+  uint64_t num_rows = 0;
+  SegmentRef snapshot;
+  bool has_dict = false;
+  uint32_t dict_first_id = 0;
+  uint32_t dict_count = 0;
+  SegmentRef dict;
+};
+
+/// Frames `record` (header + checksummed payload) for appending.
+std::vector<uint8_t> EncodeManifestRecord(const ManifestRecord& record);
+
+/// Result of scanning a manifest image: the longest valid record prefix.
+struct ManifestScan {
+  std::vector<ManifestRecord> records;
+  /// record_ends[i] = byte offset just past record i (for truncating to a
+  /// shorter valid prefix when a record fails deeper segment validation).
+  std::vector<uint64_t> record_ends;
+  /// Bytes covered by valid records; everything at and past this offset is
+  /// a torn tail the writer must truncate before appending again.
+  uint64_t committed_bytes = 0;
+  /// Bytes discarded (file size - committed_bytes).
+  uint64_t torn_bytes = 0;
+};
+
+/// Scans a raw manifest image, stopping at the first record that fails
+/// validation. Never errors on torn input — a torn tail is an expected
+/// crash artifact, reported via `torn_bytes`.
+ManifestScan ScanManifest(const std::vector<uint8_t>& bytes);
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_PERSIST_MANIFEST_H_

@@ -1,0 +1,130 @@
+// On-disk release format: page-structured segments.
+//
+// A *segment* is one logical record — a frozen ReleaseSnapshot or a
+// dictionary delta — serialized to a byte blob and chopped into fixed
+// 4 KiB pages (util/page_io.h), each carrying its own checksum and
+// first/last continuation flags. Pages are the unit the buffer pool
+// caches; segments are the unit the manifest commits. The blob encodings
+// are pure little-endian integer streams (doubles travel as IEEE bit
+// patterns), so a segment written anywhere decodes bit-identically
+// everywhere — the serving layer's exact-equality contract extends to
+// disk.
+//
+// Bucket qi-labels repeat heavily across a tenant's snapshot sequence
+// (they render generalized hierarchy values, drawn from a small set), so
+// snapshots store dictionary ids and each tenant keeps an append-only
+// LabelDictionary: new labels ride along as a dictionary-delta segment
+// committed atomically with the snapshot that introduced them.
+
+#ifndef CKSAFE_PERSIST_SEGMENT_H_
+#define CKSAFE_PERSIST_SEGMENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cksafe/serve/release_snapshot.h"
+#include "cksafe/util/page_io.h"
+#include "cksafe/util/status.h"
+
+namespace cksafe {
+
+/// What a page's payload belongs to.
+enum class PageType : uint8_t {
+  kSnapshot = 1,    ///< part of an encoded ReleaseSnapshot
+  kDictionary = 2,  ///< part of a label-dictionary delta
+};
+
+/// Page layout: a 16-byte header followed by payload, zero-padded to
+/// kPageSize. The checksum covers the first 8 header bytes and the full
+/// payload, so a torn or bit-flipped page never validates.
+inline constexpr size_t kPageHeaderSize = 16;
+inline constexpr size_t kPagePayloadCapacity = kPageSize - kPageHeaderSize;
+inline constexpr uint32_t kPageMagic = 0x47504b43;  // "CKPG"
+
+/// First/last page of a segment (a single-page segment carries both).
+inline constexpr uint8_t kPageFlagFirst = 0x1;
+inline constexpr uint8_t kPageFlagLast = 0x2;
+
+/// Number of pages a blob of `blob_size` bytes occupies.
+size_t PagesForBlob(size_t blob_size);
+
+/// Frames `blob` into whole checksummed pages of `type`; the result's size
+/// is PagesForBlob(blob.size()) * kPageSize.
+std::vector<uint8_t> FrameSegmentPages(PageType type,
+                                       const std::vector<uint8_t>& blob);
+
+/// Validates one page (magic, flags, checksum) and appends its payload to
+/// `*blob`. `expect_first` asserts the page's position in its segment;
+/// `*is_last` reports whether the segment ends here.
+Status UnframeSegmentPage(const uint8_t* page, PageType expected_type,
+                          bool expect_first, bool* is_last,
+                          std::vector<uint8_t>* blob);
+
+/// Append-only per-tenant string dictionary: id i is the i-th label ever
+/// committed for the tenant. Lookups are O(1) both ways; new labels are
+/// staged in a Delta and only Applied once the enclosing publish commits,
+/// so a failed or crashed publish never advances the dictionary.
+class LabelDictionary {
+ public:
+  /// Labels of one publish that were not yet in the dictionary, in first-use
+  /// order; ids [first_id, first_id + labels.size()) are reserved for them.
+  struct Delta {
+    uint32_t first_id = 0;
+    std::vector<std::string> labels;
+    bool empty() const { return labels.empty(); }
+  };
+
+  /// Resolves `label` to its id, staging it in `*delta` when new. The same
+  /// delta must later be Applied (commit) or dropped (abort).
+  uint32_t InternInto(const std::string& label, Delta* delta) const;
+
+  /// Commits a delta staged by InternInto (or decoded from disk). The
+  /// delta's first_id must equal size() — deltas apply in commit order.
+  Status Apply(const Delta& delta);
+
+  StatusOr<std::string> Lookup(uint32_t id) const;
+  size_t size() const { return labels_.size(); }
+
+ private:
+  std::vector<std::string> labels_;
+  std::map<std::string, uint32_t> ids_;
+};
+
+/// Encodes a dictionary delta as a segment blob.
+std::vector<uint8_t> EncodeDictionaryDelta(const LabelDictionary::Delta& delta);
+StatusOr<LabelDictionary::Delta> DecodeDictionaryDelta(
+    const std::vector<uint8_t>& blob);
+
+/// The optional per-snapshot disclosure profile rider: the tenant's whole
+/// disclosure-vs-k curve at publish time, stored as raw IEEE bits. Purely
+/// an integrity artifact — serving always recomputes from the buckets, and
+/// `persist --verify` recomputes and compares bit-identically, which
+/// certifies the rehydrated bucketization semantically, not just
+/// structurally.
+struct StoredProfile {
+  std::vector<double> implication;  ///< size max_k + 1
+  std::vector<double> negation;     ///< size max_k + 1
+  bool empty() const { return implication.empty(); }
+};
+
+/// Encodes a snapshot (and optional profile rider) as a segment blob.
+/// Bucket labels are interned through `dict` into `*dict_delta`.
+std::vector<uint8_t> EncodeSnapshotBlob(const ReleaseSnapshot& snapshot,
+                                        const StoredProfile& profile,
+                                        const LabelDictionary& dict,
+                                        LabelDictionary::Delta* dict_delta);
+
+/// Decodes a snapshot blob. `dict` must already include the dictionary
+/// delta committed with this snapshot. The rebuilt snapshot is
+/// bit-identical to the encoded one: same sequence, rows, node, bucket
+/// order, members, histograms, and labels.
+StatusOr<std::shared_ptr<const ReleaseSnapshot>> DecodeSnapshotBlob(
+    const std::vector<uint8_t>& blob, const LabelDictionary& dict,
+    StoredProfile* profile);
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_PERSIST_SEGMENT_H_

@@ -51,6 +51,12 @@ std::shared_ptr<const ReleaseSnapshot> MakeReleaseSnapshot(
 std::shared_ptr<const ReleaseSnapshot> MakeReleaseSnapshot(
     uint64_t sequence, Bucketization bucketization, LatticeNode node = {});
 
+/// Exact structural equality: sequence, rows, node, and every bucket's
+/// label, member list, and histogram, element for element. This is the
+/// durable store's round-trip contract — a snapshot decoded from disk must
+/// satisfy it against the one that was encoded.
+bool SnapshotsBitIdentical(const ReleaseSnapshot& a, const ReleaseSnapshot& b);
+
 }  // namespace cksafe
 
 #endif  // CKSAFE_SERVE_RELEASE_SNAPSHOT_H_

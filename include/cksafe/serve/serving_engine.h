@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "cksafe/persist/durable_store.h"
 #include "cksafe/serve/query_router.h"
 #include "cksafe/serve/release_snapshot.h"
 #include "cksafe/serve/snapshot_store.h"
@@ -31,39 +32,60 @@ namespace cksafe {
 
 class ServingEngine {
  public:
+  /// In-memory engine (the default): snapshots live only in the RCU slots.
   explicit ServingEngine(QueryRouter::Options router_options = {});
+
+  /// Durable engine: opens (or crash-recovers) the store at
+  /// `store_options.dir`, rehydrates every tenant's latest committed
+  /// snapshot into the directory, and write-throughs every subsequent
+  /// publish — the durable append commits *before* the RCU swap, so a
+  /// snapshot a reader can observe is always one a crash cannot lose.
+  static StatusOr<std::unique_ptr<ServingEngine>> CreateDurable(
+      DurableStoreOptions store_options,
+      QueryRouter::Options router_options = {});
 
   ServingDirectory* directory() { return &directory_; }
   const ServingDirectory* directory() const { return &directory_; }
   QueryRouter* router() { return &router_; }
 
+  /// The durable store, or nullptr for an in-memory engine.
+  DurableStore* durable_store() { return durable_store_.get(); }
+  const DurableStore* durable_store() const { return durable_store_.get(); }
+
   /// Freezes `release` (covering `num_rows` rows) as the tenant's next
   /// snapshot and swaps it in; registers the tenant on first use. Returns
   /// the published snapshot (whose sequence is the previous one + 1) so
-  /// callers can keep a registry for audits / differential checks.
-  std::shared_ptr<const ReleaseSnapshot> PublishRelease(
+  /// callers can keep a registry for audits / differential checks. On a
+  /// durable engine a failed durable append returns its error and leaves
+  /// the tenant's served snapshot unchanged.
+  StatusOr<std::shared_ptr<const ReleaseSnapshot>> PublishRelease(
       const std::string& tenant, const PublishedRelease& release,
       size_t num_rows);
 
   /// StreamingPublisher adapter: publishes release.release over
   /// release.num_rows rows.
-  std::shared_ptr<const ReleaseSnapshot> PublishStreaming(
+  StatusOr<std::shared_ptr<const ReleaseSnapshot>> PublishStreaming(
       const std::string& tenant, const StreamingRelease& release);
 
   /// MultiPolicyPublisher adapter: swaps in every tenant whose release
   /// succeeded and returns the published snapshots; tenants with a non-OK
   /// release (e.g. NotFound for an unsatisfiable policy) keep their
-  /// previous snapshot and are skipped.
-  std::vector<std::shared_ptr<const ReleaseSnapshot>> PublishTenantReleases(
-      const std::vector<TenantRelease>& releases, size_t num_rows);
+  /// previous snapshot and are skipped. A durable-append error aborts the
+  /// round (already-published tenants keep their new snapshot).
+  StatusOr<std::vector<std::shared_ptr<const ReleaseSnapshot>>>
+  PublishTenantReleases(const std::vector<TenantRelease>& releases,
+                        size_t num_rows);
 
   /// Blocking read-side convenience (QueryRouter::Ask).
   StatusOr<QueryAnswer> Ask(Query query) { return router_.Ask(std::move(query)); }
 
  private:
   ServingDirectory directory_;
-  // Declared after directory_: destroyed (and its worker joined) before
-  // the directory it reads from goes away.
+  // Write-through target; nullptr on the in-memory path. Declared after
+  // directory_ (publishes reference both) and before router_.
+  std::unique_ptr<DurableStore> durable_store_;
+  // Declared last: destroyed (and its worker joined) before the
+  // directory it reads from goes away.
   QueryRouter router_;
 };
 

@@ -1,8 +1,14 @@
-// Minimal CSV reading/writing used by the Adult loader and bench harnesses.
+// CSV reading/writing used by the Adult loader, release writers and bench
+// harnesses.
 //
-// Supports the subset of CSV the UCI Adult file uses: comma separation, no
-// quoting, optional surrounding whitespace per field. Lines are records;
-// blank lines are skipped.
+// RFC-4180-style dialect: comma separation, double-quote quoting with ""
+// escapes, and embedded delimiters/quotes/newlines allowed inside quoted
+// fields. Unquoted fields are trimmed of surrounding whitespace (the UCI
+// Adult file pads its fields); quoted fields are preserved verbatim.
+// Lines are records — except inside quotes, where a record may span
+// lines — and blank lines between records are skipped. The writer quotes
+// exactly the fields that need it, so write → read round-trips any cell
+// content.
 
 #ifndef CKSAFE_UTIL_CSV_H_
 #define CKSAFE_UTIL_CSV_H_
@@ -14,14 +20,21 @@
 
 namespace cksafe {
 
-/// Parses one CSV line into trimmed fields.
+/// Parses one CSV record into fields. Unquoted fields are trimmed; quoted
+/// fields ("..." with "" escaping a quote) are taken verbatim and may
+/// contain delimiters and newlines (the caller supplies a joined record
+/// when a quoted field spans physical lines, as ReadCsvFile does).
 std::vector<std::string> ParseCsvLine(const std::string& line, char delimiter = ',');
 
-/// Reads an entire CSV file. Returns one row per non-blank line.
+/// Reads an entire CSV file. Returns one row per record, skipping blank
+/// lines between records; a quoted field may span lines.
 StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
     const std::string& path, char delimiter = ',');
 
-/// Writes rows as CSV (no quoting; fields must not contain the delimiter).
+/// Writes rows as CSV, quoting any field containing the delimiter, a
+/// quote, a newline, or surrounding whitespace (and a lone empty field,
+/// which would otherwise read back as a skipped blank line). Escapes
+/// quotes by doubling.
 Status WriteCsvFile(const std::string& path,
                     const std::vector<std::vector<std::string>>& rows,
                     char delimiter = ',');

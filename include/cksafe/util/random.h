@@ -100,15 +100,22 @@ class DiscreteSampler {
   explicit DiscreteSampler(const std::vector<double>& weights);
 
   /// Returns an index in [0, size()) with probability weight[i] / total.
+  /// Never returns a zero-weight index.
   size_t Sample(Rng* rng) const;
 
+  /// Inverse-CDF lookup at `point` in [0, total()]: the index Sample would
+  /// return for that draw. Exposed so tests can probe the boundary points
+  /// (notably point == total()) that a 53-bit uniform draw cannot reach.
+  size_t IndexForPoint(double point) const;
+
   size_t size() const { return cumulative_.size(); }
+  double total() const { return total_; }
 
   /// Probability mass of index i (normalized).
   double Probability(size_t i) const;
 
  private:
-  std::vector<double> cumulative_;  // strictly increasing, last == total_
+  std::vector<double> cumulative_;  // nondecreasing, last == total_
   double total_ = 0.0;
 };
 

@@ -230,16 +230,18 @@ Status RunDeltaLeg(const ScenarioConfig& config, double scale,
 
 // Publishes one PublishAll round's tenant releases into the engine and
 // the registry.
-void PublishRound(const std::vector<TenantRelease>& releases, size_t num_rows,
-                  ServingEngine* engine, SnapshotRegistry* registry,
-                  ScenarioReport* report) {
+Status PublishRound(const std::vector<TenantRelease>& releases,
+                    size_t num_rows, ServingEngine* engine,
+                    SnapshotRegistry* registry, ScenarioReport* report) {
   for (const TenantRelease& release : releases) {
     if (!release.release.ok()) continue;  // unsatisfiable policy: skipped
-    const auto snapshot =
-        engine->PublishRelease(release.tenant, *release.release, num_rows);
+    CKSAFE_ASSIGN_OR_RETURN(
+        const auto snapshot,
+        engine->PublishRelease(release.tenant, *release.release, num_rows));
     (*registry)[{release.tenant, snapshot->sequence}] = snapshot;
     ++report->releases;
   }
+  return Status::OK();
 }
 
 }  // namespace
@@ -311,8 +313,8 @@ StatusOr<ScenarioReport> ScenarioRunner::Run(const ScenarioConfig& config,
 
   CKSAFE_ASSIGN_OR_RETURN(std::vector<TenantRelease> first,
                           publisher.PublishAll());
-  PublishRound(first, publisher.table().num_rows(), &engine, &registry,
-               &report);
+  CKSAFE_RETURN_IF_ERROR(PublishRound(first, publisher.table().num_rows(),
+                                      &engine, &registry, &report));
 
   if (!config.concurrent) {
     // Deterministic serve loop: publish a round, enqueue the round's query
@@ -324,8 +326,9 @@ StatusOr<ScenarioReport> ScenarioRunner::Run(const ScenarioConfig& config,
         CKSAFE_RETURN_IF_ERROR(publisher.AddBatch(RowCells(table, begin, end)));
         CKSAFE_ASSIGN_OR_RETURN(std::vector<TenantRelease> releases,
                                 publisher.PublishAll());
-        PublishRound(releases, publisher.table().num_rows(), &engine,
-                     &registry, &report);
+        CKSAFE_RETURN_IF_ERROR(PublishRound(releases,
+                                            publisher.table().num_rows(),
+                                            &engine, &registry, &report));
       }
       std::vector<std::pair<Query, std::future<StatusOr<QueryAnswer>>>>
           pending;
@@ -363,8 +366,12 @@ StatusOr<ScenarioReport> ScenarioRunner::Run(const ScenarioConfig& config,
           writer_failed = true;
           return;
         }
-        PublishRound(*releases, publisher.table().num_rows(), &engine,
-                     &registry, &report);
+        if (!PublishRound(*releases, publisher.table().num_rows(), &engine,
+                          &registry, &report)
+                 .ok()) {
+          writer_failed = true;
+          return;
+        }
       }
     });
     const size_t readers = std::max<size_t>(1, config.reader_threads);

@@ -1,0 +1,106 @@
+#include "cksafe/persist/buffer_pool.h"
+
+#include <utility>
+
+#include "cksafe/util/check.h"
+
+namespace cksafe {
+
+BufferPool::PageRef& BufferPool::PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr) pool_->Unpin(frame_);
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+BufferPool::PageRef::~PageRef() {
+  if (pool_ != nullptr) pool_->Unpin(frame_);
+}
+
+const uint8_t* BufferPool::PageRef::data() const {
+  CKSAFE_CHECK(pool_ != nullptr) << "data() on an empty PageRef";
+  // No lock needed: the frame's bytes are immutable while pinned, and the
+  // pin itself keeps the frame from being recycled.
+  return pool_->frames_[frame_].bytes.data();
+}
+
+BufferPool::BufferPool(const RandomReadFile* file, size_t capacity_pages)
+    : file_(file) {
+  CKSAFE_CHECK(file != nullptr);
+  CKSAFE_CHECK_GE(capacity_pages, 1u) << "buffer pool needs at least one frame";
+  frames_.resize(capacity_pages);
+}
+
+StatusOr<BufferPool::PageRef> BufferPool::Fetch(uint64_t page_no) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++clock_;
+  if (const auto it = resident_.find(page_no); it != resident_.end()) {
+    Frame& frame = frames_[it->second];
+    ++frame.pins;
+    frame.last_use = clock_;
+    ++stats_.hits;
+    return PageRef(this, it->second);
+  }
+  // Miss: pick a free frame, else evict the least-recently-used unpinned one.
+  size_t victim = frames_.size();
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (!frames_[i].occupied) {
+      victim = i;
+      break;
+    }
+  }
+  if (victim == frames_.size()) {
+    uint64_t oldest = 0;
+    for (size_t i = 0; i < frames_.size(); ++i) {
+      const Frame& frame = frames_[i];
+      if (frame.pins > 0) continue;
+      if (victim == frames_.size() || frame.last_use < oldest) {
+        victim = i;
+        oldest = frame.last_use;
+      }
+    }
+    if (victim == frames_.size()) {
+      return Status::ResourceExhausted(
+          "buffer pool exhausted: all " + std::to_string(frames_.size()) +
+          " frames pinned");
+    }
+    resident_.erase(frames_[victim].page_no);
+    ++stats_.evictions;
+  }
+  Frame& frame = frames_[victim];
+  frame.bytes.resize(kPageSize);
+  if (Status read = file_->ReadAt(page_no * kPageSize, frame.bytes.data(),
+                                  kPageSize);
+      !read.ok()) {
+    frame.occupied = false;
+    return read;
+  }
+  frame.occupied = true;
+  frame.page_no = page_no;
+  frame.pins = 1;
+  frame.last_use = clock_;
+  resident_[page_no] = victim;
+  ++stats_.misses;
+  return PageRef(this, victim);
+}
+
+void BufferPool::Unpin(size_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CKSAFE_CHECK_GT(frames_[frame].pins, 0u);
+  --frames_[frame].pins;
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t BufferPool::resident() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_.size();
+}
+
+}  // namespace cksafe

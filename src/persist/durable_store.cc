@@ -1,0 +1,437 @@
+#include "cksafe/persist/durable_store.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+#include "cksafe/core/disclosure.h"
+#include "cksafe/util/check.h"
+
+namespace cksafe {
+namespace {
+
+constexpr char kManifestFile[] = "MANIFEST";
+constexpr char kSegmentsFile[] = "segments.dat";
+
+// Appends are chopped into chunks this small so the test crash seam can
+// land a SIGKILL inside a page or manifest record, not only between them.
+constexpr size_t kAppendChunk = 512;
+
+StoredProfile ComputeProfile(const Bucketization& bucketization,
+                             size_t max_k) {
+  StoredProfile profile;
+  if (max_k == 0 || bucketization.num_buckets() == 0) return profile;
+  const DisclosureProfile curves =
+      DisclosureAnalyzer(bucketization).Profile(max_k);
+  profile.implication = curves.implication;
+  profile.negation = curves.negation;
+  return profile;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<DurableStore>> DurableStore::Open(
+    DurableStoreOptions options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("durable store needs a directory");
+  }
+  if (options.buffer_pool_pages == 0) {
+    return Status::InvalidArgument("buffer pool needs at least one page");
+  }
+  if (::mkdir(options.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("mkdir " + options.dir + ": " +
+                           std::strerror(errno));
+  }
+  std::unique_ptr<DurableStore> store(new DurableStore(std::move(options)));
+  store->manifest_path_ = store->options_.dir + "/" + kManifestFile;
+  store->segments_path_ = store->options_.dir + "/" + kSegmentsFile;
+  CKSAFE_RETURN_IF_ERROR(store->Recover());
+  return store;
+}
+
+Status DurableStore::Recover() {
+  // Open (creating if absent) before reading, so a fresh directory scans
+  // as an empty store rather than a missing-file error.
+  CKSAFE_RETURN_IF_ERROR(segments_.Open(segments_path_));
+  CKSAFE_RETURN_IF_ERROR(manifest_.Open(manifest_path_));
+  CKSAFE_RETURN_IF_ERROR(reader_.Open(segments_path_));
+
+  CKSAFE_ASSIGN_OR_RETURN(std::vector<uint8_t> manifest_bytes,
+                          ReadFileBytes(manifest_path_));
+  const ManifestScan scan = ScanManifest(manifest_bytes);
+
+  // The manifest scan validated framing; now validate what each record
+  // points at. A record only commits if its segments are whole (every
+  // page checksums, extents line up, the dictionary delta applies in
+  // order, the per-tenant sequence is contiguous); the first failure cuts
+  // the committed prefix there — everything after is a torn tail, even
+  // records that would individually validate.
+  const uint64_t segment_file_size = segments_.size();
+  uint64_t segment_end = 0;
+  size_t committed = 0;
+  for (const ManifestRecord& record : scan.records) {
+    TenantState& state = tenants_[record.tenant];
+    if (record.sequence != state.latest + 1) break;
+    uint64_t expect_offset = segment_end;
+    LabelDictionary::Delta delta;
+    if (record.has_dict) {
+      if (record.dict.offset != expect_offset) break;
+      const uint64_t dict_extent =
+          record.dict.offset +
+          static_cast<uint64_t>(record.dict.pages) * kPageSize;
+      if (dict_extent > segment_file_size) break;
+      std::vector<uint8_t> dict_blob;
+      if (!ReadSegmentDirect(record.dict, PageType::kDictionary, &dict_blob)
+               .ok()) {
+        break;
+      }
+      auto decoded = DecodeDictionaryDelta(dict_blob);
+      if (!decoded.ok()) break;
+      delta = *std::move(decoded);
+      if (delta.first_id != record.dict_first_id ||
+          delta.labels.size() != record.dict_count) {
+        break;
+      }
+      expect_offset = dict_extent;
+    }
+    if (record.snapshot.offset != expect_offset) break;
+    const uint64_t snap_extent =
+        record.snapshot.offset +
+        static_cast<uint64_t>(record.snapshot.pages) * kPageSize;
+    if (snap_extent > segment_file_size) break;
+    std::vector<uint8_t> snap_blob;
+    if (!ReadSegmentDirect(record.snapshot, PageType::kSnapshot, &snap_blob)
+             .ok()) {
+      break;
+    }
+    // Commit the record in memory.
+    if (!delta.empty()) {
+      if (!state.dict.Apply(delta).ok()) break;
+    }
+    state.latest = record.sequence;
+    state.history[record.sequence] = records_.size();
+    records_.push_back(record);
+    segment_end = snap_extent;
+    ++committed;
+  }
+
+  // Tenants that only appeared in discarded records must not linger.
+  for (auto it = tenants_.begin(); it != tenants_.end();) {
+    it = it->second.latest == 0 ? tenants_.erase(it) : std::next(it);
+  }
+
+  const uint64_t manifest_committed =
+      committed == 0 ? 0 : scan.record_ends[committed - 1];
+  recovery_.records = committed;
+  recovery_.tenants = tenants_.size();
+  recovery_.manifest_bytes = manifest_committed;
+  recovery_.manifest_torn_bytes = manifest_bytes.size() - manifest_committed;
+  recovery_.segment_bytes = segment_end;
+  recovery_.segment_torn_bytes = segment_file_size - segment_end;
+
+  if (recovery_.manifest_torn_bytes > 0) {
+    CKSAFE_RETURN_IF_ERROR(manifest_.Truncate(manifest_committed));
+    CKSAFE_RETURN_IF_ERROR(manifest_.Sync());
+  }
+  if (recovery_.segment_torn_bytes > 0) {
+    CKSAFE_RETURN_IF_ERROR(segments_.Truncate(segment_end));
+    CKSAFE_RETURN_IF_ERROR(segments_.Sync());
+  }
+
+  pool_ = std::make_unique<BufferPool>(&reader_, options_.buffer_pool_pages);
+  return Status::OK();
+}
+
+Status DurableStore::CrashableAppend(AppendFile* file,
+                                     const std::vector<uint8_t>& bytes) {
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    const size_t chunk = std::min(kAppendChunk, bytes.size() - pos);
+    CKSAFE_RETURN_IF_ERROR(file->Append(bytes.data() + pos, chunk));
+    pos += chunk;
+    appended_bytes_ += chunk;
+    if (options_.test_crash_after_bytes >= 0 &&
+        appended_bytes_ >=
+            static_cast<uint64_t>(options_.test_crash_after_bytes)) {
+      // The torture test's simulated power cut: die without flushing,
+      // destructing, or syncing anything further.
+      ::raise(SIGKILL);
+    }
+  }
+  return Status::OK();
+}
+
+Status DurableStore::AppendPublish(const std::string& tenant,
+                                   const ReleaseSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wedged_) {
+    return Status::FailedPrecondition(
+        "durable store wedged by an earlier append failure; reopen to "
+        "recover");
+  }
+  if (tenant.empty()) {
+    return Status::InvalidArgument("tenant name must be non-empty");
+  }
+  TenantState& state = tenants_[tenant];
+  if (snapshot.sequence != state.latest + 1) {
+    return Status::InvalidArgument(
+        "out-of-order publish for tenant " + tenant + ": expected sequence " +
+        std::to_string(state.latest + 1) + ", got " +
+        std::to_string(snapshot.sequence));
+  }
+
+  const StoredProfile profile =
+      ComputeProfile(snapshot.bucketization, options_.profile_max_k);
+  LabelDictionary::Delta delta;
+  const std::vector<uint8_t> snap_blob =
+      EncodeSnapshotBlob(snapshot, profile, state.dict, &delta);
+
+  ManifestRecord record;
+  record.tenant = tenant;
+  record.sequence = snapshot.sequence;
+  record.num_rows = snapshot.num_rows;
+
+  // Protocol step 1: segment pages (dictionary delta first, then the
+  // snapshot), then fsync the segment file.
+  auto wedge = [this](Status status) {
+    wedged_ = true;
+    return status;
+  };
+  if (!delta.empty()) {
+    const std::vector<uint8_t> dict_blob = EncodeDictionaryDelta(delta);
+    record.has_dict = true;
+    record.dict_first_id = delta.first_id;
+    record.dict_count = static_cast<uint32_t>(delta.labels.size());
+    record.dict.offset = segments_.size();
+    record.dict.pages = static_cast<uint32_t>(PagesForBlob(dict_blob.size()));
+    record.dict.blob_size = dict_blob.size();
+    record.dict.blob_checksum = Fnv1a64(dict_blob.data(), dict_blob.size());
+    if (Status s = CrashableAppend(
+            &segments_, FrameSegmentPages(PageType::kDictionary, dict_blob));
+        !s.ok()) {
+      return wedge(std::move(s));
+    }
+  }
+  record.snapshot.offset = segments_.size();
+  record.snapshot.pages = static_cast<uint32_t>(PagesForBlob(snap_blob.size()));
+  record.snapshot.blob_size = snap_blob.size();
+  record.snapshot.blob_checksum = Fnv1a64(snap_blob.data(), snap_blob.size());
+  if (Status s = CrashableAppend(
+          &segments_, FrameSegmentPages(PageType::kSnapshot, snap_blob));
+      !s.ok()) {
+    return wedge(std::move(s));
+  }
+  if (Status s = segments_.Sync(); !s.ok()) return wedge(std::move(s));
+
+  // Protocol step 2: the manifest record — the commit point.
+  if (Status s = CrashableAppend(&manifest_, EncodeManifestRecord(record));
+      !s.ok()) {
+    return wedge(std::move(s));
+  }
+  if (Status s = manifest_.Sync(); !s.ok()) return wedge(std::move(s));
+
+  // Committed on disk; commit in memory.
+  if (!delta.empty()) {
+    CKSAFE_CHECK(state.dict.Apply(delta).ok())
+        << "self-staged dictionary delta must apply";
+  }
+  state.latest = snapshot.sequence;
+  state.history[snapshot.sequence] = records_.size();
+  records_.push_back(std::move(record));
+  return Status::OK();
+}
+
+Status DurableStore::ReadSegmentDirect(const SegmentRef& ref, PageType type,
+                                       std::vector<uint8_t>* blob) const {
+  blob->clear();
+  blob->reserve(ref.blob_size);
+  std::vector<uint8_t> page(kPageSize);
+  bool is_last = false;
+  for (uint32_t p = 0; p < ref.pages; ++p) {
+    if (is_last) return Status::IOError("segment continues past last page");
+    CKSAFE_RETURN_IF_ERROR(reader_.ReadAt(
+        ref.offset + static_cast<uint64_t>(p) * kPageSize, page.data(),
+        kPageSize));
+    CKSAFE_RETURN_IF_ERROR(
+        UnframeSegmentPage(page.data(), type, p == 0, &is_last, blob));
+  }
+  if (!is_last) return Status::IOError("segment missing its last page");
+  if (blob->size() != ref.blob_size) {
+    return Status::IOError("segment blob size mismatch");
+  }
+  if (Fnv1a64(blob->data(), blob->size()) != ref.blob_checksum) {
+    return Status::IOError("segment blob checksum mismatch");
+  }
+  return Status::OK();
+}
+
+Status DurableStore::ReadSegmentPooled(const SegmentRef& ref, PageType type,
+                                       std::vector<uint8_t>* blob) const {
+  blob->clear();
+  blob->reserve(ref.blob_size);
+  CKSAFE_CHECK_EQ(ref.offset % kPageSize, 0u) << "segment offset unaligned";
+  const uint64_t first_page = ref.offset / kPageSize;
+  bool is_last = false;
+  for (uint32_t p = 0; p < ref.pages; ++p) {
+    if (is_last) return Status::IOError("segment continues past last page");
+    CKSAFE_ASSIGN_OR_RETURN(BufferPool::PageRef page,
+                            pool_->Fetch(first_page + p));
+    CKSAFE_RETURN_IF_ERROR(
+        UnframeSegmentPage(page.data(), type, p == 0, &is_last, blob));
+  }
+  if (!is_last) return Status::IOError("segment missing its last page");
+  if (blob->size() != ref.blob_size) {
+    return Status::IOError("segment blob size mismatch");
+  }
+  if (Fnv1a64(blob->data(), blob->size()) != ref.blob_checksum) {
+    return Status::IOError("segment blob checksum mismatch");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<const ReleaseSnapshot>> DurableStore::LoadSnapshot(
+    const std::string& tenant, uint64_t sequence,
+    StoredProfile* profile) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto tenant_it = tenants_.find(tenant);
+  if (tenant_it == tenants_.end()) {
+    return Status::NotFound("unknown tenant: " + tenant);
+  }
+  const auto seq_it = tenant_it->second.history.find(sequence);
+  if (seq_it == tenant_it->second.history.end()) {
+    return Status::NotFound("tenant " + tenant + " has no committed sequence " +
+                            std::to_string(sequence));
+  }
+  const ManifestRecord& record = records_[seq_it->second];
+  std::vector<uint8_t> blob;
+  CKSAFE_RETURN_IF_ERROR(
+      ReadSegmentPooled(record.snapshot, PageType::kSnapshot, &blob));
+  StoredProfile local_profile;
+  CKSAFE_ASSIGN_OR_RETURN(
+      std::shared_ptr<const ReleaseSnapshot> snapshot,
+      DecodeSnapshotBlob(blob, tenant_it->second.dict, &local_profile));
+  if (snapshot->sequence != sequence) {
+    return Status::IOError("decoded snapshot carries sequence " +
+                           std::to_string(snapshot->sequence) +
+                           ", record says " + std::to_string(sequence));
+  }
+  if (profile != nullptr) *profile = std::move(local_profile);
+  return snapshot;
+}
+
+Status DurableStore::RehydrateInto(ServingDirectory* directory) const {
+  CKSAFE_CHECK(directory != nullptr);
+  for (const std::string& tenant : tenants()) {
+    const uint64_t latest = LatestSequence(tenant);
+    if (latest == 0) continue;
+    SnapshotStore* store = directory->GetOrAddTenant(tenant);
+    const std::shared_ptr<const ReleaseSnapshot> current = store->Current();
+    if (current != nullptr && current->sequence >= latest) continue;
+    CKSAFE_ASSIGN_OR_RETURN(std::shared_ptr<const ReleaseSnapshot> snapshot,
+                            LoadSnapshot(tenant, latest));
+    store->Publish(std::move(snapshot));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> DurableStore::tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, state] : tenants_) names.push_back(name);
+  return names;
+}
+
+std::vector<uint64_t> DurableStore::Sequences(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> sequences;
+  if (const auto it = tenants_.find(tenant); it != tenants_.end()) {
+    sequences.reserve(it->second.history.size());
+    for (const auto& [sequence, index] : it->second.history) {
+      sequences.push_back(sequence);
+    }
+  }
+  return sequences;
+}
+
+uint64_t DurableStore::LatestSequence(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.latest;
+}
+
+std::vector<ManifestRecord> DurableStore::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+StatusOr<DurableStore::VerifyReport> DurableStore::Verify() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  VerifyReport report;
+  // Replay from the first record with fresh dictionaries: the audit must
+  // not trust any in-memory state, only bytes on disk.
+  std::map<std::string, LabelDictionary> replay_dicts;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const ManifestRecord& record = records_[i];
+    const std::string where =
+        "record " + std::to_string(i) + " (tenant " + record.tenant +
+        ", sequence " + std::to_string(record.sequence) + ")";
+    LabelDictionary& dict = replay_dicts[record.tenant];
+    if (record.has_dict) {
+      std::vector<uint8_t> dict_blob;
+      CKSAFE_RETURN_IF_ERROR(
+          ReadSegmentDirect(record.dict, PageType::kDictionary, &dict_blob));
+      report.pages += record.dict.pages;
+      CKSAFE_ASSIGN_OR_RETURN(LabelDictionary::Delta delta,
+                              DecodeDictionaryDelta(dict_blob));
+      if (delta.first_id != record.dict_first_id ||
+          delta.labels.size() != record.dict_count) {
+        return Status::IOError("dictionary delta disagrees with manifest at " +
+                               where);
+      }
+      CKSAFE_RETURN_IF_ERROR(dict.Apply(delta));
+    }
+    std::vector<uint8_t> snap_blob;
+    CKSAFE_RETURN_IF_ERROR(
+        ReadSegmentDirect(record.snapshot, PageType::kSnapshot, &snap_blob));
+    report.pages += record.snapshot.pages;
+    StoredProfile stored;
+    CKSAFE_ASSIGN_OR_RETURN(std::shared_ptr<const ReleaseSnapshot> snapshot,
+                            DecodeSnapshotBlob(snap_blob, dict, &stored));
+    if (snapshot->sequence != record.sequence ||
+        snapshot->num_rows != record.num_rows) {
+      return Status::IOError("snapshot header disagrees with manifest at " +
+                             where);
+    }
+    if (!stored.empty()) {
+      // Recompute the disclosure curves from the rehydrated buckets and
+      // demand bit-identity — this certifies the decoded bucketization
+      // semantically (same worst-case disclosure to the last bit), not
+      // just structurally.
+      const StoredProfile fresh = ComputeProfile(snapshot->bucketization,
+                                                 stored.implication.size() - 1);
+      if (fresh.implication.size() != stored.implication.size() ||
+          fresh.negation.size() != stored.negation.size()) {
+        return Status::IOError("recomputed profile shape differs at " + where);
+      }
+      for (size_t k = 0; k < stored.implication.size(); ++k) {
+        if (fresh.implication[k] != stored.implication[k] ||
+            fresh.negation[k] != stored.negation[k]) {
+          return Status::IOError(
+              "recomputed disclosure profile differs at " + where +
+              ", budget k=" + std::to_string(k));
+        }
+      }
+      ++report.profiles_checked;
+    }
+    ++report.records;
+  }
+  report.tenants = replay_dicts.size();
+  return report;
+}
+
+}  // namespace cksafe

@@ -28,4 +28,26 @@ std::shared_ptr<const ReleaseSnapshot> MakeReleaseSnapshot(
   return snapshot;
 }
 
+bool SnapshotsBitIdentical(const ReleaseSnapshot& a, const ReleaseSnapshot& b) {
+  if (a.sequence != b.sequence || a.num_rows != b.num_rows ||
+      a.node != b.node) {
+    return false;
+  }
+  const Bucketization& ba = a.bucketization;
+  const Bucketization& bb = b.bucketization;
+  if (ba.sensitive_domain_size() != bb.sensitive_domain_size() ||
+      ba.num_buckets() != bb.num_buckets()) {
+    return false;
+  }
+  for (size_t i = 0; i < ba.num_buckets(); ++i) {
+    const Bucket& x = ba.buckets()[i];
+    const Bucket& y = bb.buckets()[i];
+    if (x.qi_label != y.qi_label || x.members != y.members ||
+        x.histogram != y.histogram) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace cksafe

@@ -7,7 +7,17 @@ namespace cksafe {
 ServingEngine::ServingEngine(QueryRouter::Options router_options)
     : router_(&directory_, router_options) {}
 
-std::shared_ptr<const ReleaseSnapshot> ServingEngine::PublishRelease(
+StatusOr<std::unique_ptr<ServingEngine>> ServingEngine::CreateDurable(
+    DurableStoreOptions store_options, QueryRouter::Options router_options) {
+  CKSAFE_ASSIGN_OR_RETURN(std::unique_ptr<DurableStore> store,
+                          DurableStore::Open(std::move(store_options)));
+  std::unique_ptr<ServingEngine> engine(new ServingEngine(router_options));
+  CKSAFE_RETURN_IF_ERROR(store->RehydrateInto(&engine->directory_));
+  engine->durable_store_ = std::move(store);
+  return engine;
+}
+
+StatusOr<std::shared_ptr<const ReleaseSnapshot>> ServingEngine::PublishRelease(
     const std::string& tenant, const PublishedRelease& release,
     size_t num_rows) {
   SnapshotStore* store = directory_.GetOrAddTenant(tenant);
@@ -15,24 +25,31 @@ std::shared_ptr<const ReleaseSnapshot> ServingEngine::PublishRelease(
   const uint64_t sequence = (previous == nullptr ? 0 : previous->sequence) + 1;
   std::shared_ptr<const ReleaseSnapshot> snapshot =
       MakeReleaseSnapshot(sequence, num_rows, release);
+  // Durable commit first: once the RCU swap makes a snapshot observable,
+  // no crash may lose it. A failed append leaves the slot untouched.
+  if (durable_store_ != nullptr) {
+    CKSAFE_RETURN_IF_ERROR(durable_store_->AppendPublish(tenant, *snapshot));
+  }
   store->Publish(snapshot);
   return snapshot;
 }
 
-std::shared_ptr<const ReleaseSnapshot> ServingEngine::PublishStreaming(
+StatusOr<std::shared_ptr<const ReleaseSnapshot>> ServingEngine::PublishStreaming(
     const std::string& tenant, const StreamingRelease& release) {
   return PublishRelease(tenant, release.release, release.num_rows);
 }
 
-std::vector<std::shared_ptr<const ReleaseSnapshot>>
+StatusOr<std::vector<std::shared_ptr<const ReleaseSnapshot>>>
 ServingEngine::PublishTenantReleases(const std::vector<TenantRelease>& releases,
                                      size_t num_rows) {
   std::vector<std::shared_ptr<const ReleaseSnapshot>> published;
   published.reserve(releases.size());
   for (const TenantRelease& tenant : releases) {
     if (!tenant.release.ok()) continue;
-    published.push_back(
+    CKSAFE_ASSIGN_OR_RETURN(
+        std::shared_ptr<const ReleaseSnapshot> snapshot,
         PublishRelease(tenant.tenant, *tenant.release, num_rows));
+    published.push_back(std::move(snapshot));
   }
   return published;
 }

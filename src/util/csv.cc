@@ -1,16 +1,71 @@
 #include "cksafe/util/csv.h"
 
 #include <fstream>
-#include <sstream>
 
 #include "cksafe/util/string_util.h"
 
 namespace cksafe {
+namespace {
+
+// True when `text` ends inside an unterminated quoted field, i.e. the
+// record continues on the next physical line. Quote parity is exact for
+// well-formed input: an opening quote and its closing quote toggle once
+// each, and a "" escape toggles twice.
+bool InsideQuotedField(const std::string& text) {
+  bool inside = false;
+  for (char c : text) {
+    if (c == '"') inside = !inside;
+  }
+  return inside;
+}
+
+bool NeedsQuoting(const std::string& field, char delimiter, bool lone_field) {
+  if (field.empty()) {
+    // A record that is a single empty field would render as a blank line,
+    // which the reader skips; quote it so it survives the round trip.
+    return lone_field;
+  }
+  if (field.find(delimiter) != std::string::npos) return true;
+  if (field.find_first_of("\"\r\n") != std::string::npos) return true;
+  // Unquoted fields are trimmed on read; preserve surrounding whitespace.
+  return Trim(field).size() != field.size();
+}
+
+}  // namespace
 
 std::vector<std::string> ParseCsvLine(const std::string& line, char delimiter) {
   std::vector<std::string> fields;
-  for (const std::string& raw : Split(line, delimiter)) {
-    fields.emplace_back(Trim(raw));
+  const size_t n = line.size();
+  size_t i = 0;
+  while (true) {
+    // Quoted fields may be preceded by padding; peek past it.
+    size_t peek = i;
+    while (peek < n && (line[peek] == ' ' || line[peek] == '\t')) ++peek;
+    std::string field;
+    if (peek < n && line[peek] == '"') {
+      i = peek + 1;
+      while (i < n) {
+        if (line[i] != '"') {
+          field += line[i++];
+        } else if (i + 1 < n && line[i + 1] == '"') {
+          field += '"';  // "" escape
+          i += 2;
+        } else {
+          ++i;  // closing quote
+          break;
+        }
+      }
+      // Tolerate padding between the closing quote and the delimiter.
+      while (i < n && line[i] != delimiter) ++i;
+    } else {
+      const size_t start = i;
+      while (i < n && line[i] != delimiter) ++i;
+      field = std::string(
+          Trim(std::string_view(line).substr(start, i - start)));
+    }
+    fields.push_back(std::move(field));
+    if (i >= n) break;
+    ++i;  // the delimiter
   }
   return fields;
 }
@@ -20,10 +75,23 @@ StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open for reading: " + path);
   std::vector<std::vector<std::string>> rows;
+  std::string record;
   std::string line;
   while (std::getline(in, line)) {
-    if (Trim(line).empty()) continue;
-    rows.push_back(ParseCsvLine(line, delimiter));
+    if (record.empty()) {
+      if (Trim(line).empty()) continue;
+      record = line;
+    } else {
+      // Continuation of a quoted field: the newline is part of the data.
+      record += '\n';
+      record += line;
+    }
+    if (InsideQuotedField(record)) continue;
+    rows.push_back(ParseCsvLine(record, delimiter));
+    record.clear();
+  }
+  if (!record.empty()) {
+    return Status::InvalidArgument("unterminated quoted field in " + path);
   }
   return rows;
 }
@@ -35,11 +103,18 @@ Status WriteCsvFile(const std::string& path,
   if (!out) return Status::IOError("cannot open for writing: " + path);
   for (const auto& row : rows) {
     for (size_t i = 0; i < row.size(); ++i) {
-      if (row[i].find(delimiter) != std::string::npos) {
-        return Status::InvalidArgument("field contains delimiter: " + row[i]);
-      }
       if (i > 0) out << delimiter;
-      out << row[i];
+      const std::string& field = row[i];
+      if (!NeedsQuoting(field, delimiter, row.size() == 1)) {
+        out << field;
+        continue;
+      }
+      out << '"';
+      for (char c : field) {
+        if (c == '"') out << '"';
+        out << c;
+      }
+      out << '"';
     }
     out << '\n';
   }

@@ -19,11 +19,22 @@ DiscreteSampler::DiscreteSampler(const std::vector<double>& weights) {
 
 size_t DiscreteSampler::Sample(Rng* rng) const {
   CKSAFE_CHECK(rng != nullptr);
-  const double u = rng->NextDouble() * total_;
-  // First index whose cumulative weight exceeds u. upper_bound copes with
-  // zero-weight entries (their cumulative value equals the predecessor's).
-  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
-  if (it == cumulative_.end()) --it;  // guard against u == total_ rounding
+  return IndexForPoint(rng->NextDouble() * total_);
+}
+
+size_t DiscreteSampler::IndexForPoint(double point) const {
+  // First index whose cumulative weight exceeds the point. upper_bound
+  // copes with zero-weight entries (their cumulative value equals the
+  // predecessor's) everywhere except at point == total_, where it falls
+  // off the end.
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), point);
+  if (it == cumulative_.end()) --it;
+  // The end-guard may have landed on a zero-width entry (a trailing zero
+  // weight); step back to the last positive-weight index so a boundary
+  // draw can never yield a zero-probability result. For any interior
+  // point upper_bound already returns a positive-width entry and this
+  // loop does not move.
+  while (it != cumulative_.begin() && *it == *(it - 1)) --it;
   return static_cast<size_t>(it - cumulative_.begin());
 }
 

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -73,6 +74,12 @@ StatusOr<double> ParseDouble(std::string_view input) {
   if (errno == ERANGE) return Status::InvalidArgument("double out of range: " + buf);
   if (end != buf.c_str() + buf.size()) {
     return Status::InvalidArgument("trailing characters in double: " + buf);
+  }
+  // strtod happily parses "nan", "inf" and friends; every numeric flag in
+  // the library (thresholds, scales, weights) means a finite value, so
+  // non-finite input is a caller error, not a number.
+  if (!std::isfinite(v)) {
+    return Status::InvalidArgument("non-finite double: " + buf);
   }
   return v;
 }

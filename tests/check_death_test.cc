@@ -9,6 +9,7 @@
 #include "cksafe/data/table.h"
 #include "cksafe/util/check.h"
 #include "cksafe/util/math_util.h"
+#include "cksafe/util/random.h"
 #include "cksafe/util/status.h"
 
 namespace cksafe {
@@ -25,6 +26,18 @@ TEST(CheckDeathTest, SafeDivNonzeroByZeroAbortsWithReadableMessage) {
   // "division of nonzero0.5by zero" — missing both spaces around the
   // operand. The pattern pins the spacing so the message stays readable.
   EXPECT_DEATH((void)SafeDiv(0.5, 0.0), "division of nonzero 0\\.5 by zero");
+}
+
+TEST(CheckDeathTest, NegativeWeightAbortsWithReadableMessage) {
+  // Same class as the SafeDiv fix: CheckFailureStream inserts one space
+  // before each streamed operand, so fragments must not carry their own
+  // padding. Pin the rendered message — "negative weight -0.25", with the
+  // space — so a regression in either the fragment or the stream shows up
+  // here.
+  EXPECT_DEATH({ DiscreteSampler bad({1.0, -0.25}); },
+               "negative weight -0\\.25");
+  EXPECT_DEATH({ DiscreteSampler empty({0.0, 0.0}); },
+               "all weights are zero");
 }
 
 TEST(CheckDeathTest, PassingChecksAreSilent) {

@@ -1,0 +1,318 @@
+// Crash-recovery torture for the durable store.
+//
+// Two attack axes, both randomized and both required to recover to the
+// exact committed prefix with bit-identical snapshots:
+//
+//   1. Truncation sweep — copy a healthy store, chop MANIFEST and/or
+//      segments.dat at random byte offsets, reopen, and require the
+//      longest valid publish prefix (contiguous sequences, every snapshot
+//      bit-identical to what was published).
+//   2. Kill-and-recover — fork a child writer that publishes through the
+//      real AppendPublish path with test_crash_after_bytes armed, so
+//      SIGKILL lands mid-page, mid-record, wherever the byte threshold
+//      falls. The parent reopens the torn store and checks the same
+//      invariants.
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cksafe/persist/durable_store.h"
+#include "cksafe/serve/release_snapshot.h"
+#include "cksafe/serve/snapshot_store.h"
+#include "cksafe/util/page_io.h"
+#include "testing_util.h"
+
+namespace cksafe {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+// The ground-truth publish stream: what a tenant published at each
+// sequence, regenerated deterministically from the seed so parent and
+// forked child agree without shared memory.
+struct PublishPlan {
+  std::string tenant;
+  std::shared_ptr<const ReleaseSnapshot> snapshot;
+};
+
+std::vector<PublishPlan> MakePlan(uint64_t seed, size_t publishes) {
+  Rng rng(seed);
+  const std::vector<std::string> tenants = {"alpha", "beta"};
+  std::map<std::string, uint64_t> next_seq;
+  std::vector<PublishPlan> plan;
+  for (size_t i = 0; i < publishes; ++i) {
+    const std::string& tenant = tenants[rng.NextBelow(tenants.size())];
+    const size_t domain = 2 + rng.NextBelow(4);
+    const auto synthetic = testing::MakeBuckets(
+        testing::RandomHistograms(&rng, 1 + rng.NextBelow(5), domain, 7),
+        domain);
+    const uint64_t seq = ++next_seq[tenant];
+    plan.push_back(
+        {tenant, MakeReleaseSnapshot(seq, synthetic.bucketization)});
+  }
+  return plan;
+}
+
+// Reopens `dir` and checks the recovered store is the exact prefix of
+// `plan`: recovered publish count in [0, plan.size()], per-tenant
+// sequences contiguous from 1, and every recovered snapshot bit-identical
+// to the published one. Returns the number of recovered publishes.
+size_t CheckRecoveredPrefix(const std::string& dir,
+                            const std::vector<PublishPlan>& plan) {
+  DurableStoreOptions options;
+  options.dir = dir;
+  options.buffer_pool_pages = 3;  // tiny: recovery reads must pool-evict
+  auto store = DurableStore::Open(options);
+  EXPECT_TRUE(store.ok()) << store.status();
+  if (!store.ok()) return 0;
+
+  const size_t recovered = (*store)->recovery().records;
+  EXPECT_LE(recovered, plan.size());
+  // Recovery keeps a *prefix* of the commit order: exactly the first
+  // `recovered` plan entries, nothing reordered, nothing skipped.
+  std::map<std::string, uint64_t> latest;
+  for (size_t i = 0; i < recovered; ++i) {
+    const PublishPlan& expected = plan[i];
+    latest[expected.tenant] = expected.snapshot->sequence;
+    const auto loaded = (*store)->LoadSnapshot(expected.tenant,
+                                               expected.snapshot->sequence);
+    EXPECT_TRUE(loaded.ok()) << "publish " << i << ": " << loaded.status();
+    if (loaded.ok()) {
+      EXPECT_TRUE(SnapshotsBitIdentical(**loaded, *expected.snapshot))
+          << "publish " << i << " of tenant " << expected.tenant;
+    }
+  }
+  for (const auto& [tenant, seq] : latest) {
+    EXPECT_EQ((*store)->LatestSequence(tenant), seq);
+    const std::vector<uint64_t> seqs = (*store)->Sequences(tenant);
+    for (size_t i = 0; i < seqs.size(); ++i) {
+      EXPECT_EQ(seqs[i], i + 1) << "gap in tenant " << tenant;
+    }
+  }
+  // Anything past the prefix must be gone.
+  if (recovered < plan.size()) {
+    const PublishPlan& lost = plan[recovered];
+    EXPECT_FALSE(
+        (*store)->LoadSnapshot(lost.tenant, lost.snapshot->sequence).ok());
+  }
+  // The truncated store must also pass its own offline audit...
+  const auto report = (*store)->Verify();
+  EXPECT_TRUE(report.ok()) << report.status();
+  // ...and rehydrate a directory to the exact pre-crash latest snapshots.
+  ServingDirectory directory;
+  EXPECT_TRUE((*store)->RehydrateInto(&directory).ok());
+  for (const auto& [tenant, seq] : latest) {
+    const SnapshotStore* slot = directory.Find(tenant);
+    EXPECT_NE(slot, nullptr);
+    if (slot != nullptr) EXPECT_EQ(slot->Current()->sequence, seq);
+  }
+  return recovered;
+}
+
+uint64_t FileSize(const std::string& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  return ec ? 0 : static_cast<uint64_t>(size);
+}
+
+void TruncateFile(const std::string& path, uint64_t size) {
+  ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(size)), 0)
+      << path << ": " << std::strerror(errno);
+}
+
+void CopyStore(const std::string& from, const std::string& to) {
+  fs::remove_all(to);
+  fs::create_directory(to);
+  fs::copy(from + "/MANIFEST", to + "/MANIFEST");
+  fs::copy(from + "/segments.dat", to + "/segments.dat");
+}
+
+TEST(PersistRecoveryTest, TruncationSweepRecoversLongestValidPrefix) {
+  const uint64_t seed = testing::TestSeed(20260811);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  const std::vector<PublishPlan> plan = MakePlan(seed, 8);
+
+  const std::string golden = FreshDir("cksafe_trunc_golden");
+  {
+    DurableStoreOptions options;
+    options.dir = golden;
+    auto store = DurableStore::Open(options);
+    ASSERT_TRUE(store.ok()) << store.status();
+    for (const PublishPlan& p : plan) {
+      ASSERT_TRUE((*store)->AppendPublish(p.tenant, *p.snapshot).ok());
+    }
+  }
+  const uint64_t manifest_size = FileSize(golden + "/MANIFEST");
+  const uint64_t segments_size = FileSize(golden + "/segments.dat");
+  ASSERT_GT(manifest_size, 0u);
+  ASSERT_GT(segments_size, 0u);
+
+  // Untouched copy recovers everything.
+  const std::string copy = FreshDir("cksafe_trunc_copy");
+  CopyStore(golden, copy);
+  EXPECT_EQ(CheckRecoveredPrefix(copy, plan), plan.size());
+
+  Rng rng(seed ^ 0x5eedULL);
+  for (size_t iter = 0; iter < testing::TestIters(12); ++iter) {
+    SCOPED_TRACE("truncation iteration " + std::to_string(iter));
+    CopyStore(golden, copy);
+    // Three crash shapes: torn manifest tail (segments intact), torn
+    // segment tail (manifest intact — commit records now point past the
+    // end), or both torn.
+    const uint64_t shape = rng.NextBelow(3);
+    if (shape == 0 || shape == 2) {
+      TruncateFile(copy + "/MANIFEST", rng.NextBelow(manifest_size + 1));
+    }
+    if (shape == 1 || shape == 2) {
+      TruncateFile(copy + "/segments.dat", rng.NextBelow(segments_size + 1));
+    }
+    CheckRecoveredPrefix(copy, plan);
+  }
+  // A targeted worst case: manifest fully intact but segments cut to a
+  // page boundary mid-history — recovery must cut the manifest back too.
+  CopyStore(golden, copy);
+  TruncateFile(copy + "/segments.dat", segments_size / (2 * kPageSize) * kPageSize);
+  const size_t kept = CheckRecoveredPrefix(copy, plan);
+  EXPECT_LT(kept, plan.size());
+
+  fs::remove_all(golden);
+  fs::remove_all(copy);
+}
+
+TEST(PersistRecoveryTest, BitFlipInCommittedSegmentFailsOpenValidation) {
+  // Recovery validates page checksums, not just extents: flip one byte of
+  // a committed segment page and the affected record (and everything
+  // after it, by the prefix rule) must be discarded.
+  const std::vector<PublishPlan> plan = MakePlan(20260812, 4);
+  const std::string dir = FreshDir("cksafe_bitflip");
+  {
+    DurableStoreOptions options;
+    options.dir = dir;
+    auto store = DurableStore::Open(options);
+    ASSERT_TRUE(store.ok()) << store.status();
+    for (const PublishPlan& p : plan) {
+      ASSERT_TRUE((*store)->AppendPublish(p.tenant, *p.snapshot).ok());
+    }
+  }
+  {
+    std::fstream f(dir + "/segments.dat",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    // Flip a payload byte in the second committed segment.
+    f.seekg(kPageSize + kPageHeaderSize + 10);
+    char byte = 0;
+    f.get(byte);
+    f.seekp(kPageSize + kPageHeaderSize + 10);
+    f.put(static_cast<char>(byte ^ 0x20));
+  }
+  const size_t recovered = CheckRecoveredPrefix(dir, plan);
+  EXPECT_LT(recovered, plan.size());
+  fs::remove_all(dir);
+}
+
+// Forked child: opens the store with the crash seam armed and replays the
+// plan until SIGKILL takes it down. Exit code 42 means the child finished
+// every publish without crossing the threshold (threshold past the end).
+void RunWriterChild(const std::string& dir,
+                    const std::vector<PublishPlan>& plan,
+                    int64_t crash_after_bytes) {
+  DurableStoreOptions options;
+  options.dir = dir;
+  options.test_crash_after_bytes = crash_after_bytes;
+  auto store = DurableStore::Open(options);
+  if (!store.ok()) _exit(3);
+  for (const PublishPlan& p : plan) {
+    const uint64_t done = (*store)->LatestSequence(p.tenant);
+    if (done >= p.snapshot->sequence) continue;  // survived a prior run
+    if (!(*store)->AppendPublish(p.tenant, *p.snapshot).ok()) _exit(4);
+  }
+  _exit(42);
+}
+
+TEST(PersistRecoveryTest, KillMidPublishAtRandomizedOffsetsRecoversExactly) {
+  const uint64_t seed = testing::TestSeed(20260813);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  const std::vector<PublishPlan> plan = MakePlan(seed, 6);
+
+  // Measure the full byte extent once (clean run) so the sweep can place
+  // kill thresholds anywhere inside the real write stream.
+  uint64_t total_bytes = 0;
+  {
+    const std::string probe = FreshDir("cksafe_kill_probe");
+    DurableStoreOptions options;
+    options.dir = probe;
+    auto store = DurableStore::Open(options);
+    ASSERT_TRUE(store.ok());
+    for (const PublishPlan& p : plan) {
+      ASSERT_TRUE((*store)->AppendPublish(p.tenant, *p.snapshot).ok());
+    }
+    total_bytes = FileSize(probe + "/MANIFEST") +
+                  FileSize(probe + "/segments.dat");
+    fs::remove_all(probe);
+  }
+  ASSERT_GT(total_bytes, 0u);
+
+  Rng rng(seed ^ 0x6b111ULL);
+  for (size_t iter = 0; iter < testing::TestIters(8); ++iter) {
+    SCOPED_TRACE("kill iteration " + std::to_string(iter));
+    const std::string dir =
+        FreshDir("cksafe_kill_" + std::to_string(iter));
+    const int64_t threshold =
+        static_cast<int64_t>(1 + rng.NextBelow(total_bytes));
+
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0) << std::strerror(errno);
+    if (pid == 0) {
+      RunWriterChild(dir, plan, threshold);  // never returns
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status) || WIFEXITED(status));
+    if (WIFSIGNALED(status)) {
+      ASSERT_EQ(WTERMSIG(status), SIGKILL);
+    } else {
+      ASSERT_EQ(WEXITSTATUS(status), 42)
+          << "child failed rather than finishing or dying";
+    }
+
+    // The torn store must recover to an exact prefix...
+    const size_t recovered = CheckRecoveredPrefix(dir, plan);
+    // ...and a second writer (no crash seam) must be able to resume from
+    // that prefix and complete the plan, converging on the full history.
+    {
+      DurableStoreOptions options;
+      options.dir = dir;
+      auto store = DurableStore::Open(options);
+      ASSERT_TRUE(store.ok()) << store.status();
+      for (size_t i = recovered; i < plan.size(); ++i) {
+        ASSERT_TRUE(
+            (*store)->AppendPublish(plan[i].tenant, *plan[i].snapshot).ok())
+            << "resume publish " << i;
+      }
+    }
+    EXPECT_EQ(CheckRecoveredPrefix(dir, plan), plan.size());
+    fs::remove_all(dir);
+  }
+}
+
+}  // namespace
+}  // namespace cksafe

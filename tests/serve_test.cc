@@ -360,8 +360,10 @@ TEST(ServingEngineTest, PublishesFromThePublisherPipelineAndServes) {
   ASSERT_TRUE(release.ok()) << release.status();
 
   ServingEngine engine;
-  const auto snapshot =
+  const auto published =
       engine.PublishRelease("hospital", *release, table.num_rows());
+  ASSERT_TRUE(published.ok()) << published.status();
+  const auto& snapshot = *published;
   EXPECT_EQ(snapshot->sequence, 1u);
   EXPECT_EQ(snapshot->num_rows, table.num_rows());
 
@@ -380,7 +382,8 @@ TEST(ServingEngineTest, PublishesFromThePublisherPipelineAndServes) {
   // Republishing bumps the sequence; the router serves the new snapshot.
   const auto next =
       engine.PublishRelease("hospital", *release, table.num_rows());
-  EXPECT_EQ(next->sequence, 2u);
+  ASSERT_TRUE(next.ok()) << next.status();
+  EXPECT_EQ((*next)->sequence, 2u);
   const auto answer2 = engine.Ask(query);
   ASSERT_TRUE(answer2.ok());
   EXPECT_EQ(answer2->snapshot_sequence, 2u);

@@ -1,0 +1,167 @@
+// ServingDirectory under concurrent registration, lookup, and listing —
+// the exact mix the recovery path produces: RehydrateInto registering and
+// publishing tenants while query threads Find() and enumerate tenants().
+// Built for TSan (the CI tsan job runs this target); the assertions also
+// pin the pointer-stability contract: a SnapshotStore* resolved once stays
+// valid and observes later publishes, across rehydration included.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cksafe/persist/durable_store.h"
+#include "cksafe/serve/snapshot_store.h"
+#include "cksafe/serve/release_snapshot.h"
+#include "testing_util.h"
+
+namespace cksafe {
+namespace {
+
+TEST(ServingDirectoryConcurrencyTest, RegistrationRacesLookupsAndListing) {
+  ServingDirectory directory;
+  constexpr size_t kTenants = 64;
+  constexpr size_t kWriters = 4;
+  constexpr size_t kReaders = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> registered{0};
+
+  const Table table = testing::MakeHospitalTable();
+  const auto snapshot = MakeReleaseSnapshot(
+      1, testing::MakeHospitalBucketization(table));
+
+  // Writers register disjoint tenant stripes and publish into them —
+  // the shape of RehydrateInto running while the engine is already live.
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (size_t t = w; t < kTenants; t += kWriters) {
+        SnapshotStore* store =
+            directory.GetOrAddTenant("tenant" + std::to_string(t));
+        ASSERT_NE(store, nullptr);
+        if (store->Current() == nullptr) store->Publish(snapshot);
+        registered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Readers hammer Find + tenants() the whole time.
+  std::atomic<size_t> found{0};
+  for (size_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string tenant =
+            "tenant" + std::to_string((r * 17) % kTenants);
+        if (const SnapshotStore* store = directory.Find(tenant)) {
+          // A found store must already be coherent: Current() is either
+          // null (registered, not yet published) or the snapshot.
+          const auto current = store->Current();
+          if (current != nullptr) {
+            ASSERT_EQ(current->sequence, 1u);
+            found.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        const std::vector<std::string> names = directory.tenants();
+        ASSERT_LE(names.size(), kTenants);
+        for (size_t i = 1; i < names.size(); ++i) {
+          ASSERT_LT(names[i - 1], names[i]) << "tenants() not sorted";
+        }
+      }
+    });
+  }
+  for (size_t i = 0; i < kWriters; ++i) threads[i].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+
+  EXPECT_EQ(registered.load(), kTenants);
+  EXPECT_EQ(directory.tenants().size(), kTenants);
+  for (size_t t = 0; t < kTenants; ++t) {
+    const SnapshotStore* store =
+        directory.Find("tenant" + std::to_string(t));
+    ASSERT_NE(store, nullptr);
+    ASSERT_NE(store->Current(), nullptr);
+  }
+}
+
+TEST(ServingDirectoryConcurrencyTest, PointersStayStableAcrossGrowth) {
+  // The directory's contract: GetOrAddTenant pointers remain valid while
+  // the map grows by orders of magnitude. A vector-backed registry would
+  // invalidate them; the node-allocated map must not.
+  ServingDirectory directory;
+  std::vector<SnapshotStore*> early;
+  for (size_t t = 0; t < 8; ++t) {
+    early.push_back(directory.GetOrAddTenant("early" + std::to_string(t)));
+  }
+  for (size_t t = 0; t < 512; ++t) {
+    directory.GetOrAddTenant("late" + std::to_string(t));
+  }
+  for (size_t t = 0; t < early.size(); ++t) {
+    EXPECT_EQ(directory.Find("early" + std::to_string(t)), early[t]);
+  }
+}
+
+TEST(ServingDirectoryConcurrencyTest, RehydrationRacesQueries) {
+  // End-to-end shape of a crash restart: a durable store rehydrates into a
+  // directory while reader threads are already querying it. Readers must
+  // only ever observe null or a fully formed snapshot; resolved pointers
+  // stay valid; after the join the directory matches the store exactly.
+  const std::string dir =
+      ::testing::TempDir() + "/cksafe_rehydrate_race";
+  std::filesystem::remove_all(dir);
+  DurableStoreOptions options;
+  options.dir = dir;
+  auto store = DurableStore::Open(options);
+  ASSERT_TRUE(store.ok()) << store.status();
+
+  const uint64_t seed = testing::TestSeed(20260814);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
+  constexpr size_t kTenants = 12;
+  std::vector<std::shared_ptr<const ReleaseSnapshot>> latest(kTenants);
+  for (size_t t = 0; t < kTenants; ++t) {
+    const std::string tenant = "tenant" + std::to_string(t);
+    for (uint64_t seq = 1; seq <= 1 + t % 3; ++seq) {
+      const auto synthetic = testing::MakeBuckets(
+          testing::RandomHistograms(&rng, 2, 3, 5), 3);
+      auto snapshot = MakeReleaseSnapshot(seq, synthetic.bucketization);
+      ASSERT_TRUE((*store)->AppendPublish(tenant, *snapshot).ok());
+      latest[t] = std::move(snapshot);
+    }
+  }
+
+  ServingDirectory directory;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t t = r * 5 % kTenants;
+        if (const SnapshotStore* slot =
+                directory.Find("tenant" + std::to_string(t))) {
+          const auto current = slot->Current();
+          if (current != nullptr) {
+            // Fully formed: the whole snapshot, not a torn mix.
+            ASSERT_TRUE(SnapshotsBitIdentical(*current, *latest[t]));
+          }
+        }
+      }
+    });
+  }
+  ASSERT_TRUE((*store)->RehydrateInto(&directory).ok());
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& reader : readers) reader.join();
+
+  ASSERT_EQ(directory.tenants().size(), kTenants);
+  for (size_t t = 0; t < kTenants; ++t) {
+    const SnapshotStore* slot =
+        directory.Find("tenant" + std::to_string(t));
+    ASSERT_NE(slot, nullptr);
+    ASSERT_TRUE(SnapshotsBitIdentical(*slot->Current(), *latest[t]));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace cksafe

@@ -16,6 +16,7 @@
 #include "cksafe/util/status.h"
 #include "cksafe/util/string_util.h"
 #include "cksafe/util/text_table.h"
+#include "testing_util.h"
 
 namespace cksafe {
 namespace {
@@ -85,6 +86,23 @@ TEST(StringTest, ParseNumbers) {
   EXPECT_FALSE(ParseInt64("").ok());
   EXPECT_NEAR(*ParseDouble("0.25"), 0.25, 1e-15);
   EXPECT_FALSE(ParseDouble("1.2.3").ok());
+}
+
+TEST(StringTest, ParseDoubleRejectsNonFinite) {
+  // strtod parses all of these; none is a usable threshold/weight/scale,
+  // so ParseDouble must reject them rather than let a NaN poison every
+  // comparison downstream.
+  for (const char* bad : {"nan", "NaN", "-nan", "nan(0x1)", "inf", "-inf",
+                          "INF", "infinity", "-Infinity"}) {
+    const auto parsed = ParseDouble(bad);
+    EXPECT_FALSE(parsed.ok()) << "accepted " << bad;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+  // Overflow to infinity is equally non-finite.
+  EXPECT_FALSE(ParseDouble("1e999").ok());
+  // Finite values keep parsing, including extremes.
+  EXPECT_NEAR(*ParseDouble("-1e308"), -1e308, 1e293);
+  EXPECT_EQ(*ParseDouble("0"), 0.0);
 }
 
 TEST(StringTest, MiscHelpers) {
@@ -170,6 +188,35 @@ TEST(RandomTest, DiscreteSamplerFrequencies) {
   EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.5, 0.01);
 }
 
+// Regression: the end-of-range guard in Sample used to step back onto the
+// *last* cumulative entry even when its weight was zero, so a draw landing
+// exactly on the total returned a zero-probability index. The boundary is
+// unreachable through Rng::NextDouble's 53-bit draws, so probe it through
+// the IndexForPoint seam.
+TEST(RandomTest, DiscreteSamplerBoundaryNeverPicksZeroWeight) {
+  // Trailing zero weights: a draw at the total must step back to index 1.
+  DiscreteSampler trailing({2.0, 3.0, 0.0, 0.0});
+  EXPECT_EQ(trailing.IndexForPoint(trailing.total()), 1u);
+  // Interior zero weight, boundary draw: index 3 is the last positive one.
+  DiscreteSampler interior({1.0, 0.0, 2.0, 1.0});
+  EXPECT_EQ(interior.IndexForPoint(interior.total()), 3u);
+  // Interior points keep their usual upper-bound semantics.
+  EXPECT_EQ(interior.IndexForPoint(0.0), 0u);
+  EXPECT_EQ(interior.IndexForPoint(1.0), 2u);  // skips the zero-weight slot
+  EXPECT_EQ(interior.IndexForPoint(2.9), 2u);
+  EXPECT_EQ(interior.IndexForPoint(3.5), 3u);
+  // Exhaustive agreement: for every probe, the returned index has positive
+  // probability.
+  Rng rng(testing::TestSeed(20260809));
+  SCOPED_TRACE(testing::SeedTrace(20260809));
+  DiscreteSampler mixed({0.0, 1.0, 0.0, 2.0, 0.0});
+  for (int i = 0; i < 2000; ++i) {
+    const size_t index = mixed.IndexForPoint(rng.NextDouble() * mixed.total());
+    EXPECT_GT(mixed.Probability(index), 0.0) << "index " << index;
+  }
+  EXPECT_GT(mixed.Probability(mixed.IndexForPoint(mixed.total())), 0.0);
+}
+
 // --- Bitset ---
 
 TEST(BitsetTest, SetTestCount) {
@@ -222,6 +269,64 @@ TEST(CsvTest, FileRoundTrip) {
   auto read = ReadCsvFile(path);
   ASSERT_TRUE(read.ok());
   EXPECT_EQ(*read, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, QuotedFields) {
+  // "" escapes a quote; quoted fields keep delimiters and padding.
+  EXPECT_EQ(ParseCsvLine(R"("a,b",plain," pad ","say ""hi""")"),
+            (std::vector<std::string>{"a,b", "plain", " pad ", "say \"hi\""}));
+  // Padding around a quoted field is tolerated.
+  EXPECT_EQ(ParseCsvLine(R"(  "x" , y )"),
+            (std::vector<std::string>{"x", "y"}));
+  // Empty and trailing fields.
+  EXPECT_EQ(ParseCsvLine("a,,c,"),
+            (std::vector<std::string>{"a", "", "c", ""}));
+  EXPECT_EQ(ParseCsvLine(R"("",)"), (std::vector<std::string>{"", ""}));
+}
+
+TEST(CsvTest, QuotingRoundTripsAwkwardCells) {
+  const std::string path = ::testing::TempDir() + "/cksafe_csv_quoted.csv";
+  const std::vector<std::vector<std::string>> rows = {
+      {"plain", "comma,inside", "quote\"inside"},
+      {" leading", "trailing ", "both sides "},
+      {"line\nbreak", "crlf\r\nstyle", ""},
+      {"\"fully quoted\""},
+      {""},  // a lone empty field must not vanish as a blank line
+  };
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  const auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, rows);
+  std::remove(path.c_str());
+}
+
+// Property: any cell content written with WriteCsvFile reads back
+// verbatim, whatever mix of delimiters, quotes, whitespace and newlines
+// the foundry throws at it.
+TEST(CsvTest, RandomizedWriteReadRoundTrip) {
+  const uint64_t seed = testing::TestSeed(20260809);
+  SCOPED_TRACE(testing::SeedTrace(seed));
+  Rng rng(seed);
+  const std::string alphabet = "ab,\"\n\r '\t;x";
+  const std::string path = ::testing::TempDir() + "/cksafe_csv_fuzz.csv";
+  for (size_t iter = 0; iter < testing::TestIters(25); ++iter) {
+    std::vector<std::vector<std::string>> rows(1 +
+                                               rng.NextBelow(6));
+    for (auto& row : rows) {
+      row.resize(1 + rng.NextBelow(5));
+      for (auto& cell : row) {
+        const size_t len = rng.NextBelow(12);
+        for (size_t i = 0; i < len; ++i) {
+          cell += alphabet[rng.NextBelow(alphabet.size())];
+        }
+      }
+    }
+    ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+    const auto read = ReadCsvFile(path);
+    ASSERT_TRUE(read.ok()) << read.status();
+    ASSERT_EQ(*read, rows) << "round trip diverged at iteration " << iter;
+  }
   std::remove(path.c_str());
 }
 

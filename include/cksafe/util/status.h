@@ -37,7 +37,13 @@ enum class StatusCode : uint8_t {
 const char* StatusCodeToString(StatusCode code);
 
 /// Result of an operation that can fail. Cheap to copy when OK.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a silently swallowed failure, so the
+/// compiler flags every call site that ignores one (-Werror=unused-result
+/// tree-wide; the cksafe_lint L1 rule enforces the same contract on paths
+/// the compiler cannot see). Discarding intentionally requires a visible
+/// assertion or propagation, never a bare call.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -100,7 +106,7 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 /// Accessors CHECK-fail when the value is absent; callers must test ok()
 /// first (or use value_or semantics via status()).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from a value: OK result.
   StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}

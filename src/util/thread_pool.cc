@@ -85,8 +85,8 @@ void ParallelFor(ThreadPool* pool, size_t n,
     const std::function<void(size_t)>& fn;
     std::mutex mu;
     std::condition_variable done;
-    explicit Batch(size_t n, const std::function<void(size_t)>& fn)
-        : n(n), fn(fn) {}
+    explicit Batch(size_t count, const std::function<void(size_t)>& body)
+        : n(count), fn(body) {}
   };
   auto batch = std::make_shared<Batch>(n, fn);
   auto run = [](const std::shared_ptr<Batch>& b) {

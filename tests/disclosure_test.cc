@@ -213,8 +213,8 @@ std::vector<DisclosureCase> MakeDisclosureCases() {
 INSTANTIATE_TEST_SUITE_P(
     RandomBucketizations, DisclosurePropertyTest,
     ::testing::ValuesIn(MakeDisclosureCases()),
-    [](const ::testing::TestParamInfo<DisclosureCase>& info) {
-      return "case" + std::to_string(info.index);
+    [](const ::testing::TestParamInfo<DisclosureCase>& param_info) {
+      return "case" + std::to_string(param_info.index);
     });
 
 }  // namespace

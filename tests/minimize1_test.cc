@@ -150,8 +150,8 @@ std::vector<Minimize1Case> MakeMinimize1Cases() {
 INSTANTIATE_TEST_SUITE_P(
     RandomBuckets, Minimize1PropertyTest,
     ::testing::ValuesIn(MakeMinimize1Cases()),
-    [](const ::testing::TestParamInfo<Minimize1Case>& info) {
-      return "case" + std::to_string(info.index);
+    [](const ::testing::TestParamInfo<Minimize1Case>& param_info) {
+      return "case" + std::to_string(param_info.index);
     });
 
 }  // namespace

@@ -149,8 +149,8 @@ std::vector<MonotonicityCase> MakeMonotonicityCases() {
 INSTANTIATE_TEST_SUITE_P(
     RandomTables, MonotonicityPropertyTest,
     ::testing::ValuesIn(MakeMonotonicityCases()),
-    [](const ::testing::TestParamInfo<MonotonicityCase>& info) {
-      return "case" + std::to_string(info.index);
+    [](const ::testing::TestParamInfo<MonotonicityCase>& param_info) {
+      return "case" + std::to_string(param_info.index);
     });
 
 // Lemma 10 exhaustively on a small instance: for every pair of simple

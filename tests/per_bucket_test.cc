@@ -135,8 +135,8 @@ std::vector<PerBucketCase> MakePerBucketCases() {
 INSTANTIATE_TEST_SUITE_P(
     SmallInstances, PerBucketPropertyTest,
     ::testing::ValuesIn(MakePerBucketCases()),
-    [](const ::testing::TestParamInfo<PerBucketCase>& info) {
-      return "case" + std::to_string(info.index);
+    [](const ::testing::TestParamInfo<PerBucketCase>& param_info) {
+      return "case" + std::to_string(param_info.index);
     });
 
 TEST(PerBucketTest, MaxOverBucketsEqualsGlobalOnRandomInstances) {

@@ -65,8 +65,8 @@ std::vector<Theorem9Case> MakeTheorem9Cases() {
 
 INSTANTIATE_TEST_SUITE_P(SmallInstances, Theorem9Test,
                          ::testing::ValuesIn(MakeTheorem9Cases()),
-                         [](const ::testing::TestParamInfo<Theorem9Case>& info) {
-                           return "case" + std::to_string(info.index);
+                         [](const ::testing::TestParamInfo<Theorem9Case>& param_info) {
+                           return "case" + std::to_string(param_info.index);
                          });
 
 TEST(Theorem9EdgeTest, RejectsDegenerateShapes) {

@@ -1,0 +1,118 @@
+// cksafe_lint CLI. Usage:
+//
+//   cksafe_lint --root=REPO_ROOT [--layers=FILE] [--allowlist=FILE]
+//               [--max-nolint=N] [--dump-registry]
+//
+// Scans include/ src/ examples/ bench/ tests/ tools/ under the root,
+// runs rules L1-L5 (see lint.h / docs/STATIC_ANALYSIS.md), prints every
+// finding as `file:line: [rule] message`, and exits nonzero when any
+// survive the allowlist. Exit codes: 0 clean, 1 findings, 2 bad
+// configuration (unreadable tree, malformed layers.txt/allowlist.txt).
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "lint.h"
+
+namespace {
+
+bool ReadFileOrDie(const std::string& path, std::string* out,
+                   bool required) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (required) {
+      std::cerr << "cksafe_lint: cannot read " << path << "\n";
+    }
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string layers_path;
+  std::string allowlist_path;
+  int max_nolint = 8;
+  bool dump_registry = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* root_v = value("--root=")) {
+      root = root_v;
+    } else if (const char* layers_v = value("--layers=")) {
+      layers_path = layers_v;
+    } else if (const char* allow_v = value("--allowlist=")) {
+      allowlist_path = allow_v;
+    } else if (const char* nolint_v = value("--max-nolint=")) {
+      max_nolint = std::atoi(nolint_v);
+    } else if (arg == "--dump-registry") {
+      dump_registry = true;
+    } else {
+      std::cerr << "cksafe_lint: unknown argument " << arg << "\n";
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    std::cerr << "cksafe_lint: --root=REPO_ROOT is required\n";
+    return 2;
+  }
+  if (layers_path.empty()) layers_path = root + "/tools/lint/layers.txt";
+  if (allowlist_path.empty())
+    allowlist_path = root + "/tools/lint/allowlist.txt";
+
+  cksafe_lint::LintOptions options;
+  options.max_nolint = max_nolint;
+  std::string text, error;
+  if (!ReadFileOrDie(layers_path, &text, /*required=*/true)) return 2;
+  if (!cksafe_lint::ParseLayerConfig(text, &options.layers, &error)) {
+    std::cerr << "cksafe_lint: " << error << "\n";
+    return 2;
+  }
+  // The allowlist is optional on disk (an absent file means "no
+  // exceptions"), but malformed entries are fatal.
+  if (ReadFileOrDie(allowlist_path, &text, /*required=*/false)) {
+    if (!cksafe_lint::ParseAllowlist(text, &options.allowlist, &error)) {
+      std::cerr << "cksafe_lint: " << error << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<cksafe_lint::SourceFile> files;
+  if (!cksafe_lint::CollectTree(root, &files, &error)) {
+    std::cerr << "cksafe_lint: " << error << "\n";
+    return 2;
+  }
+
+  const cksafe_lint::LintReport report =
+      cksafe_lint::RunLint(options, files);
+
+  if (dump_registry) {
+    std::cout << "# Status/StatusOr-returning functions derived from "
+                 "include/ ("
+              << report.status_registry.size() << "):\n";
+    for (const auto& name : report.status_registry) {
+      std::cout << "  " << name << "\n";
+    }
+  }
+
+  for (const auto& f : report.findings) {
+    std::cout << f.ToString() << "\n";
+  }
+  std::cout << "cksafe_lint: " << report.files_scanned << " files, "
+            << report.findings.size() << " findings, "
+            << report.nolint_count << "/" << max_nolint
+            << " NOLINT suppressions\n";
+  return report.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,174 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace cksafe_lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view src) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1;
+  const size_t n = src.size();
+
+  auto peek = [&](size_t off) -> char {
+    return i + off < n ? src[i + off] : '\0';
+  };
+  auto count_lines = [&](std::string_view text) {
+    for (char c : text) {
+      if (c == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) end = n;
+      out.push_back({TokenKind::kComment, std::string(src.substr(i, end - i)),
+                     line});
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && peek(1) == '*') {
+      size_t end = src.find("*/", i + 2);
+      end = (end == std::string_view::npos) ? n : end + 2;
+      std::string text(src.substr(i, end - i));
+      out.push_back({TokenKind::kComment, text, line});
+      count_lines(text);
+      i = end;
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      size_t d = i + 2;
+      while (d < n && src[d] != '(' && src[d] != '"' && src[d] != '\n') ++d;
+      if (d < n && src[d] == '(') {
+        std::string closer = ")";
+        closer += std::string(src.substr(i + 2, d - (i + 2)));
+        closer += '"';
+        size_t end = src.find(closer, d + 1);
+        end = (end == std::string_view::npos) ? n : end + closer.size();
+        std::string text(src.substr(i, end - i));
+        out.push_back({TokenKind::kString, text, line});
+        count_lines(text);
+        i = end;
+        continue;
+      }
+      // Not actually a raw string ("R" the identifier); fall through.
+    }
+
+    // String / character literal (escapes honored, never spans lines in
+    // well-formed code; on a missing closer we stop at end of line so the
+    // rest of the file still lexes).
+    if (c == '"' || c == '\'') {
+      size_t j = i + 1;
+      while (j < n && src[j] != c && src[j] != '\n') {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      if (j < n && src[j] == c) ++j;
+      out.push_back({TokenKind::kString, std::string(src.substr(i, j - i)),
+                     line});
+      i = j;
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(src[j])) ++j;
+      out.push_back({TokenKind::kIdentifier,
+                     std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+
+    // pp-number: a digit, or '.' followed by a digit. Consumes exponent
+    // signs and digit separators so `1'000e+3` is one token.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      size_t j = i + 1;
+      while (j < n) {
+        const char d = src[j];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') &&
+                   (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                    src[j - 1] == 'p' || src[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      out.push_back({TokenKind::kNumber, std::string(src.substr(i, j - i)),
+                     line});
+      i = j;
+      continue;
+    }
+
+    // Multi-char operators the rules need to walk member chains.
+    if (c == ':' && peek(1) == ':') {
+      out.push_back({TokenKind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && peek(1) == '>') {
+      out.push_back({TokenKind::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+
+    out.push_back({TokenKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+int PrevSignificant(const std::vector<Token>& tokens, int i) {
+  for (int j = i - 1; j >= 0; --j) {
+    if (tokens[j].kind != TokenKind::kComment) return j;
+  }
+  return -1;
+}
+
+int NextSignificant(const std::vector<Token>& tokens, int i) {
+  for (int j = i + 1; j < static_cast<int>(tokens.size()); ++j) {
+    if (tokens[j].kind != TokenKind::kComment) return j;
+  }
+  return -1;
+}
+
+int MatchParen(const std::vector<Token>& tokens, int open) {
+  int depth = 0;
+  for (int j = open; j < static_cast<int>(tokens.size()); ++j) {
+    if (tokens[j].IsPunct("(")) ++depth;
+    if (tokens[j].IsPunct(")")) {
+      if (--depth == 0) return j;
+    }
+  }
+  return -1;
+}
+
+}  // namespace cksafe_lint

@@ -1,0 +1,66 @@
+// A lightweight C++ lexer for cksafe_lint.
+//
+// The lint rules (docs/STATIC_ANALYSIS.md) need far less than a real C++
+// front end: identifiers in call position, matched parentheses, comment
+// text (for the NOLINT discipline rule), and nothing from inside string
+// literals. This lexer produces exactly that — a flat token stream with
+// line numbers, where comments are tokens (so rules can inspect them) and
+// string/character literals are single opaque tokens (so `"rand("` inside
+// a diagnostic message can never trip the determinism rule). It
+// understands line/block comments, raw strings R"delim(...)delim", digit
+// separators, and the handful of multi-character operators the rules care
+// about (`::`, `->`); everything else is a single-character punctuator.
+//
+// It is deliberately independent of the cksafe library: the linter must
+// stay buildable even when the library itself is mid-refactor.
+
+#ifndef CKSAFE_TOOLS_LINT_LEXER_H_
+#define CKSAFE_TOOLS_LINT_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cksafe_lint {
+
+enum class TokenKind {
+  kIdentifier,  // [A-Za-z_][A-Za-z0-9_]*  (keywords are identifiers here)
+  kNumber,      // pp-number, including hex/exponents/digit separators
+  kString,      // "...", R"d(...)d", '...'; text() is the raw literal
+  kComment,     // // ... or /* ... */; text() includes the delimiters
+  kPunct,       // one punctuator, or one of the multi-char ops :: ->
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;  // 1-based line of the token's first character
+
+  bool Is(TokenKind k, std::string_view t) const {
+    return kind == k && text == t;
+  }
+  bool IsIdent(std::string_view t) const {
+    return Is(TokenKind::kIdentifier, t);
+  }
+  bool IsPunct(std::string_view t) const { return Is(TokenKind::kPunct, t); }
+};
+
+/// Lexes a whole translation unit. Never fails: malformed input (an
+/// unterminated literal, say) degrades to opaque tokens rather than an
+/// error, because the linter must keep scanning the rest of the tree.
+std::vector<Token> Lex(std::string_view source);
+
+/// Index of the previous token at `i` that is not a comment, or -1.
+int PrevSignificant(const std::vector<Token>& tokens, int i);
+
+/// Index of the next token after `i` that is not a comment, or -1.
+int NextSignificant(const std::vector<Token>& tokens, int i);
+
+/// Given `tokens[open]` == "(", returns the index of its matching ")"
+/// (ignoring parens inside comments/strings, which are opaque tokens),
+/// or -1 when unbalanced.
+int MatchParen(const std::vector<Token>& tokens, int open);
+
+}  // namespace cksafe_lint
+
+#endif  // CKSAFE_TOOLS_LINT_LEXER_H_

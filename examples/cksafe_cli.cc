@@ -5,6 +5,9 @@
 //   cksafe_cli multi    [data flags] --policies=gold=0.5:4,free=0.8:1 [--objective]
 //   cksafe_cli serve    [data flags] --replay=FILE [--policies --readers
 //                       --stream_batches --queue --rounds --persist=DIR]
+//   cksafe_cli fleet    [data flags] [--replay=FILE | --queries=N] [--shards
+//                       --policies --readers --rounds --queue --migrations
+//                       --persist=DIR --json=PATH]
 //   cksafe_cli persist  --dir=DIR [--dump] [--verify]
 //   cksafe_cli audit    [data flags] --node=... --knowledge=FILE [--approx]
 //   cksafe_cli fig5     [--rows --seed --adult_csv --max_k]
@@ -29,10 +32,14 @@
 //   cksafe_cli multi --adult --rows=2000 --policies=gold=0.5:4,std=0.7:2,free=0.85:1
 //   cksafe_cli analyze --input=patients.csv --sensitive=Disease --qi=Age,Sex,Zip
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <deque>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -51,11 +58,13 @@
 #include "cksafe/experiments/figures.h"
 #include "cksafe/foundry/fingerprint.h"
 #include "cksafe/foundry/scenario.h"
+#include "cksafe/foundry/workload_foundry.h"
 #include "cksafe/knowledge/parser.h"
 #include "cksafe/persist/durable_store.h"
 #include "cksafe/search/publisher.h"
 #include "cksafe/serve/query_router.h"
 #include "cksafe/serve/serving_engine.h"
+#include "cksafe/shard/fleet.h"
 #include "cksafe/stream/multi_policy_publisher.h"
 #include "cksafe/util/flags.h"
 #include "cksafe/util/string_util.h"
@@ -94,6 +103,11 @@ struct CliConfig {
   int64_t queue = 4096;
   int64_t stream_batches = 0;
   int64_t rounds = 1;
+  // Fleet (the multi-process shard replay driver).
+  int64_t shards = 2;
+  int64_t queries = 20000;
+  int64_t migrations = 0;
+  std::string json;
   // Foundry / scenario catalog.
   std::string scenario;
   double scale = 1.0;
@@ -814,6 +828,423 @@ Status RunServe(const CliConfig& config) {
   return Status::OK();
 }
 
+// --- fleet: the multi-process shard replay driver --------------------------
+
+// One replayed fleet query plus everything recorded about its serving.
+struct FleetRecord {
+  Query query;
+  size_t shard = 0;  ///< shard the query was routed to at submit time
+  StatusOr<QueryAnswer> answer = Status::FailedPrecondition("not served");
+  int64_t latency_ns = 0;
+};
+
+// Per-shard traffic aggregates for the report / JSON emit.
+struct ShardTraffic {
+  size_t ok = 0;
+  size_t errors = 0;
+  size_t shed = 0;  ///< ResourceExhausted (fleet window or shard queue)
+  std::vector<int64_t> latencies_ns;
+};
+
+// Sorts in place; p in [0, 1); microseconds.
+double PercentileUs(std::vector<int64_t>* latencies, double p) {
+  if (latencies->empty()) return 0.0;
+  std::sort(latencies->begin(), latencies->end());
+  const size_t index = std::min(
+      latencies->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(latencies->size())));
+  return static_cast<double>((*latencies)[index]) / 1e3;
+}
+
+// Machine-readable E13 row (BENCHMARKS.md assembles BENCH_PR10.json from
+// one of these per shard count).
+Status WriteFleetJson(const CliConfig& config, size_t num_shards,
+                      size_t total, size_t ok_answers, size_t error_answers,
+                      size_t shed, double elapsed_s, double p50, double p99,
+                      size_t migrations, const std::vector<ShardTraffic>& traffic,
+                      std::vector<double> shard_p50,
+                      std::vector<double> shard_p99) {
+  std::ofstream out(config.json);
+  if (!out) return Status::IOError("cannot write " + config.json);
+  out << "{\n  \"experiment\": \"E13\",\n";
+  out << "  \"shards\": " << num_shards << ",\n";
+  out << "  \"clients\": " << config.readers << ",\n";
+  out << "  \"queries\": " << total << ",\n";
+  out << "  \"ok\": " << ok_answers << ",\n";
+  out << "  \"errors\": " << error_answers << ",\n";
+  out << "  \"shed\": " << shed << ",\n";
+  out << "  \"migrations\": " << migrations << ",\n";
+  out << StrFormat("  \"elapsed_s\": %.6f,\n", elapsed_s);
+  out << StrFormat("  \"qps\": %.1f,\n",
+                   static_cast<double>(total) / elapsed_s);
+  out << StrFormat("  \"p50_us\": %.1f,\n  \"p99_us\": %.1f,\n", p50, p99);
+  out << "  \"per_shard\": [\n";
+  for (size_t s = 0; s < traffic.size(); ++s) {
+    out << StrFormat(
+        "    {\"shard\": %zu, \"ok\": %zu, \"errors\": %zu, \"shed\": %zu, "
+        "\"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
+        s, traffic[s].ok, traffic[s].errors, traffic[s].shed, shard_p50[s],
+        shard_p99[s], s + 1 == traffic.size() ? "" : ",");
+  }
+  out << "  ]\n}\n";
+  return Status::OK();
+}
+
+// Replays a workload against a forked multi-process shard fleet: publishes
+// every tenant policy through one MultiPolicyPublisher and hands each
+// release to its tenant's shard, then open-loop clients pipeline a window
+// of submits per thread (sheds on ResourceExhausted instead of blocking),
+// optionally churns live tenant migrations under the load, reports
+// qps + p50/p99 per shard, and finally verifies every served answer
+// bit-identically against a fresh synchronous DisclosureAnalyzer over the
+// snapshot the answer names — across process boundaries, the wire codec,
+// and any migrations.
+Status RunFleet(const CliConfig& config) {
+  if (config.shards < 1) {
+    return Status::InvalidArgument("--shards must be >= 1");
+  }
+  if (config.readers < 1) {
+    return Status::InvalidArgument("--readers must be >= 1");
+  }
+  if (config.rounds < 1) {
+    return Status::InvalidArgument("--rounds must be >= 1");
+  }
+  if (config.queue < 1) {
+    return Status::InvalidArgument("--queue must be >= 1");
+  }
+  if (config.migrations < 0) {
+    return Status::InvalidArgument("--migrations must be >= 0");
+  }
+  if (config.replay.empty() && config.queries < 1) {
+    return Status::InvalidArgument("--queries must be >= 1");
+  }
+  CKSAFE_RETURN_IF_ERROR(ValidateAttackerPower("max_k", config.max_k));
+  CKSAFE_ASSIGN_OR_RETURN(LoadedData data, LoadData(config));
+
+  std::vector<ParsedPolicy> policies;
+  if (config.policies.empty()) {
+    CKSAFE_RETURN_IF_ERROR(ValidateAttackerPower("k", config.k));
+    policies.push_back(
+        ParsedPolicy{"default", config.c, static_cast<size_t>(config.k)});
+  } else {
+    CKSAFE_ASSIGN_OR_RETURN(policies, ParsePolicies(config.policies));
+  }
+  std::vector<std::string> tenant_names;
+  for (const ParsedPolicy& policy : policies) {
+    tenant_names.push_back(policy.name);
+  }
+
+  // The workload: a replay file verbatim, or the seeded workload foundry
+  // over the configured tenants.
+  std::vector<Query> replay;
+  if (!config.replay.empty()) {
+    CKSAFE_ASSIGN_OR_RETURN(replay, LoadReplayQueries(config.replay));
+  } else {
+    WorkloadFoundryConfig workload;
+    workload.seed = static_cast<uint64_t>(config.seed);
+    workload.num_queries = static_cast<size_t>(config.queries);
+    workload.tenants = tenant_names;
+    workload.max_k = static_cast<size_t>(config.max_k);
+    CKSAFE_ASSIGN_OR_RETURN(replay, GenerateWorkload(workload));
+    std::printf("workload: %zu foundry queries (seed %llu), "
+                "fingerprint %016llx\n",
+                replay.size(), static_cast<unsigned long long>(workload.seed),
+                static_cast<unsigned long long>(FingerprintWorkload(replay)));
+  }
+
+  // Socket directory: fresh and short-named (sockaddr_un caps the path).
+  char socket_dir[] = "/tmp/cksafe-fleet-XXXXXX";
+  if (mkdtemp(socket_dir) == nullptr) {
+    return Status::IOError("mkdtemp failed for the fleet socket directory");
+  }
+  ShardFleetOptions fleet_options;
+  fleet_options.num_shards = static_cast<size_t>(config.shards);
+  fleet_options.socket_dir = socket_dir;
+  fleet_options.durable_root = config.persist;
+  fleet_options.router_queue_capacity = static_cast<size_t>(config.queue);
+  fleet_options.buffer_pool_pages = static_cast<size_t>(config.pool_pages);
+  auto fleet_or = ShardFleet::Start(std::move(fleet_options));
+  if (!fleet_or.ok()) {
+    ::rmdir(socket_dir);
+    return fleet_or.status();
+  }
+  std::unique_ptr<ShardFleet> fleet = std::move(fleet_or).value();
+  const size_t num_shards = fleet->num_shards();
+
+  // Publish every tenant policy from one shared sweep, each release to
+  // its tenant's shard.
+  PublisherOptions base;
+  base.seed = static_cast<uint64_t>(config.seed);
+  CKSAFE_ASSIGN_OR_RETURN(base.objective, ParseObjective(config.objective));
+  MultiPolicyPublisher publisher(std::move(data.table), data.qis,
+                                 data.sensitive_column, base);
+  for (const ParsedPolicy& policy : policies) {
+    publisher.AddTenant(policy.name, policy.c, policy.k);
+  }
+  CKSAFE_ASSIGN_OR_RETURN(std::vector<TenantRelease> releases,
+                          publisher.PublishAll());
+  size_t published = 0;
+  for (const TenantRelease& release : releases) {
+    if (!release.release.ok()) {
+      std::printf("tenant %s: %s (not served)\n", release.tenant.c_str(),
+                  release.release.status().ToString().c_str());
+      continue;
+    }
+    CKSAFE_ASSIGN_OR_RETURN(
+        const auto snapshot,
+        fleet->Publish(release.tenant, *release.release,
+                       publisher.table().num_rows()));
+    std::printf("tenant %s -> shard %zu (snapshot %llu, %zu buckets)\n",
+                release.tenant.c_str(), fleet->ShardOf(release.tenant),
+                static_cast<unsigned long long>(snapshot->sequence),
+                snapshot->bucketization.num_buckets());
+    ++published;
+  }
+  if (published == 0) {
+    return Status::InvalidArgument("no tenant produced a publishable release");
+  }
+
+  // Optional live-migration churn under the load: round-robin tenants to
+  // their next shard while the clients replay.
+  std::atomic<bool> stop_migrator{false};
+  std::atomic<size_t> migrations_done{0};
+  std::atomic<bool> migration_failed{false};
+  std::thread migrator;
+  if (config.migrations > 0 && num_shards > 1) {
+    migrator = std::thread([&] {
+      for (int64_t m = 0; m < config.migrations && !stop_migrator; ++m) {
+        const std::string& tenant =
+            tenant_names[static_cast<size_t>(m) % tenant_names.size()];
+        const size_t target = (fleet->ShardOf(tenant) + 1) % num_shards;
+        if (!fleet->MigrateTenant(tenant, target).ok()) {
+          migration_failed = true;
+          return;
+        }
+        ++migrations_done;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+
+  // Open-loop clients: each pipelines up to kClientWindow submits before
+  // harvesting the oldest half, so the submit rate is not gated on
+  // individual answers. Latency is submit-to-harvest, which includes any
+  // head-of-line wait inside the harvesting client — the usual open-loop
+  // pipelining artifact, consistent across shard counts.
+  const size_t clients = static_cast<size_t>(config.readers);
+  const size_t rounds = static_cast<size_t>(config.rounds);
+  constexpr size_t kClientWindow = 256;
+  std::vector<std::vector<FleetRecord>> per_client(clients);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> client_threads;
+  for (size_t r = 0; r < clients; ++r) {
+    client_threads.emplace_back([&, r] {
+      struct InFlight {
+        size_t record;  // index into `records`
+        std::chrono::steady_clock::time_point t0;
+        std::future<StatusOr<QueryAnswer>> future;
+      };
+      std::vector<FleetRecord>& records = per_client[r];
+      std::deque<InFlight> window;
+      const auto harvest = [&](size_t down_to) {
+        while (window.size() > down_to) {
+          InFlight call = std::move(window.front());
+          window.pop_front();
+          FleetRecord& record = records[call.record];
+          record.answer = call.future.get();
+          record.latency_ns =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - call.t0)
+                  .count();
+        }
+      };
+      for (size_t round = 0; round < rounds; ++round) {
+        for (size_t i = r; i < replay.size(); i += clients) {
+          FleetRecord record;
+          record.query = replay[i];
+          record.shard = fleet->ShardOf(record.query.tenant);
+          records.push_back(std::move(record));
+          const auto t0 = std::chrono::steady_clock::now();
+          auto submitted = fleet->Submit(replay[i]);
+          if (!submitted.ok()) {
+            records.back().answer = submitted.status();
+            records.back().latency_ns = 0;
+            continue;
+          }
+          window.push_back(InFlight{records.size() - 1, t0,
+                                    std::move(submitted).value()});
+          if (window.size() >= kClientWindow) harvest(kClientWindow / 2);
+        }
+      }
+      harvest(0);
+    });
+  }
+  for (auto& thread : client_threads) thread.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  stop_migrator = true;
+  if (migrator.joinable()) migrator.join();
+  if (migration_failed) {
+    return Status::Internal("live migration failed during the replay");
+  }
+
+  // Aggregate per shard. ResourceExhausted (window or shard queue) is
+  // deliberate open-loop shedding, not an error.
+  std::vector<ShardTraffic> traffic(num_shards);
+  std::vector<int64_t> all_latencies;
+  size_t ok_answers = 0;
+  size_t error_answers = 0;
+  size_t shed = 0;
+  for (const auto& records : per_client) {
+    for (const FleetRecord& record : records) {
+      ShardTraffic& t = traffic[record.shard];
+      if (record.answer.ok()) {
+        ++t.ok;
+        ++ok_answers;
+        t.latencies_ns.push_back(record.latency_ns);
+        all_latencies.push_back(record.latency_ns);
+      } else if (record.answer.status().code() ==
+                 StatusCode::kResourceExhausted) {
+        ++t.shed;
+        ++shed;
+      } else {
+        ++t.errors;
+        ++error_answers;
+      }
+    }
+  }
+  const size_t total = ok_answers + error_answers + shed;
+  std::printf(
+      "fleet: %zu shards served %zu queries (%zu ok, %zu errors, %zu shed) "
+      "from %zu clients in %.3fs (%.0f queries/sec)\n",
+      num_shards, total, ok_answers, error_answers, shed, clients, elapsed_s,
+      static_cast<double>(total) / elapsed_s);
+  if (config.migrations > 0) {
+    std::printf("migrations: %zu completed live during the replay\n",
+                migrations_done.load());
+  }
+  const double p50 = PercentileUs(&all_latencies, 0.50);
+  const double p99 = PercentileUs(&all_latencies, 0.99);
+  std::printf("latency: p50 %.1fus  p99 %.1fus\n", p50, p99);
+
+  std::vector<double> shard_p50(num_shards);
+  std::vector<double> shard_p99(num_shards);
+  TextTable shard_table;
+  shard_table.SetHeader({"shard", "ok", "errors", "shed", "p50 us", "p99 us",
+                         "batches", "coalesce", "tenants"});
+  for (size_t s = 0; s < num_shards; ++s) {
+    shard_p50[s] = PercentileUs(&traffic[s].latencies_ns, 0.50);
+    shard_p99[s] = PercentileUs(&traffic[s].latencies_ns, 0.99);
+    std::string batches = "-";
+    std::string coalesce = "-";
+    std::string tenants = "-";
+    if (auto stats = fleet->PingShard(s); stats.ok()) {
+      batches = std::to_string(stats->batches);
+      const uint64_t sweeps = stats->profile_sweeps + stats->per_bucket_sweeps;
+      coalesce = TextTable::FormatDouble(
+          sweeps == 0 ? static_cast<double>(stats->answered)
+                      : static_cast<double>(stats->answered) /
+                            static_cast<double>(sweeps));
+      tenants = std::to_string(stats->tenants);
+    }
+    shard_table.AddRow({std::to_string(s), std::to_string(traffic[s].ok),
+                        std::to_string(traffic[s].errors),
+                        std::to_string(traffic[s].shed),
+                        TextTable::FormatDouble(shard_p50[s]),
+                        TextTable::FormatDouble(shard_p99[s]), batches,
+                        coalesce, tenants});
+  }
+  std::printf("%s", shard_table.Render().c_str());
+
+  if (!config.json.empty()) {
+    CKSAFE_RETURN_IF_ERROR(WriteFleetJson(
+        config, num_shards, total, ok_answers, error_answers, shed, elapsed_s,
+        p50, p99, migrations_done.load(), traffic, shard_p50, shard_p99));
+    std::printf("wrote %s\n", config.json.c_str());
+  }
+
+  // Stop the fleet before verifying: verification only needs the writer's
+  // registry, and a clean shutdown here means a wedged shard fails the run
+  // instead of hanging the exit.
+  const auto registry = fleet->PublishedRegistry();
+  CKSAFE_RETURN_IF_ERROR(fleet->ShutdownAll());
+  fleet.reset();
+  ::rmdir(socket_dir);
+
+  // Verification: every OK answer must be bit-identical to a fresh
+  // synchronous analyzer over the snapshot it names — across the process
+  // boundary, the wire codec, and any live migrations.
+  size_t verified = 0;
+  std::map<std::pair<std::string, uint64_t>,
+           std::unique_ptr<DisclosureAnalyzer>>
+      fresh_analyzers;
+  for (const auto& records : per_client) {
+    for (const FleetRecord& record : records) {
+      if (!record.answer.ok()) continue;
+      const Query& query = record.query;
+      const QueryAnswer& answer = *record.answer;
+      const auto key = std::make_pair(query.tenant, answer.snapshot_sequence);
+      const auto snapshot_it = registry.find(key);
+      if (snapshot_it == registry.end()) {
+        return Status::Internal(StrFormat(
+            "answer names unpublished snapshot %llu of tenant %s",
+            static_cast<unsigned long long>(answer.snapshot_sequence),
+            query.tenant.c_str()));
+      }
+      auto& analyzer = fresh_analyzers[key];
+      if (analyzer == nullptr) {
+        analyzer = std::make_unique<DisclosureAnalyzer>(
+            snapshot_it->second->bucketization);
+      }
+      bool match = true;
+      switch (query.kind) {
+        case QueryKind::kIsCkSafe: {
+          const WorstCaseDisclosure worst =
+              analyzer->MaxDisclosureImplications(query.k);
+          match = answer.safe == IsSafeLogRatio(worst.log_r_min, query.c) &&
+                  answer.disclosure == worst.disclosure &&
+                  answer.log_r == worst.log_r_min;
+          break;
+        }
+        case QueryKind::kDisclosure: {
+          const WorstCaseDisclosure worst =
+              analyzer->MaxDisclosureImplications(query.k);
+          match = answer.disclosure == worst.disclosure &&
+                  answer.log_r == worst.log_r_min;
+          break;
+        }
+        case QueryKind::kProfileAtK: {
+          const DisclosureProfile profile = analyzer->Profile(query.k);
+          match = answer.disclosure == profile.implication[query.k] &&
+                  answer.negation == profile.negation[query.k];
+          break;
+        }
+        case QueryKind::kPerBucket:
+          match = answer.disclosure ==
+                  analyzer->PerBucketDisclosure(query.k)[query.bucket];
+          break;
+      }
+      if (!match) {
+        return Status::Internal(StrFormat(
+            "answer diverged from fresh analyzer (tenant %s, snapshot %llu)",
+            query.tenant.c_str(),
+            static_cast<unsigned long long>(answer.snapshot_sequence)));
+      }
+      ++verified;
+    }
+  }
+  if (verified == 0) {
+    std::printf("nothing to verify: no query was answered successfully "
+                "(do the workload tenants match --policies?)\n");
+    return Status::OK();
+  }
+  std::printf("all %zu verified answers bit-identical to a fresh "
+              "synchronous analyzer\n",
+              verified);
+  return Status::OK();
+}
+
 // Inspects / audits a durable store directory. Opening performs the same
 // recovery a restart would (scanning the manifest, discarding torn tails),
 // so `persist` on a crashed directory reports exactly what a reopening
@@ -1103,6 +1534,13 @@ int Main(int argc, char** argv) {
                  "readers run");
   flags.AddInt64("rounds", &config.rounds,
                  "serve: times each reader replays its query share");
+  flags.AddInt64("shards", &config.shards, "fleet: shard process count");
+  flags.AddInt64("queries", &config.queries,
+                 "fleet: foundry workload size when no --replay file is given");
+  flags.AddInt64("migrations", &config.migrations,
+                 "fleet: live tenant migrations performed during the replay");
+  flags.AddString("json", &config.json,
+                  "fleet: write the machine-readable report to this path");
   flags.AddString("scenario", &config.scenario,
                   "foundry/scenario: catalog entry name");
   flags.AddDouble("scale", &config.scale,
@@ -1124,8 +1562,8 @@ int Main(int argc, char** argv) {
   }
   if (flags.positional().size() != 1) {
     std::fprintf(stderr,
-                 "usage: cksafe_cli <analyze|publish|multi|serve|audit|fig5|"
-                 "fig6|foundry|scenario|persist> [flags]\n%s",
+                 "usage: cksafe_cli <analyze|publish|multi|serve|fleet|audit|"
+                 "fig5|fig6|foundry|scenario|persist> [flags]\n%s",
                  flags.Usage("cksafe_cli <command>").c_str());
     return 1;
   }
@@ -1139,6 +1577,8 @@ int Main(int argc, char** argv) {
     st = RunMulti(config);
   } else if (command == "serve") {
     st = RunServe(config);
+  } else if (command == "fleet") {
+    st = RunFleet(config);
   } else if (command == "audit") {
     st = RunAudit(config);
   } else if (command == "fig5") {

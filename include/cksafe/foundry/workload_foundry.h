@@ -1,0 +1,65 @@
+// WorkloadFoundry: seeded serving-query mixes for the fleet load
+// generator.
+//
+// A workload is a sequence of serve-layer Query values — IsCkSafe /
+// Disclosure / ProfileAtK / PerBucket points against a set of tenants —
+// drawn deterministically from a seed: a (seed, config) pair is a
+// complete, portable description of a million-query replay, exactly like
+// every other foundry artifact. The generator itself never touches an
+// engine; the CLI `fleet` driver and the shard tests replay the same
+// workload against a multi-process fleet and a fresh synchronous
+// DisclosureAnalyzer and require bit-identical answers.
+//
+// Determinism caveat: thresholds (`c`) are PICKED from the config's fixed
+// choice list, never computed, so the doubles in a workload are the exact
+// literal values the config names on every platform. The kind mix is
+// integer-weighted for the same reason.
+
+#ifndef CKSAFE_FOUNDRY_WORKLOAD_FOUNDRY_H_
+#define CKSAFE_FOUNDRY_WORKLOAD_FOUNDRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cksafe/serve/query_router.h"
+#include "cksafe/util/status.h"
+
+namespace cksafe {
+
+struct WorkloadFoundryConfig {
+  uint64_t seed = 0x3a7dULL;
+  /// Queries to generate.
+  size_t num_queries = 1000;
+  /// Tenant names queries are spread over (weighted uniformly). Must be
+  /// non-empty.
+  std::vector<std::string> tenants;
+  /// Attacker budgets are drawn uniformly from [0, max_k].
+  size_t max_k = 6;
+  /// kIsCkSafe thresholds are drawn from this list verbatim (all > 0).
+  std::vector<double> c_choices = {0.3, 0.5, 0.7, 0.85};
+  /// kPerBucket indices are drawn from [0, max_bucket]. Keep it below the
+  /// smallest snapshot's bucket count to avoid OutOfRange answers, or
+  /// above it to exercise them on purpose.
+  size_t max_bucket = 3;
+  /// Integer mix weights per kind (at least one must be > 0).
+  uint32_t weight_safe = 4;
+  uint32_t weight_disclosure = 2;
+  uint32_t weight_profile = 2;
+  uint32_t weight_per_bucket = 2;
+};
+
+/// Generates the workload. InvalidArgument on an empty tenant list, all
+/// weights zero, an empty c_choices with weight_safe > 0, or a
+/// non-positive threshold choice.
+StatusOr<std::vector<Query>> GenerateWorkload(
+    const WorkloadFoundryConfig& config);
+
+/// FNV-1a fingerprint over the workload's exact wire-level bytes (tenant,
+/// kind, IEEE bits of c, k, bucket) — pinned by tests the way table
+/// foundry digests are.
+uint64_t FingerprintWorkload(const std::vector<Query>& queries);
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_FOUNDRY_WORKLOAD_FOUNDRY_H_

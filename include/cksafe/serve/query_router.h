@@ -148,7 +148,11 @@ class QueryRouter {
   size_t DrainOnce();
 
   /// Closes admission and joins the worker after it drains the queue.
-  /// Idempotent; implied by destruction.
+  /// Idempotent; implied by destruction. Drain guarantee: when Stop()
+  /// returns — from ANY concurrent caller, not just the one that won the
+  /// race to close — every future a successful Submit handed out has been
+  /// resolved (with an answer or an error), so no caller is ever left
+  /// blocked on a promise the router abandoned.
   void Stop();
 
   /// Consistent point-in-time copy of the counters.

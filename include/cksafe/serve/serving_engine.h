@@ -62,6 +62,18 @@ class ServingEngine {
       const std::string& tenant, const PublishedRelease& release,
       size_t num_rows);
 
+  /// Adopts an already-frozen snapshot VERBATIM — sequence included —
+  /// instead of assigning the next one. This is the shard tier's publish
+  /// path: a snapshot that crossed the wire (or is being migrated from
+  /// another shard) must keep the per-tenant sequence it was born with,
+  /// or answers computed before and after the hop would name different
+  /// sequences for the same release. The sequence must still advance the
+  /// tenant's slot (FailedPrecondition otherwise); on a durable engine the
+  /// append commits before the RCU swap, exactly like PublishRelease, so
+  /// adopted sequences must also be contiguous with the store's history.
+  Status PublishSnapshot(const std::string& tenant,
+                         std::shared_ptr<const ReleaseSnapshot> snapshot);
+
   /// StreamingPublisher adapter: publishes release.release over
   /// release.num_rows rows.
   StatusOr<std::shared_ptr<const ReleaseSnapshot>> PublishStreaming(

@@ -31,6 +31,7 @@ enum class StatusCode : uint8_t {
   kInternal = 7,          ///< invariant violation surfaced as recoverable error
   kUnimplemented = 8,     ///< feature intentionally not provided
   kIOError = 9,           ///< filesystem / parsing failure
+  kUnavailable = 10,      ///< peer process down / connection lost; retryable
 };
 
 /// Returns a stable lower-case name for a code ("ok", "invalid_argument", ...).
@@ -79,6 +80,9 @@ class [[nodiscard]] Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

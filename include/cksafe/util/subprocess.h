@@ -1,0 +1,52 @@
+// fork()-based subprocess spawning for the multi-process shard fleet.
+//
+// Shards are forked children of the driver process, not exec'd binaries:
+// the child runs a caller-supplied function (typically "construct a
+// ShardServer and serve until told to stop") and _exit()s with its return
+// value, never unwinding back into the parent's stacks or running the
+// parent's atexit handlers. This is the same pattern the persist crash
+// tests use for kill-and-recover, promoted to a utility: fork is safe
+// here even with parent threads running because the child immediately
+// enters self-contained code (glibc reinitializes its malloc locks across
+// fork, and the sanitizers intercept fork for the same reason).
+//
+// Reaping discipline: every spawned pid must be passed to WaitProcess
+// exactly once (KillProcess does not reap) or the child stays a zombie.
+
+#ifndef CKSAFE_UTIL_SUBPROCESS_H_
+#define CKSAFE_UTIL_SUBPROCESS_H_
+
+#include <sys/types.h>
+
+#include <functional>
+
+#include "cksafe/util/status.h"
+
+namespace cksafe {
+
+/// How a reaped child ended.
+struct ProcessExit {
+  bool exited = false;    ///< normal _exit; exit_code valid
+  int exit_code = 0;
+  bool signaled = false;  ///< killed by a signal; term_signal valid
+  int term_signal = 0;
+};
+
+/// Forks a child that runs `child_main` and _exit()s with its return
+/// value. Returns the child's pid in the parent; never returns in the
+/// child. `child_main` runs after fork, so it must not assume any parent
+/// thread exists — everything it needs travels in by value.
+StatusOr<pid_t> SpawnProcess(const std::function<int()>& child_main);
+
+/// Sends `signum` (e.g. SIGKILL) to the child. Does not reap.
+Status KillProcess(pid_t pid, int signum);
+
+/// Blocks until the child exits and reaps it.
+StatusOr<ProcessExit> WaitProcess(pid_t pid);
+
+/// True while the child is running (not yet exited or not yet reaped).
+bool ProcessAlive(pid_t pid);
+
+}  // namespace cksafe
+
+#endif  // CKSAFE_UTIL_SUBPROCESS_H_

@@ -1,0 +1,70 @@
+#include "cksafe/foundry/workload_foundry.h"
+
+#include <utility>
+
+#include "cksafe/util/page_io.h"
+#include "cksafe/util/random.h"
+#include "cksafe/util/string_util.h"
+
+namespace cksafe {
+
+StatusOr<std::vector<Query>> GenerateWorkload(
+    const WorkloadFoundryConfig& config) {
+  if (config.tenants.empty()) {
+    return Status::InvalidArgument("workload needs at least one tenant");
+  }
+  const uint64_t total_weight =
+      uint64_t{config.weight_safe} + config.weight_disclosure +
+      config.weight_profile + config.weight_per_bucket;
+  if (total_weight == 0) {
+    return Status::InvalidArgument("all kind weights are zero");
+  }
+  if (config.weight_safe > 0 && config.c_choices.empty()) {
+    return Status::InvalidArgument(
+        "kIsCkSafe weighted in but no c_choices to draw from");
+  }
+  for (const double c : config.c_choices) {
+    if (!(c > 0.0)) {
+      return Status::InvalidArgument(
+          StrFormat("threshold choice %g is not > 0", c));
+    }
+  }
+  Rng rng(config.seed);
+  std::vector<Query> queries;
+  queries.reserve(config.num_queries);
+  for (size_t i = 0; i < config.num_queries; ++i) {
+    Query query;
+    query.tenant = config.tenants[rng.NextBelow(config.tenants.size())];
+    query.k = rng.NextBelow(config.max_k + 1);
+    const uint64_t pick = rng.NextBelow(total_weight);
+    if (pick < config.weight_safe) {
+      query.kind = QueryKind::kIsCkSafe;
+      query.c = config.c_choices[rng.NextBelow(config.c_choices.size())];
+    } else if (pick < uint64_t{config.weight_safe} + config.weight_disclosure) {
+      query.kind = QueryKind::kDisclosure;
+    } else if (pick < uint64_t{config.weight_safe} + config.weight_disclosure +
+                          config.weight_profile) {
+      query.kind = QueryKind::kProfileAtK;
+    } else {
+      query.kind = QueryKind::kPerBucket;
+      query.bucket = rng.NextBelow(config.max_bucket + 1);
+    }
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+uint64_t FingerprintWorkload(const std::vector<Query>& queries) {
+  ByteWriter writer;
+  writer.PutU64(queries.size());
+  for (const Query& query : queries) {
+    writer.PutString(query.tenant);
+    writer.PutU8(static_cast<uint8_t>(query.kind));
+    writer.PutDouble(query.c);
+    writer.PutU64(query.k);
+    writer.PutU64(query.bucket);
+  }
+  return Fnv1a64(writer.bytes().data(), writer.size());
+}
+
+}  // namespace cksafe

@@ -70,11 +70,18 @@ size_t QueryRouter::DrainOnce() {
 }
 
 void QueryRouter::Stop() {
-  {
-    std::lock_guard<std::mutex> lock(stop_mu_);
-    if (stopped_) return;
-    stopped_ = true;
-  }
+  // stop_mu_ is held across the ENTIRE close-and-drain, not just the
+  // stopped_ flip: when any Stop() call returns, every future that was
+  // accepted by Submit has been resolved. Flipping the flag first and
+  // draining outside the lock let a concurrent second caller return while
+  // the first was still joining the worker — exactly the window the
+  // multi-process drain path (a shard handling a shutdown frame while the
+  // fleet tears it down) would hit. Safe to hold: neither the worker loop
+  // nor Submit ever takes stop_mu_, so there is no lock-order cycle, and a
+  // Submit racing past queue_.Close() gets FailedPrecondition from TryPush
+  // without having created an unresolved future.
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (stopped_) return;
   queue_.Close();
   if (worker_.joinable()) {
     worker_.join();  // the worker drains admitted queries before exiting
@@ -86,6 +93,7 @@ void QueryRouter::Stop() {
       }
     }
   }
+  stopped_ = true;
 }
 
 RouterStats QueryRouter::stats() const {
@@ -109,6 +117,12 @@ void QueryRouter::WorkerLoop() {
 }
 
 void QueryRouter::Answer(Pending* pending, StatusOr<QueryAnswer> answer) {
+  // Count BEFORE resolving the promise: the instant set_value runs, the
+  // submitter can observe its answer (and, over the shard wire, ping for
+  // stats), so incrementing afterwards let a client that already holds a
+  // response read answered as if the query were still pending. Submitted
+  // was counted before the push, so answered <= submitted still holds.
+  stats_.answered.fetch_add(1, std::memory_order_relaxed);
   pending->promise.set_value(std::move(answer));
 }
 
@@ -219,7 +233,8 @@ void QueryRouter::ServeBatch(std::vector<Pending>* batch) {
     }
   }
 
-  stats_.answered.fetch_add(batch->size(), std::memory_order_relaxed);
+  // `answered` is counted per query inside Answer(), before each promise
+  // resolves — see the comment there.
   stats_.batches.fetch_add(1, std::memory_order_relaxed);
   stats_.profile_sweeps.fetch_add(profile_sweeps, std::memory_order_relaxed);
   stats_.per_bucket_sweeps.fetch_add(per_bucket_sweeps,

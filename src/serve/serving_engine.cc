@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "cksafe/util/string_util.h"
+
 namespace cksafe {
 
 ServingEngine::ServingEngine(QueryRouter::Options router_options)
@@ -32,6 +34,33 @@ StatusOr<std::shared_ptr<const ReleaseSnapshot>> ServingEngine::PublishRelease(
   }
   store->Publish(snapshot);
   return snapshot;
+}
+
+Status ServingEngine::PublishSnapshot(
+    const std::string& tenant,
+    std::shared_ptr<const ReleaseSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("cannot adopt a null snapshot");
+  }
+  if (snapshot->sequence == 0) {
+    return Status::InvalidArgument("snapshot sequence 0 is reserved");
+  }
+  SnapshotStore* store = directory_.GetOrAddTenant(tenant);
+  const std::shared_ptr<const ReleaseSnapshot> previous = store->Current();
+  const uint64_t current = previous == nullptr ? 0 : previous->sequence;
+  if (snapshot->sequence <= current) {
+    // Checked here (not left to SnapshotStore's CHECK): a stale publish
+    // arriving over the wire is input, not a programming error.
+    return Status::FailedPrecondition(StrFormat(
+        "adopted sequence %llu does not advance tenant '%s' (at %llu)",
+        static_cast<unsigned long long>(snapshot->sequence), tenant.c_str(),
+        static_cast<unsigned long long>(current)));
+  }
+  if (durable_store_ != nullptr) {
+    CKSAFE_RETURN_IF_ERROR(durable_store_->AppendPublish(tenant, *snapshot));
+  }
+  store->Publish(std::move(snapshot));
+  return Status::OK();
 }
 
 StatusOr<std::shared_ptr<const ReleaseSnapshot>> ServingEngine::PublishStreaming(

@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "unimplemented";
     case StatusCode::kIOError:
       return "io_error";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

@@ -1,0 +1,122 @@
+// Shared helpers for the shard-tier tests: scoped temp directories (socket
+// paths must stay short enough for sockaddr_un), seeded random snapshots,
+// and the bit-identity oracle every differential test shares — an answer
+// matches iff a fresh synchronous DisclosureAnalyzer over the snapshot the
+// answer names reproduces it with exact double equality.
+
+#ifndef CKSAFE_TESTS_SHARD_TESTING_UTIL_H_
+#define CKSAFE_TESTS_SHARD_TESTING_UTIL_H_
+
+#include <stdlib.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cksafe/core/disclosure.h"
+#include "cksafe/serve/query_router.h"
+#include "cksafe/serve/release_snapshot.h"
+#include "cksafe/util/random.h"
+#include "testing_util.h"
+
+namespace cksafe {
+namespace testing {
+
+/// mkdtemp under /tmp (not the build tree: UNIX socket paths cap at
+/// ~108 bytes) with recursive removal on destruction.
+class ScopedTempDir {
+ public:
+  ScopedTempDir() {
+    char tmpl[] = "/tmp/cksafe-shard-XXXXXX";
+    const char* dir = ::mkdtemp(tmpl);
+    CKSAFE_CHECK(dir != nullptr);
+    path_ = dir;
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;  // best effort; never throw from a destructor
+    std::filesystem::remove_all(path_, ec);
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// A small random snapshot (few buckets, small domain — exact engine).
+inline std::shared_ptr<const ReleaseSnapshot> RandomSnapshot(
+    Rng* rng, uint64_t sequence, size_t num_buckets = 3,
+    size_t domain_size = 3) {
+  SyntheticBuckets buckets = MakeBuckets(
+      RandomHistograms(rng, num_buckets, domain_size, /*max_bucket=*/4),
+      domain_size);
+  return MakeReleaseSnapshot(sequence, std::move(buckets.bucketization));
+}
+
+/// True iff `answer` equals — exact double equality — what a fresh
+/// synchronous DisclosureAnalyzer over `snapshot` returns for `query`.
+inline bool AnswerMatchesFresh(const Query& query, const QueryAnswer& answer,
+                               const ReleaseSnapshot& snapshot) {
+  DisclosureAnalyzer analyzer(snapshot.bucketization);
+  switch (query.kind) {
+    case QueryKind::kIsCkSafe: {
+      const WorstCaseDisclosure worst =
+          analyzer.MaxDisclosureImplications(query.k);
+      return answer.safe == IsSafeLogRatio(worst.log_r_min, query.c) &&
+             answer.disclosure == worst.disclosure &&
+             answer.log_r == worst.log_r_min;
+    }
+    case QueryKind::kDisclosure: {
+      const WorstCaseDisclosure worst =
+          analyzer.MaxDisclosureImplications(query.k);
+      return answer.disclosure == worst.disclosure &&
+             answer.log_r == worst.log_r_min;
+    }
+    case QueryKind::kProfileAtK: {
+      const DisclosureProfile profile = analyzer.Profile(query.k);
+      return answer.disclosure == profile.implication[query.k] &&
+             answer.negation == profile.negation[query.k];
+    }
+    case QueryKind::kPerBucket: {
+      const std::vector<double> per_bucket =
+          analyzer.PerBucketDisclosure(query.k);
+      return query.bucket < per_bucket.size() &&
+             answer.disclosure == per_bucket[query.bucket];
+    }
+  }
+  return false;
+}
+
+/// A mixed-kind query against `tenant`, always in range for snapshots
+/// built by RandomSnapshot (buckets >= num_buckets are never probed).
+inline Query RandomQuery(Rng* rng, const std::string& tenant,
+                         size_t num_buckets = 3, size_t max_k = 5) {
+  Query query;
+  query.tenant = tenant;
+  switch (rng->NextBelow(4)) {
+    case 0:
+      query.kind = QueryKind::kIsCkSafe;
+      query.c = 0.3 + 0.6 * rng->NextDouble();
+      break;
+    case 1:
+      query.kind = QueryKind::kDisclosure;
+      break;
+    case 2:
+      query.kind = QueryKind::kProfileAtK;
+      break;
+    default:
+      query.kind = QueryKind::kPerBucket;
+      query.bucket = rng->NextBelow(num_buckets);
+      break;
+  }
+  query.k = rng->NextBelow(max_k + 1);
+  return query;
+}
+
+}  // namespace testing
+}  // namespace cksafe
+
+#endif  // CKSAFE_TESTS_SHARD_TESTING_UTIL_H_

@@ -1,0 +1,129 @@
+// WorkloadFoundry: a (seed, config) pair is a reproducible workload. The
+// fleet load generator and BENCHMARKS.md recipes both lean on that — the
+// fingerprint printed by `cksafe_cli fleet` only means anything if the
+// same seed always yields the same queries, byte for byte.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cksafe/foundry/workload_foundry.h"
+#include "testing_util.h"
+
+namespace cksafe {
+namespace {
+
+WorkloadFoundryConfig BaseConfig() {
+  WorkloadFoundryConfig config;
+  config.seed = 0xfeedULL;
+  config.num_queries = 400;
+  config.tenants = {"gold", "std", "free"};
+  return config;
+}
+
+TEST(WorkloadFoundryTest, SameConfigYieldsIdenticalWorkloads) {
+  const auto a = GenerateWorkload(BaseConfig());
+  const auto b = GenerateWorkload(BaseConfig());
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].tenant, (*b)[i].tenant);
+    EXPECT_EQ((*a)[i].kind, (*b)[i].kind);
+    EXPECT_EQ((*a)[i].c, (*b)[i].c);  // exact: same bits, same draw
+    EXPECT_EQ((*a)[i].k, (*b)[i].k);
+    EXPECT_EQ((*a)[i].bucket, (*b)[i].bucket);
+  }
+  EXPECT_EQ(FingerprintWorkload(*a), FingerprintWorkload(*b));
+}
+
+TEST(WorkloadFoundryTest, SeedAndConfigChangesChangeTheFingerprint) {
+  const auto base = GenerateWorkload(BaseConfig());
+  ASSERT_TRUE(base.ok());
+
+  WorkloadFoundryConfig reseeded = BaseConfig();
+  reseeded.seed ^= 1;
+  const auto other = GenerateWorkload(reseeded);
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(FingerprintWorkload(*base), FingerprintWorkload(*other));
+
+  WorkloadFoundryConfig wider = BaseConfig();
+  wider.max_k += 1;
+  const auto widened = GenerateWorkload(wider);
+  ASSERT_TRUE(widened.ok());
+  EXPECT_NE(FingerprintWorkload(*base), FingerprintWorkload(*widened));
+}
+
+TEST(WorkloadFoundryTest, DrawsRespectTheConfigDomain) {
+  WorkloadFoundryConfig config = BaseConfig();
+  config.num_queries = 2000;
+  const auto workload = GenerateWorkload(config);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  ASSERT_EQ(workload->size(), config.num_queries);
+
+  std::vector<bool> tenant_seen(config.tenants.size(), false);
+  bool kind_seen[4] = {false, false, false, false};
+  for (const Query& query : *workload) {
+    size_t tenant = config.tenants.size();
+    for (size_t t = 0; t < config.tenants.size(); ++t) {
+      if (config.tenants[t] == query.tenant) tenant = t;
+    }
+    ASSERT_LT(tenant, config.tenants.size())
+        << "unknown tenant " << query.tenant;
+    tenant_seen[tenant] = true;
+    kind_seen[static_cast<size_t>(query.kind)] = true;
+    EXPECT_LE(query.k, config.max_k);
+    if (query.kind == QueryKind::kPerBucket) {
+      EXPECT_LE(query.bucket, config.max_bucket);
+    }
+    if (query.kind == QueryKind::kIsCkSafe) {
+      // c is drawn from c_choices verbatim — exact equality, no rounding.
+      bool from_choices = false;
+      for (const double c : config.c_choices) from_choices |= (query.c == c);
+      EXPECT_TRUE(from_choices) << "c=" << query.c << " not a listed choice";
+    }
+  }
+  for (size_t t = 0; t < tenant_seen.size(); ++t) {
+    EXPECT_TRUE(tenant_seen[t]) << config.tenants[t] << " never drawn";
+  }
+  for (size_t kind = 0; kind < 4; ++kind) {
+    EXPECT_TRUE(kind_seen[kind]) << "kind " << kind << " never drawn";
+  }
+}
+
+TEST(WorkloadFoundryTest, ZeroWeightKindsAreNeverDrawn) {
+  WorkloadFoundryConfig config = BaseConfig();
+  config.weight_safe = 0;
+  config.weight_per_bucket = 0;
+  const auto workload = GenerateWorkload(config);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  for (const Query& query : *workload) {
+    EXPECT_NE(query.kind, QueryKind::kIsCkSafe);
+    EXPECT_NE(query.kind, QueryKind::kPerBucket);
+  }
+}
+
+TEST(WorkloadFoundryTest, InvalidConfigsAreRejected) {
+  WorkloadFoundryConfig no_tenants = BaseConfig();
+  no_tenants.tenants.clear();
+  EXPECT_FALSE(GenerateWorkload(no_tenants).ok());
+
+  WorkloadFoundryConfig no_weights = BaseConfig();
+  no_weights.weight_safe = 0;
+  no_weights.weight_disclosure = 0;
+  no_weights.weight_profile = 0;
+  no_weights.weight_per_bucket = 0;
+  EXPECT_FALSE(GenerateWorkload(no_weights).ok());
+
+  WorkloadFoundryConfig no_choices = BaseConfig();
+  no_choices.c_choices.clear();  // weight_safe > 0 needs choices to draw
+  EXPECT_FALSE(GenerateWorkload(no_choices).ok());
+
+  WorkloadFoundryConfig bad_c = BaseConfig();
+  bad_c.c_choices = {0.5, -0.25};
+  EXPECT_FALSE(GenerateWorkload(bad_c).ok());
+}
+
+}  // namespace
+}  // namespace cksafe
